@@ -1,0 +1,56 @@
+"""Shared configuration for the reproduction bench harness.
+
+Every bench regenerates one of the paper's tables or figures, prints it,
+and writes it under ``benchmarks/results/`` so the artifacts survive
+pytest's stdout capture.  Instruction budgets scale with ``REPRO_SCALE``
+(see repro.core.experiment); the defaults keep the full harness around
+half an hour on a laptop.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.core import ExperimentSettings
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Budgets used by every timing bench (figures 4-9, headlines).
+BENCH_SETTINGS = ExperimentSettings(
+    instructions=8_000,
+    timing_warmup=2_000,
+    functional_warmup=250_000,
+)
+
+
+@pytest.fixture(scope="session")
+def settings() -> ExperimentSettings:
+    return BENCH_SETTINGS
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def publish(results_dir):
+    """Print a rendered table and persist it to results/<name>.txt."""
+
+    def _publish(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _publish
+
+
+def run_once(benchmark, func):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The simulations are deterministic and expensive; calibration rounds
+    would only repeat identical work.
+    """
+    return benchmark.pedantic(func, rounds=1, iterations=1)

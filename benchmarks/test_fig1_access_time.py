@@ -1,0 +1,21 @@
+"""Bench: regenerate Figure 1 (cache access time vs size, FO4)."""
+
+from conftest import run_once
+
+from repro.core import figure1
+from repro.core.reporting import render_figure1
+
+
+def test_figure1_access_times(benchmark, publish):
+    curves = run_once(benchmark, figure1)
+    publish("figure1", render_figure1(curves))
+
+    single = dict(curves["single_ported"])
+    banked = dict(curves["eight_way_banked"])
+    # Paper anchors: 8K = 25 FO4; 512K = 1.67x; 1M = 2.20x.
+    assert abs(single[8 * 1024] - 25.0) < 0.3
+    assert abs(single[512 * 1024] - 41.75) < 0.5
+    assert abs(single[1024 * 1024] - 55.0) < 0.7
+    # Banked caches are slower below 16 KB, identical at and above.
+    assert banked[4 * 1024] > single[4 * 1024]
+    assert abs(banked[64 * 1024] - single[64 * 1024]) < 1e-6

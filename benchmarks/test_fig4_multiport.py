@@ -1,0 +1,40 @@
+"""Bench: regenerate Figure 4 (ideal multi-cycle multi-ported caches)."""
+
+from conftest import run_once
+
+from repro.core import figure4
+from repro.core.reporting import render_ipc_grid
+from repro.workloads import REPRESENTATIVES
+
+
+def test_figure4_ideal_ports(benchmark, publish, settings):
+    data = run_once(
+        benchmark, lambda: figure4(REPRESENTATIVES, settings=settings)
+    )
+    publish(
+        "figure4",
+        render_ipc_grid(
+            data, "ports", "Figure 4: ideal multi-cycle multi-ported 32 KB caches"
+        ),
+    )
+
+    for name in REPRESENTATIVES:
+        cells = data[name]
+        # Adding the second port helps; third and fourth add little.
+        assert cells[(2, 1)] >= cells[(1, 1)]
+        gain_12 = cells[(2, 1)] - cells[(1, 1)]
+        gain_34 = cells[(4, 1)] - cells[(3, 1)]
+        assert gain_34 <= gain_12 + 1e-6
+        # Deeper hit pipelines never help at fixed clock.
+        for ports in (1, 2, 3, 4):
+            assert cells[(ports, 2)] <= cells[(ports, 1)] * 1.02
+            assert cells[(ports, 3)] <= cells[(ports, 2)] * 1.02
+
+    # Integer codes suffer much more from pipelining than FP codes.
+    def stage_loss(name):
+        return 1 - data[name][(2, 3)] / data[name][(2, 1)]
+
+    assert stage_loss("gcc") > 2.5 * stage_loss("tomcatv")
+    # tomcatv has the highest IPC (abundant ILP).
+    assert data["tomcatv"][(2, 1)] > data["gcc"][(2, 1)]
+    assert data["gcc"][(2, 1)] > data["database"][(2, 1)]

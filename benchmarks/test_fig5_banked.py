@@ -1,0 +1,30 @@
+"""Bench: regenerate Figure 5 (multi-cycle banked caches, 1-128 banks)."""
+
+from conftest import run_once
+
+from repro.core import figure5
+from repro.core.reporting import render_ipc_grid
+from repro.workloads import REPRESENTATIVES
+
+
+def test_figure5_banked(benchmark, publish, settings):
+    data = run_once(
+        benchmark, lambda: figure5(REPRESENTATIVES, settings=settings)
+    )
+    publish(
+        "figure5",
+        render_ipc_grid(data, "banks", "Figure 5: multi-cycle banked 32 KB caches"),
+    )
+
+    for name in REPRESENTATIVES:
+        cells = data[name]
+        # More banks never hurt (fewer conflicts).
+        assert cells[(2, 1)] >= cells[(1, 1)] * 0.99
+        assert cells[(8, 1)] >= cells[(4, 1)] * 0.99
+        # Diminishing returns: 8 -> 128 banks is a small step (paper:
+        # "the performance difference ... is small").
+        gain_1_to_8 = cells[(8, 1)] - cells[(1, 1)]
+        gain_8_to_128 = cells[(128, 1)] - cells[(8, 1)]
+        assert gain_8_to_128 <= max(gain_1_to_8, 0.02)
+        # Pipelining still costs IPC at fixed clock.
+        assert cells[(8, 3)] <= cells[(8, 1)] * 1.02

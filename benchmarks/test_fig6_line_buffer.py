@@ -1,0 +1,44 @@
+"""Bench: regenerate Figure 6 (line buffer with banked/duplicate caches)."""
+
+from conftest import run_once
+
+from repro.core import figure6
+from repro.core.reporting import render_figure6
+from repro.workloads import REPRESENTATIVES
+
+
+def test_figure6_line_buffer(benchmark, publish, settings):
+    data = run_once(
+        benchmark, lambda: figure6(REPRESENTATIVES, settings=settings)
+    )
+    publish("figure6", render_figure6(data))
+
+    for name in REPRESENTATIVES:
+        cells = data[name]
+        # The line buffer never hurts, for either organization and any
+        # hit time (paper: "machine performance is always increased").
+        for style in ("banked", "duplicate"):
+            for hit in (1, 2, 3):
+                assert cells[(style, True, hit)] >= cells[(style, False, hit)] * 0.99
+
+    # The LB helps the two-ported duplicate cache more than the
+    # eight-way banked cache (less port pressure to relieve there).
+    def gain(name, style):
+        return data[name][(style, True, 1)] / data[name][(style, False, 1)] - 1
+
+    avg_dup = sum(gain(n, "duplicate") for n in REPRESENTATIVES) / 3
+    avg_banked = sum(gain(n, "banked") for n in REPRESENTATIVES) / 3
+    assert avg_dup >= avg_banked - 0.005
+
+    # With the LB, the duplicate cache catches/overtakes the banked one.
+    for name in REPRESENTATIVES:
+        assert (
+            data[name][("duplicate", True, 1)]
+            >= data[name][("banked", True, 1)] * 0.97
+        )
+
+    # The LB recovers part of the pipelining loss for integer codes.
+    gcc = data["gcc"]
+    drop_plain = gcc[("duplicate", False, 1)] - gcc[("duplicate", False, 3)]
+    drop_lb = gcc[("duplicate", True, 1)] - gcc[("duplicate", True, 3)]
+    assert drop_lb < drop_plain

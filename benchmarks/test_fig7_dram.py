@@ -1,0 +1,49 @@
+"""Bench: regenerate Figure 7 (4 MB on-chip DRAM cache, 6-8 cycle hits)."""
+
+from conftest import run_once
+
+from repro.core import ExperimentSettings, duplicate, figure7, run_experiment
+from repro.core.reporting import render_figure7
+from repro.workloads import REPRESENTATIVES
+
+
+def test_figure7_dram_cache(benchmark, publish, settings):
+    data = run_once(
+        benchmark, lambda: figure7(REPRESENTATIVES, settings=settings)
+    )
+    publish("figure7", render_figure7(data))
+
+    for name in REPRESENTATIVES:
+        cells = data[name]
+        # Longer DRAM hit times never help.
+        assert cells[(7, True)] <= cells[(6, True)] * 1.02
+        assert cells[(8, True)] <= cells[(7, True)] * 1.02
+        # The line buffer never hurts the DRAM system.
+        for hit in (6, 7, 8):
+            assert cells[(hit, True)] >= cells[(hit, False)] * 0.99
+
+    # Average IPC loss per extra DRAM cycle is small (paper: ~3 %/cycle)
+    # because the one-cycle row-buffer cache absorbs most references.
+    losses = [
+        (data[n][(6, True)] - data[n][(8, True)]) / 2 / data[n][(6, True)]
+        for n in REPRESENTATIVES
+    ]
+    assert 0.0 <= sum(losses) / len(losses) < 0.10
+
+
+def test_dram_vs_sram_for_large_working_sets(benchmark, settings):
+    """Section 4.3: the DRAM system loses to SRAM + L2 where the
+    512-byte row-buffer lines cause conflict misses (database)."""
+
+    def run():
+        from repro.core import dram_cache
+
+        dram = run_experiment(dram_cache(6, line_buffer=True), "database", settings)
+        sram = run_experiment(
+            duplicate(16 * 1024, line_buffer=True), "database", settings
+        )
+        return dram.ipc, sram.ipc
+
+    dram_ipc, sram_ipc = run_once(benchmark, run)
+    print(f"\ndatabase: DRAM cache IPC={dram_ipc:.3f}, 16K SRAM + L2 IPC={sram_ipc:.3f}")
+    assert sram_ipc > dram_ipc

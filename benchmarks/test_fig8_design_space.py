@@ -1,0 +1,43 @@
+"""Bench: regenerate Figure 8 (IPC vs size for the full design space)."""
+
+from conftest import run_once
+
+from repro.core import figure8
+from repro.core.reporting import render_figure8
+from repro.workloads import REPRESENTATIVES
+
+K = 1024
+
+
+def test_figure8_design_space(benchmark, publish, settings):
+    data = run_once(
+        benchmark, lambda: figure8(REPRESENTATIVES, settings=settings)
+    )
+    publish("figure8", render_figure8(data))
+
+    def series(name, style, hit):
+        return dict(data[name][(style, hit)])
+
+    # IPC grows (weakly) with cache size for the average curves.
+    avg = series("average", "duplicate", 1)
+    assert avg[1024 * K] >= avg[4 * K]
+
+    # database gains the most from large caches (big working set).
+    db = series("database", "duplicate", 1)
+    gcc = series("gcc", "duplicate", 1)
+    assert db[1024 * K] / db[4 * K] > gcc[1024 * K] / gcc[4 * K]
+
+    # With line buffers everywhere, duplicate is competitive with
+    # eight-way banked on average (the paper's section 4.4 flip).
+    avg_banked = series("average", "banked", 1)
+    for size in (32 * K, 256 * K):
+        assert avg[size] >= avg_banked[size] * 0.97
+
+    # Pipelined caches trail single-cycle caches at fixed clock.
+    avg2 = series("average", "duplicate", 2)
+    assert avg2[32 * K] <= avg[32 * K] * 1.02
+
+    # The DRAM point sits below the best SRAM configurations on average
+    # for the database-style workloads that motivated the L2.
+    dram_ipc = data["database"][("dram", 6)][0][1]
+    assert dram_ipc < db[1024 * K]

@@ -1,0 +1,49 @@
+"""Bench: regenerate Figure 9 (normalized execution time vs cycle time)."""
+
+from conftest import run_once
+
+from repro.core import best_point, figure9
+from repro.core.reporting import render_figure9
+from repro.workloads import REPRESENTATIVES
+
+K = 1024
+
+
+def test_figure9_execution_time(benchmark, publish, settings):
+    data = run_once(
+        benchmark, lambda: figure9(REPRESENTATIVES, settings=settings)
+    )
+    publish("figure9", render_figure9(data))
+
+    for name, points in data.items():
+        by_key = {(p.cycle_time_fo4, p.depth): p for p in points}
+
+        # Deeper pipelines unlock bigger caches at every cycle time.
+        for cycle_time in {p.cycle_time_fo4 for p in points}:
+            sizes = [
+                by_key[(cycle_time, d)].cache_size
+                for d in (1, 2, 3)
+                if (cycle_time, d) in by_key
+            ]
+            assert sizes == sorted(sizes)
+
+        # At 10 FO4 only three-cycle caches are realizable (section 4.4).
+        assert all(p.depth == 3 for p in points if p.cycle_time_fo4 == 10.0)
+
+        # Execution time in FO4 = cycles x cycle time, normalized > 0.
+        for p in points:
+            assert p.normalized_time > 0
+
+    # Faster clocks win overall despite smaller caches: the best point
+    # for each benchmark is at a cycle time below the slowest studied.
+    for name, points in data.items():
+        winner = best_point(points)
+        assert winner.cycle_time_fo4 < 30.0, name
+
+    # A fixed-size comparison shows Amdahl-limited speedup: for the
+    # 3-cycle curves, 3x clock gives well under 3x time reduction.
+    for name, points in data.items():
+        d3 = {p.cycle_time_fo4: p for p in points if p.depth == 3}
+        if 10.0 in d3 and 30.0 in d3:
+            speedup = d3[30.0].execution_time_fo4 / d3[10.0].execution_time_fo4
+            assert speedup < 3.0, name

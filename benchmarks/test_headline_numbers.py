@@ -1,0 +1,45 @@
+"""Bench: the scalar claims of sections 4-5, measured on our stack."""
+
+from conftest import run_once
+
+from repro.core import headline_numbers
+from repro.core.reporting import render_headlines
+from repro.workloads import REPRESENTATIVES
+
+
+def test_headline_numbers(benchmark, publish, settings):
+    numbers = run_once(
+        benchmark, lambda: headline_numbers(REPRESENTATIVES, settings=settings)
+    )
+    publish("headlines", render_headlines(numbers))
+
+    # Port scaling: a large jump for the second port, diminishing after
+    # (paper: +25 %, +4 %, +1 %; our synthetic stack shows the same
+    # ordering at smaller magnitude).
+    gains = numbers["port_gain"]
+    assert gains["1->2"] > 0.02
+    assert gains["2->3"] < gains["1->2"]
+    assert gains["3->4"] <= gains["2->3"] + 0.01
+
+    # Pipelining losses: integer codes lose several times more IPC per
+    # stage than floating point codes (paper: 12-23 % vs 3-9 %).
+    loss = numbers["pipeline_loss"]
+    assert loss["gcc"]["2_cycles"] > 2.5 * loss["tomcatv"]["2_cycles"]
+    assert loss["gcc"]["3_cycles"] > loss["gcc"]["2_cycles"]
+
+    # Line buffer: helps the duplicate cache more than the banked one
+    # (paper: +3 % vs +0.5 %).
+    lb = numbers["line_buffer_gain"]
+    assert lb["duplicate"] > 0.0
+    assert lb["duplicate"] >= lb["banked"] - 0.005
+
+    # The LB recovers a substantial part of the pipelining loss
+    # (paper: 28-74 %).  The integer representative shows it strongly;
+    # FP codes have little loss to recover, so their ratio is noisy.
+    assert numbers["lb_pipeline_recovery"]["gcc"] > 0.2
+    for name, recovery in numbers["lb_pipeline_recovery"].items():
+        assert recovery > 0.0, name
+
+    # DRAM hit-time sensitivity is gentle thanks to the row-buffer
+    # cache (paper: ~3 % per cycle).
+    assert 0.0 <= numbers["dram_loss_per_cycle"] < 0.08

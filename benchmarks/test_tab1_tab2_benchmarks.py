@@ -1,0 +1,56 @@
+"""Bench: regenerate Table 1 (benchmarks) and Table 2 (mix percentages)."""
+
+from conftest import run_once
+
+from repro.core import table1, table2
+from repro.core.reporting import render_table1, render_table2
+from repro.workloads import BENCHMARKS
+
+#: Table 2's load/store percentages from the paper, for validation.
+PAPER_TABLE2 = {
+    "gcc": (28.1, 12.2),
+    "li": (33.2, 13.0),
+    "compress": (34.5, 8.0),
+    "tomcatv": (26.9, 8.5),
+    "su2cor": (28.0, 6.3),
+    "apsi": (40.0, 11.7),
+    "pmake": (25.8, 11.9),
+    "database": (24.8, 13.6),
+    "VCS": (25.7, 15.1),
+}
+
+
+def test_table1_benchmarks(benchmark, publish):
+    rows = run_once(benchmark, table1)
+    publish("table1", render_table1(rows))
+    assert len(rows) == 9
+    groups = [row["group"] for row in rows]
+    assert groups.count("SPECint95") == 3
+    assert groups.count("SPECfp95") == 3
+    assert groups.count("multiprogramming") == 3
+
+
+def test_table2_mix(benchmark, publish):
+    rows = run_once(benchmark, lambda: table2(sample_instructions=60_000))
+    publish("table2", render_table2(rows))
+    for row in rows:
+        load, store = PAPER_TABLE2[row["benchmark"]]
+        assert abs(row["load_pct"] - load) < 1.5, row
+        assert abs(row["store_pct"] - store) < 1.5, row
+    by_name = {row["benchmark"]: row for row in rows}
+    assert abs(by_name["database"]["idle_pct"] - 64.6) < 0.1
+    assert abs(by_name["pmake"]["idle_pct"] - 5.1) < 0.1
+    assert len(BENCHMARKS) == 9
+
+
+def test_figure2_machine_description(benchmark, publish):
+    from repro.core import figure2
+    from repro.core.reporting import render_figure2
+
+    sections = run_once(benchmark, figure2)
+    publish("figure2", render_figure2(sections))
+    assert sections["processor"]["issue"].startswith("4 issue")
+    assert "64 entry" in sections["processor"]["window"]
+    assert "32 entries" in sections["processor"]["load/store buffer"]
+    assert sections["secondary cache"]["size"] == "4 MB"
+    assert "300 ns" in sections["main memory"]["access time"]

@@ -1,0 +1,73 @@
+"""Design-space sweep: which cache organization should your chip use?
+
+A compact version of the paper's Figure 8 / Figure 9 methodology:
+
+1. sweep cache size x pipeline depth for duplicate caches with a line
+   buffer on a benchmark of your choice (IPC view, fixed clock);
+2. then fold in cycle time: for a range of processor cycle times, pick
+   the largest realizable cache per depth and report normalized
+   execution time -- the metric that actually decides the design.
+
+Run:  python examples/design_space_sweep.py [benchmark]
+"""
+
+import sys
+
+from repro.core import (
+    ExperimentSettings,
+    duplicate,
+    execution_time_curves,
+    best_point,
+    run_experiment,
+)
+from repro.workloads import benchmark
+
+SETTINGS = ExperimentSettings(
+    instructions=8_000, timing_warmup=2_000, functional_warmup=200_000
+)
+SIZES = tuple(2**k * 1024 for k in range(2, 11))  # 4K .. 1M
+
+
+def size_label(size: int) -> str:
+    return f"{size // (1024 * 1024)}M" if size >= 1024 * 1024 else f"{size // 1024}K"
+
+
+def ipc_view(name: str) -> None:
+    print(f"IPC vs size for duplicate caches with a line buffer ({name})")
+    print("size   " + "  ".join(f"{d}~ hit" for d in (1, 2, 3)))
+    for size in SIZES:
+        row = [
+            run_experiment(
+                duplicate(size, hit_cycles=depth, line_buffer=True), name, SETTINGS
+            ).ipc
+            for depth in (1, 2, 3)
+        ]
+        print(f"{size_label(size):5s}  " + "  ".join(f"{v:6.3f}" for v in row))
+
+
+def execution_time_view(name: str) -> None:
+    print(f"\nNormalized execution time vs processor cycle time ({name})")
+    print("(normalized to a 10 FO4 processor with a 32 KB 3-cycle cache)")
+    points = execution_time_curves(name, settings=SETTINGS)
+    print("FO4  depth  cache  IPC    norm time")
+    for p in points:
+        print(
+            f"{p.cycle_time_fo4:3.0f}  {p.depth}~     "
+            f"{size_label(p.cache_size):5s}  {p.ipc:5.3f}  {p.normalized_time:.3f}"
+        )
+    winner = best_point(points)
+    print(
+        f"\nbest design point: {winner.cycle_time_fo4:.0f} FO4 cycle, "
+        f"{winner.depth}-cycle {size_label(winner.cache_size)} duplicate cache"
+    )
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "gcc"
+    benchmark(name)  # validate early with a helpful error
+    ipc_view(name)
+    execution_time_view(name)
+
+
+if __name__ == "__main__":
+    main()

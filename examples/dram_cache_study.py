@@ -1,0 +1,57 @@
+"""DRAM-cache study: can on-chip DRAM beat an SRAM cache hierarchy?
+
+Reproduces the section 4.3 comparison: a 4 MB on-chip DRAM cache with a
+16 KB row-buffer first level (512 B lines, one-cycle hits) against a
+conventional 16 KB SRAM primary cache backed by the 4 MB off-chip L2.
+The DRAM hit time is swept 6-8 cycles, with and without a line buffer.
+
+Run:  python examples/dram_cache_study.py
+"""
+
+from repro.core import (
+    ExperimentSettings,
+    dram_cache,
+    duplicate,
+    run_experiment,
+)
+
+SETTINGS = ExperimentSettings(
+    instructions=8_000, timing_warmup=2_000, functional_warmup=200_000
+)
+BENCHMARKS = ("gcc", "tomcatv", "database")
+
+
+def main() -> None:
+    print("IPC of the 4 MB on-chip DRAM cache (16 KB row-buffer L1)")
+    print("benchmark  " + "  ".join(f"{h}~ DRAM" for h in (6, 7, 8)) + "   no-LB 6~")
+    for name in BENCHMARKS:
+        row = [
+            run_experiment(dram_cache(hit, line_buffer=True), name, SETTINGS).ipc
+            for hit in (6, 7, 8)
+        ]
+        no_lb = run_experiment(dram_cache(6, line_buffer=False), name, SETTINGS).ipc
+        print(
+            f"{name:9s}  "
+            + "  ".join(f"{v:7.3f}" for v in row)
+            + f"   {no_lb:7.3f}"
+        )
+
+    print("\nEquivalent-area SRAM alternative: 16 KB duplicate cache + 4 MB L2")
+    for name in BENCHMARKS:
+        sram = run_experiment(
+            duplicate(16 * 1024, line_buffer=True), name, SETTINGS
+        ).ipc
+        dram = run_experiment(dram_cache(6, line_buffer=True), name, SETTINGS).ipc
+        verdict = "SRAM wins" if sram > dram else "DRAM wins"
+        print(f"{name:9s}  SRAM={sram:.3f}  DRAM={dram:.3f}  -> {verdict}")
+
+    print(
+        "\nThe paper's conclusion: even with the optimistic six-cycle DRAM"
+        "\nhit time, the DRAM cache on average underperforms the 16 KB SRAM"
+        "\ncache backed by an off-chip L2 -- the 512-byte row-buffer lines"
+        "\ncost too many conflict misses."
+    )
+
+
+if __name__ == "__main__":
+    main()

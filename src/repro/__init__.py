@@ -1,0 +1,54 @@
+"""repro -- reproduction of "Designing High Bandwidth On-Chip Caches"
+(Wilson & Olukotun, ISCA 1997).
+
+The package layers, bottom to top:
+
+* :mod:`repro.timing` -- FO4 units and the cacti-style SRAM access-time
+  model (Figure 1);
+* :mod:`repro.memory` -- the on-chip memory system: multi-ported /
+  banked / duplicate caches, pipelined hits, line buffer, MSHRs, L2,
+  buses, and the on-chip DRAM cache;
+* :mod:`repro.cpu` -- the four-issue dynamic superscalar core;
+* :mod:`repro.workloads` -- synthetic stand-ins for the nine SimOS/SPEC95
+  benchmarks;
+* :mod:`repro.core` -- the design-space study: organizations, experiment
+  driver, and per-figure reproduction entry points.
+
+Quick start::
+
+    from repro.core import duplicate, run_experiment
+    result = run_experiment(duplicate(32 * 1024, line_buffer=True), "gcc")
+    print(result.summary())
+"""
+
+from repro.core import (
+    CacheOrganization,
+    ExperimentSettings,
+    banked,
+    dram_cache,
+    duplicate,
+    ideal_ports,
+    run_experiment,
+)
+from repro.cpu import ProcessorConfig, SimulationResult
+from repro.memory import MemoryConfig, MemorySystem
+from repro.workloads import BENCHMARKS, benchmark
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheOrganization",
+    "ExperimentSettings",
+    "banked",
+    "dram_cache",
+    "duplicate",
+    "ideal_ports",
+    "run_experiment",
+    "ProcessorConfig",
+    "SimulationResult",
+    "MemoryConfig",
+    "MemorySystem",
+    "BENCHMARKS",
+    "benchmark",
+    "__version__",
+]

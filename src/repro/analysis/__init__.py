@@ -1,0 +1,27 @@
+"""Result-analysis helpers: curve math and Amdahl's-law checks."""
+
+from repro.analysis.amdahl import amdahl_speedup, implied_memory_fraction
+from repro.analysis.ascii_chart import render_chart, render_miss_rate_chart
+from repro.analysis.curves import (
+    arithmetic_mean,
+    best_size,
+    crossover,
+    geometric_mean,
+    monotone_non_increasing,
+    normalize,
+    relative_change,
+)
+
+__all__ = [
+    "amdahl_speedup",
+    "implied_memory_fraction",
+    "render_chart",
+    "render_miss_rate_chart",
+    "arithmetic_mean",
+    "best_size",
+    "crossover",
+    "geometric_mean",
+    "monotone_non_increasing",
+    "normalize",
+    "relative_change",
+]

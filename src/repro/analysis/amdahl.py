@@ -1,0 +1,36 @@
+"""Amdahl's-law sanity checks used in section 4.4.
+
+The paper observes that shrinking the processor cycle time by 3x sped
+tomcatv up by only 1.5x because roughly half its execution time is
+spent in the memory system, and checks that against Amdahl's Law
+[Henn96].  These helpers reproduce that arithmetic so experiments can
+validate their own results the same way.
+"""
+
+from __future__ import annotations
+
+
+def amdahl_speedup(enhanced_fraction: float, enhancement: float) -> float:
+    """Overall speedup when ``enhanced_fraction`` of time speeds up by
+    ``enhancement``x."""
+    if not 0.0 <= enhanced_fraction <= 1.0:
+        raise ValueError("enhanced fraction must be in [0, 1]")
+    if enhancement <= 0:
+        raise ValueError("enhancement must be positive")
+    return 1.0 / ((1.0 - enhanced_fraction) + enhanced_fraction / enhancement)
+
+
+def implied_memory_fraction(clock_speedup: float, observed_speedup: float) -> float:
+    """Invert Amdahl: the fraction *not* sped up by a faster clock.
+
+    The paper's example: a 3x clock speedup yielding a 1.5x overall
+    speedup implies half the time is memory-bound (not clock-scaled).
+    """
+    if clock_speedup <= 1.0:
+        raise ValueError("clock speedup must exceed 1")
+    if not 1.0 <= observed_speedup <= clock_speedup:
+        raise ValueError(
+            "observed speedup must lie between 1 and the clock speedup"
+        )
+    # observed = 1 / (m + (1 - m)/clock)  =>  solve for memory fraction m
+    return (clock_speedup / observed_speedup - 1.0) / (clock_speedup - 1.0)

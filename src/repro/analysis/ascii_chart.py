@@ -1,0 +1,99 @@
+"""Minimal ASCII line charts for terminal-rendered figures.
+
+The bench harness emits the paper's figures as numeric tables; these
+helpers additionally draw them as fixed-width charts so a reader can
+eyeball shapes (the FP miss-rate cliffs of Figure 3, the crossovers of
+Figure 9) without leaving the terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+_MARKS = "o*x+#@%&"
+
+
+def render_chart(
+    series: dict[str, Sequence[float]],
+    x_labels: Sequence[str],
+    *,
+    height: int = 12,
+    title: str = "",
+    y_format: str = "{:.2f}",
+) -> str:
+    """Render named series sharing an x axis as an ASCII chart.
+
+    Each series gets a mark character; collisions show the later mark.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    lengths = {len(values) for values in series.values()}
+    if lengths != {len(x_labels)}:
+        raise ValueError("all series must match the x-label count")
+    if height < 3:
+        raise ValueError("height must be at least 3")
+
+    all_values = [v for values in series.values() for v in values]
+    lo, hi = min(all_values), max(all_values)
+    if hi == lo:
+        hi = lo + 1.0
+    span = hi - lo
+
+    columns = len(x_labels)
+    col_width = max(max(len(label) for label in x_labels) + 1, 6)
+    grid = [[" "] * (columns * col_width) for _ in range(height)]
+
+    def row_of(value: float) -> int:
+        fraction = (value - lo) / span
+        return min(height - 1, int(round((1.0 - fraction) * (height - 1))))
+
+    for index, (name, values) in enumerate(series.items()):
+        mark = _MARKS[index % len(_MARKS)]
+        for column, value in enumerate(values):
+            grid[row_of(value)][column * col_width + col_width // 2] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_width = max(len(y_format.format(hi)), len(y_format.format(lo)))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = y_format.format(hi)
+        elif row_index == height - 1:
+            label = y_format.format(lo)
+        else:
+            label = ""
+        lines.append(f"{label:>{y_width}} |" + "".join(row))
+    axis = " " * y_width + " +" + "-" * (columns * col_width)
+    lines.append(axis)
+    x_row = " " * (y_width + 2)
+    for label in x_labels:
+        x_row += label.center(col_width)
+    lines.append(x_row)
+    legend = "  ".join(
+        f"{_MARKS[i % len(_MARKS)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * (y_width + 2) + legend)
+    return "\n".join(lines)
+
+
+def render_miss_rate_chart(
+    curves: dict[str, list[tuple[int, float]]],
+    benchmarks: Sequence[str],
+    title: str = "misses per instruction vs cache size",
+) -> str:
+    """Figure-3-style chart for a subset of benchmarks."""
+    missing = [name for name in benchmarks if name not in curves]
+    if missing:
+        raise KeyError(f"benchmarks not in curves: {missing}")
+    sizes = [size for size, _ in curves[benchmarks[0]]]
+    labels = [
+        f"{size // (1024 * 1024)}M" if size >= 1024 * 1024 else f"{size // 1024}K"
+        for size in sizes
+    ]
+    series = {
+        name: [100 * miss for _, miss in curves[name]] for name in benchmarks
+    }
+    return render_chart(
+        series, labels, title=title, y_format="{:.1f}%"
+    )

@@ -1,0 +1,82 @@
+"""Curve utilities for interpreting design-space results."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def normalize(values: Sequence[float], reference: float) -> list[float]:
+    """Divide a series by a reference value (Figure 9 normalization)."""
+    if reference == 0:
+        raise ValueError("reference must be nonzero")
+    return [value / reference for value in values]
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("need at least one value")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("need at least one value")
+    return sum(values) / len(values)
+
+
+def crossover(
+    xs: Sequence[float],
+    series_a: Sequence[float],
+    series_b: Sequence[float],
+) -> float | None:
+    """The x where curve A first crosses curve B (linear interpolation).
+
+    Used to locate points like "below 25 FO4 a pipelined cache is always
+    the best performer".  Returns ``None`` when the curves do not cross.
+    """
+    if not (len(xs) == len(series_a) == len(series_b)):
+        raise ValueError("series lengths must match")
+    for i in range(1, len(xs)):
+        d0 = series_a[i - 1] - series_b[i - 1]
+        d1 = series_a[i] - series_b[i]
+        if d0 == 0:
+            return xs[i - 1]
+        if d0 * d1 < 0:
+            t = d0 / (d0 - d1)
+            return xs[i - 1] + t * (xs[i] - xs[i - 1])
+    if len(xs) and series_a[-1] == series_b[-1]:
+        return xs[-1]
+    return None
+
+
+def relative_change(before: float, after: float) -> float:
+    """(after - before) / before, guarded."""
+    if before == 0:
+        raise ValueError("before must be nonzero")
+    return (after - before) / before
+
+
+def best_size(points: Sequence[tuple[int, float]]) -> int:
+    """The cache size with the highest metric in a (size, value) series."""
+    if not points:
+        raise ValueError("empty series")
+    return max(points, key=lambda p: p[1])[0]
+
+
+def monotone_non_increasing(
+    values: Sequence[float], tolerance: float = 0.0
+) -> bool:
+    """True when a series never rises by more than ``tolerance``.
+
+    Miss-rate-vs-size curves from finite simulations jitter slightly;
+    the tolerance absorbs that noise.
+    """
+    return all(
+        later <= earlier + tolerance
+        for earlier, later in zip(values, values[1:])
+    )

@@ -1,0 +1,169 @@
+"""Command-line interface: regenerate any of the paper's tables/figures.
+
+Usage::
+
+    python -m repro figure1
+    python -m repro figure4 --benchmarks gcc tomcatv
+    python -m repro figure9 --instructions 20000
+    python -m repro headlines
+    python -m repro all
+
+Instruction budgets can also be scaled globally with ``REPRO_SCALE``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.core import ExperimentSettings, figures
+from repro.core import reporting
+from repro.workloads.catalog import BENCHMARKS, REPRESENTATIVES
+
+EXPERIMENTS = (
+    "figure1",
+    "figure2",
+    "table1",
+    "table2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "headlines",
+    "ablations",
+)
+
+
+def _settings(args: argparse.Namespace) -> ExperimentSettings:
+    return ExperimentSettings(
+        instructions=args.instructions,
+        timing_warmup=args.timing_warmup,
+        functional_warmup=args.functional_warmup,
+        seed=args.seed,
+    )
+
+
+def _run_one(name: str, args: argparse.Namespace) -> str:
+    benchmarks = tuple(args.benchmarks)
+    settings = _settings(args)
+    if name == "figure1":
+        return reporting.render_figure1(figures.figure1())
+    if name == "figure2":
+        return reporting.render_figure2(figures.figure2())
+    if name == "table1":
+        return reporting.render_table1(figures.table1())
+    if name == "table2":
+        return reporting.render_table2(figures.table2())
+    if name == "figure3":
+        return reporting.render_figure3(
+            figures.figure3(benchmarks=tuple(BENCHMARKS))
+        )
+    if name == "figure4":
+        return reporting.render_ipc_grid(
+            figures.figure4(benchmarks, settings=settings),
+            "ports",
+            "Figure 4: ideal multi-cycle multi-ported 32 KB caches",
+        )
+    if name == "figure5":
+        return reporting.render_ipc_grid(
+            figures.figure5(benchmarks, settings=settings),
+            "banks",
+            "Figure 5: multi-cycle banked 32 KB caches",
+        )
+    if name == "figure6":
+        return reporting.render_figure6(
+            figures.figure6(benchmarks, settings=settings)
+        )
+    if name == "figure7":
+        return reporting.render_figure7(
+            figures.figure7(benchmarks, settings=settings)
+        )
+    if name == "figure8":
+        return reporting.render_figure8(
+            figures.figure8(benchmarks, settings=settings)
+        )
+    if name == "figure9":
+        return reporting.render_figure9(
+            figures.figure9(benchmarks, settings=settings)
+        )
+    if name == "headlines":
+        return reporting.render_headlines(
+            figures.headline_numbers(benchmarks, settings=settings)
+        )
+    if name == "ablations":
+        return _run_ablations(settings)
+    raise ValueError(f"unknown experiment {name!r}")
+
+
+def _run_ablations(settings: ExperimentSettings) -> str:
+    from repro.core import sweeps
+
+    blocks = []
+    mshr = sweeps.mshr_sweep("database", settings=settings)
+    blocks.append(
+        "MSHR depth (database):\n"
+        + "\n".join(f"  {n} MSHRs: IPC={v:.3f}" for n, v in sorted(mshr.items()))
+    )
+    lb = sweeps.line_buffer_size_sweep("gcc", settings=settings)
+    blocks.append(
+        "Line-buffer size (gcc):\n"
+        + "\n".join(
+            f"  {n:3d} entries: IPC={ipc:.3f}, hit rate={rate:.1%}"
+            for n, (ipc, rate) in sorted(lb.items())
+        )
+    )
+    policies = sweeps.write_policy_sweep("gcc", settings=settings)
+    blocks.append(
+        "Write policy (gcc):\n"
+        + "\n".join(f"  {k}: IPC={v:.3f}" for k, v in policies.items())
+    )
+    victims = sweeps.victim_vs_line_buffer("gcc", settings=settings)
+    blocks.append(
+        "Victim cache vs line buffer (gcc, 8K):\n"
+        + "\n".join(f"  {k}: IPC={v:.3f}" for k, v in victims.items())
+    )
+    return "\n\n".join(blocks)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce tables and figures from 'Designing High Bandwidth "
+            "On-Chip Caches' (Wilson & Olukotun, ISCA 1997)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=EXPERIMENTS + ("all",),
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--benchmarks",
+        nargs="+",
+        default=list(REPRESENTATIVES),
+        choices=sorted(BENCHMARKS),
+        help="benchmarks to simulate (default: the three representatives)",
+    )
+    parser.add_argument("--instructions", type=int, default=12_000)
+    parser.add_argument("--timing-warmup", type=int, default=2_000)
+    parser.add_argument("--functional-warmup", type=int, default=300_000)
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args(argv)
+
+    names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    for name in names:
+        start = time.time()
+        output = _run_one(name, args)
+        elapsed = time.time() - start
+        print(output)
+        print(f"[{name} regenerated in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

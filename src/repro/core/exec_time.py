@@ -1,0 +1,139 @@
+"""Execution-time analysis across processor cycle times (Figure 9).
+
+IPC alone ignores that bigger caches slow the clock.  Figure 9 combines
+both: for each processor cycle time T (in FO4) and cache pipeline depth
+d in 1..3, take the *largest* duplicate cache realizable per the cacti
+model, re-scale the physically fixed L2 (50 ns) and memory (300 ns)
+latencies and bus bandwidths into cycles of T, simulate, and report
+execution time = cycles x T normalized to the paper's reference point
+(a 10 FO4 processor with a 32 KB three-cycle pipelined cache).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.experiment import ExperimentSettings, run_experiment
+from repro.core.organizations import CacheOrganization, duplicate
+from repro.memory.backside import BacksideConfig
+from repro.memory.bus import bytes_per_cycle
+from repro.timing import pipelining
+from repro.timing.process import (
+    CHIP_TO_L2_BANDWIDTH,
+    L2_ACCESS_NS,
+    L2_TO_MEMORY_BANDWIDTH,
+    MEMORY_ACCESS_NS,
+    latency_in_cycles,
+)
+
+#: Cycle times spanned by Figure 9's x axis.
+FIGURE9_CYCLE_TIMES = (10.0, 15.0, 20.0, 25.0, 30.0)
+
+#: The normalization point: 10 FO4 clock, 32 KB three-cycle cache.
+BASELINE_CYCLE_TIME = 10.0
+BASELINE_SIZE = 32 * 1024
+BASELINE_DEPTH = 3
+
+
+@dataclass(frozen=True)
+class ExecutionTimePoint:
+    """One point on a Figure 9 curve."""
+
+    benchmark: str
+    cycle_time_fo4: float
+    depth: int
+    cache_size: int
+    ipc: float
+    execution_time_fo4: float
+    normalized_time: float
+
+
+def scaled_backside(cycle_time_fo4: float) -> BacksideConfig:
+    """Backside latencies/bandwidths re-expressed for a new clock.
+
+    The L2 and memory are physical devices: 50 ns and 300 ns regardless
+    of how fast the processor clocks, and the buses move a fixed number
+    of bytes per *nanosecond*.
+    """
+    return BacksideConfig(
+        l2_hit_cycles=latency_in_cycles(L2_ACCESS_NS, cycle_time_fo4),
+        memory_cycles=latency_in_cycles(MEMORY_ACCESS_NS, cycle_time_fo4),
+        chip_bus_bytes_per_cycle=bytes_per_cycle(
+            CHIP_TO_L2_BANDWIDTH, cycle_time_fo4
+        ),
+        memory_bus_bytes_per_cycle=bytes_per_cycle(
+            L2_TO_MEMORY_BANDWIDTH, cycle_time_fo4
+        ),
+    )
+
+
+def _execution_time_fo4(
+    organization: CacheOrganization,
+    workload: str,
+    cycle_time_fo4: float,
+    settings: ExperimentSettings,
+) -> tuple[float, float]:
+    """(ipc, execution time in FO4) for one configuration and clock."""
+    scaled = replace(settings, backside=scaled_backside(cycle_time_fo4))
+    result = run_experiment(organization, workload, scaled)
+    return result.ipc, result.execution_time_fo4(cycle_time_fo4)
+
+
+def baseline_time_fo4(
+    workload: str, settings: ExperimentSettings | None = None
+) -> float:
+    """Execution time of the normalization reference for a benchmark."""
+    settings = settings or ExperimentSettings()
+    organization = duplicate(
+        BASELINE_SIZE, hit_cycles=BASELINE_DEPTH, line_buffer=True
+    )
+    _, time_fo4 = _execution_time_fo4(
+        organization, workload, BASELINE_CYCLE_TIME, settings
+    )
+    return time_fo4
+
+
+def execution_time_curves(
+    workload: str,
+    cycle_times: tuple[float, ...] = FIGURE9_CYCLE_TIMES,
+    depths: tuple[int, ...] = (1, 2, 3),
+    settings: ExperimentSettings | None = None,
+) -> list[ExecutionTimePoint]:
+    """All realizable Figure 9 points for one benchmark.
+
+    Uses duplicate caches with a line buffer throughout -- section 4.4
+    concludes those dominate, and Figure 9 plots only them.
+    """
+    settings = settings or ExperimentSettings()
+    baseline = baseline_time_fo4(workload, settings)
+    points: list[ExecutionTimePoint] = []
+    for cycle_time in cycle_times:
+        for depth in depths:
+            fit = pipelining.max_cache_size(cycle_time, depth)
+            if fit is None:
+                continue
+            organization = duplicate(
+                fit.size_bytes, hit_cycles=depth, line_buffer=True
+            )
+            ipc, time_fo4 = _execution_time_fo4(
+                organization, workload, cycle_time, settings
+            )
+            points.append(
+                ExecutionTimePoint(
+                    benchmark=workload,
+                    cycle_time_fo4=cycle_time,
+                    depth=depth,
+                    cache_size=fit.size_bytes,
+                    ipc=ipc,
+                    execution_time_fo4=time_fo4,
+                    normalized_time=time_fo4 / baseline,
+                )
+            )
+    return points
+
+
+def best_point(points: list[ExecutionTimePoint]) -> ExecutionTimePoint:
+    """The minimum-execution-time design point of a curve set."""
+    if not points:
+        raise ValueError("no execution-time points supplied")
+    return min(points, key=lambda p: p.normalized_time)

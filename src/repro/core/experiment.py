@@ -1,0 +1,113 @@
+"""Run one (cache organization, benchmark) design point end to end.
+
+The paper simulates 100M+ instructions per point under MXS; a Python
+cycle simulator cannot.  Instead each experiment:
+
+1. generates the benchmark's reference stream and *functionally* warms
+   the cache hierarchy over a long prefix (hundreds of thousands of
+   instructions -- enough for the largest working sets to reach steady
+   state);
+2. runs the cycle-level out-of-order core over the next slice of the
+   same stream, with a short timing warm-up before measurement.
+
+Instruction budgets scale globally via the ``REPRO_SCALE`` environment
+variable (e.g. ``REPRO_SCALE=4`` quadruples every budget) so the bench
+harness can trade time for fidelity without code changes.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+
+from repro.cpu.config import ProcessorConfig
+from repro.cpu.core import OutOfOrderCore
+from repro.cpu.result import SimulationResult
+from repro.memory.backside import BacksideConfig
+from repro.memory.hierarchy import MemorySystem
+from repro.core.organizations import CacheOrganization
+from repro.workloads.catalog import benchmark
+from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
+
+
+def scale_factor() -> float:
+    """Global instruction-budget multiplier from ``REPRO_SCALE``."""
+    try:
+        value = float(os.environ.get("REPRO_SCALE", "1"))
+    except ValueError:
+        return 1.0
+    return max(value, 0.01)
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Simulation budgets and machine parameters for one experiment."""
+
+    instructions: int = 12_000  #: measured (committed) instructions
+    timing_warmup: int = 2_000  #: cycle-simulated but unmeasured
+    functional_warmup: int = 300_000  #: cache warm-up, no timing
+    seed: int = 1
+    cpu: ProcessorConfig = field(default_factory=ProcessorConfig)
+    backside: BacksideConfig = field(default_factory=BacksideConfig)
+
+    def scaled(self) -> "ExperimentSettings":
+        factor = scale_factor()
+        if factor == 1.0:
+            return self
+        return replace(
+            self,
+            instructions=max(1_000, int(self.instructions * factor)),
+            timing_warmup=int(self.timing_warmup * factor),
+            functional_warmup=int(self.functional_warmup * factor),
+        )
+
+
+def run_experiment(
+    organization: CacheOrganization,
+    workload: str | WorkloadSpec,
+    settings: ExperimentSettings | None = None,
+) -> SimulationResult:
+    """Simulate one design point; results are memoized per process."""
+    settings = (settings or ExperimentSettings()).scaled()
+    spec = workload if isinstance(workload, WorkloadSpec) else benchmark(workload)
+    key = (organization, spec.name, settings)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    generator = WorkloadGenerator(spec, settings.seed)
+    memory = MemorySystem(organization.memory_config(settings.backside))
+    if settings.functional_warmup > 0:
+        # Steady state of a 100M+ instruction run: the second level
+        # holds the footprint, the first level reflects recent traffic.
+        memory.prefill_backside(generator.footprint_lines(memory.line_bytes))
+        memory.warm(generator.memory_references(settings.functional_warmup))
+    core = OutOfOrderCore(settings.cpu, memory)
+    result = core.run(
+        generator.instructions(),
+        settings.instructions,
+        warmup_instructions=settings.timing_warmup,
+    )
+    _CACHE[key] = result
+    return result
+
+
+def average_ipc(
+    organization: CacheOrganization,
+    workloads: tuple[str, ...],
+    settings: ExperimentSettings | None = None,
+) -> float:
+    """Arithmetic mean IPC over a set of benchmarks (the paper's
+    "average of the nine benchmarks")."""
+    if not workloads:
+        raise ValueError("need at least one workload")
+    results = [run_experiment(organization, name, settings) for name in workloads]
+    return sum(r.ipc for r in results) / len(results)
+
+
+_CACHE: dict[tuple, SimulationResult] = {}
+
+
+def clear_cache() -> None:
+    """Drop memoized experiment results (mainly for tests)."""
+    _CACHE.clear()

@@ -1,0 +1,190 @@
+"""Cache-organization descriptors: points in the paper's design space.
+
+An organization fixes everything section 2 varies: primary cache size,
+hit time (pipeline depth), how ports are provided (ideal multi-port,
+external banking, or cache duplication), whether the load/store unit
+has a line buffer, and whether the cache is the SRAM + L2 system or the
+on-chip DRAM cache with a row-buffer first level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.memory.backside import BacksideConfig
+from repro.memory.dram_cache import DramCacheConfig
+from repro.memory.hierarchy import MemoryConfig
+from repro.timing import cacti
+
+KB = 1024
+
+
+@dataclass(frozen=True)
+class CacheOrganization:
+    """One design point evaluated by the study."""
+
+    size_bytes: int = 32 * KB
+    hit_cycles: int = 1
+    port_policy: str = "ideal"  #: "ideal" | "banked" | "duplicate"
+    ports: int = 2
+    banks: int = 8
+    bank_interleave: str = "line"
+    line_buffer: bool = False
+    line_buffer_entries: int = 32
+    dram: DramCacheConfig | None = None
+    # Extension knobs beyond the paper's main axes (ablation studies):
+    associativity: int = 2
+    line_bytes: int = 32
+    mshrs: int = 4
+    write_policy: str = "write-back"
+    write_allocate: bool = True
+    victim_entries: int = 0
+    next_line_prefetch: bool = False
+
+    @property
+    def label(self) -> str:
+        """Short display label in the paper's style, e.g. ``2~ duplicate 32K``."""
+        if self.dram is not None:
+            base = (
+                f"{self.dram.dram_hit_cycles}~ DRAM "
+                f"{self.dram.dram_size // (1024 * KB)}M"
+            )
+        elif self.port_policy == "ideal":
+            base = f"{self.hit_cycles}~ {self.ports}-port {self.size_bytes // KB}K"
+        elif self.port_policy == "banked":
+            base = (
+                f"{self.hit_cycles}~ {self.banks}-way banked "
+                f"{self.size_bytes // KB}K"
+            )
+        else:
+            base = f"{self.hit_cycles}~ duplicate {self.size_bytes // KB}K"
+        return base + (" +LB" if self.line_buffer else "")
+
+    def access_time_fo4(self) -> float:
+        """Cache access time per Figure 1 (banked vs single-ported).
+
+        DRAM organizations have no SRAM access time; callers comparing
+        cycle times should treat the row-buffer cache like a 16 KB SRAM.
+        """
+        if self.dram is not None:
+            return cacti.single_ported_access_fo4(self.dram.row_cache_size)
+        if self.port_policy == "banked":
+            return cacti.access_time(
+                self.size_bytes,
+                associativity=self.associativity,
+                block_bytes=self.line_bytes,
+                min_banks=self.banks,
+            ).access_fo4
+        # Ideal ports are an abstraction; duplicate caches keep the
+        # single-ported access time (section 2.1).
+        return cacti.access_time(
+            self.size_bytes,
+            associativity=self.associativity,
+            block_bytes=self.line_bytes,
+        ).access_fo4
+
+    def memory_config(
+        self, backside: BacksideConfig | None = None
+    ) -> MemoryConfig:
+        """Materialize the :class:`MemoryConfig` for this design point."""
+        return MemoryConfig(
+            l1_size=self.size_bytes,
+            l1_assoc=self.associativity,
+            l1_line=self.line_bytes,
+            l1_hit_cycles=self.hit_cycles,
+            port_policy=self.port_policy,
+            ports=self.ports,
+            banks=self.banks,
+            bank_interleave=self.bank_interleave,
+            line_buffer=self.line_buffer,
+            line_buffer_entries=self.line_buffer_entries,
+            mshrs=self.mshrs,
+            write_policy=self.write_policy,
+            write_allocate=self.write_allocate,
+            victim_entries=self.victim_entries,
+            next_line_prefetch=self.next_line_prefetch,
+            backside=backside or BacksideConfig(),
+            dram=self.dram,
+        )
+
+    def with_line_buffer(self, enabled: bool = True) -> "CacheOrganization":
+        return replace(self, line_buffer=enabled)
+
+    def resized(self, size_bytes: int) -> "CacheOrganization":
+        return replace(self, size_bytes=size_bytes)
+
+    def pipelined(self, hit_cycles: int) -> "CacheOrganization":
+        return replace(self, hit_cycles=hit_cycles)
+
+
+# ---------------------------------------------------------------------------
+# Constructors for the organizations the paper names
+# ---------------------------------------------------------------------------
+
+
+def ideal_ports(
+    size_bytes: int = 32 * KB,
+    ports: int = 2,
+    hit_cycles: int = 1,
+    line_buffer: bool = False,
+) -> CacheOrganization:
+    """An ideal multi-ported cache (section 2.1's idealization)."""
+    return CacheOrganization(
+        size_bytes=size_bytes,
+        hit_cycles=hit_cycles,
+        port_policy="ideal",
+        ports=ports,
+        line_buffer=line_buffer,
+    )
+
+
+def banked(
+    size_bytes: int = 32 * KB,
+    banks: int = 8,
+    hit_cycles: int = 1,
+    line_buffer: bool = False,
+) -> CacheOrganization:
+    """An externally banked cache (MIPS R10000 style)."""
+    return CacheOrganization(
+        size_bytes=size_bytes,
+        hit_cycles=hit_cycles,
+        port_policy="banked",
+        banks=banks,
+        line_buffer=line_buffer,
+    )
+
+
+def duplicate(
+    size_bytes: int = 32 * KB,
+    hit_cycles: int = 1,
+    line_buffer: bool = False,
+) -> CacheOrganization:
+    """A duplicated (dual-copy) cache (DEC Alpha 21164 style)."""
+    return CacheOrganization(
+        size_bytes=size_bytes,
+        hit_cycles=hit_cycles,
+        port_policy="duplicate",
+        line_buffer=line_buffer,
+    )
+
+
+def dram_cache(
+    dram_hit_cycles: int = 6,
+    line_buffer: bool = False,
+    dram_size: int = 4 * 1024 * KB,
+) -> CacheOrganization:
+    """The 4 MB on-chip DRAM cache with a 16 KB row-buffer L1 (section 2.4).
+
+    The row-buffer cache is eight-way banked with a one-cycle hit time;
+    there is no off-chip L2 in this mode.
+    """
+    return CacheOrganization(
+        size_bytes=16 * KB,  # replaced by the row-buffer cache geometry
+        hit_cycles=1,
+        port_policy="banked",
+        banks=8,
+        line_buffer=line_buffer,
+        dram=DramCacheConfig(
+            dram_size=dram_size, dram_hit_cycles=dram_hit_cycles
+        ),
+    )

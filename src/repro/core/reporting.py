@@ -1,0 +1,200 @@
+"""Plain-text rendering of figure/table data in the paper's layout."""
+
+from __future__ import annotations
+
+from repro.core.exec_time import ExecutionTimePoint
+
+
+def _size_label(size_bytes: int) -> str:
+    if size_bytes >= 1024 * 1024:
+        return f"{size_bytes // (1024 * 1024)}M"
+    return f"{size_bytes // 1024}K"
+
+
+def format_table(headers: list[str], rows: list[list[str]], title: str = "") -> str:
+    """Fixed-width text table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_figure1(curves: dict[str, list[tuple[int, float]]]) -> str:
+    sizes = [s for s, _ in next(iter(curves.values()))]
+    headers = ["organization"] + [_size_label(s) for s in sizes]
+    rows = [
+        [label] + [f"{fo4:.1f}" for _, fo4 in points]
+        for label, points in curves.items()
+    ]
+    return format_table(
+        headers, rows, "Figure 1: cache access time (FO4) vs size"
+    )
+
+
+def render_figure2(sections: dict[str, dict[str, str]]) -> str:
+    lines = ["Figure 2: processor and memory subsystem"]
+    for section, fields in sections.items():
+        lines.append(f"  [{section}]")
+        for key, value in fields.items():
+            lines.append(f"    {key}: {value}")
+    return "\n".join(lines)
+
+
+def render_table1(rows: list[dict[str, str]]) -> str:
+    return format_table(
+        ["benchmark", "group", "description"],
+        [[r["benchmark"], r["group"], r["description"][:60]] for r in rows],
+        "Table 1: the nine benchmarks",
+    )
+
+
+def render_table2(rows: list[dict]) -> str:
+    return format_table(
+        ["benchmark", "kernel%", "user%", "idle%", "load%", "store%"],
+        [
+            [
+                r["benchmark"],
+                f"{r['kernel_pct']:.1f}",
+                f"{r['user_pct']:.1f}",
+                f"{r['idle_pct']:.1f}",
+                f"{r['load_pct']:.1f}",
+                f"{r['store_pct']:.1f}",
+            ]
+            for r in rows
+        ],
+        "Table 2: execution-time and instruction-mix percentages",
+    )
+
+
+def render_figure3(curves: dict[str, list[tuple[int, float]]]) -> str:
+    sizes = [s for s, _ in next(iter(curves.values()))]
+    headers = ["benchmark"] + [_size_label(s) for s in sizes]
+    rows = [
+        [name] + [f"{miss * 100:.2f}%" for _, miss in points]
+        for name, points in curves.items()
+    ]
+    return format_table(
+        headers, rows, "Figure 3: misses per instruction vs cache size"
+    )
+
+
+def render_ipc_grid(
+    data: dict[str, dict], axis_label: str, title: str
+) -> str:
+    """Render {benchmark: {(x, hit): ipc}} grids (Figures 4 and 5)."""
+    rows = []
+    for name, cells in data.items():
+        xs = sorted({key[0] for key in cells})
+        hits = sorted({key[1] for key in cells})
+        for x in xs:
+            rows.append(
+                [name, str(x)]
+                + [f"{cells[(x, hit)]:.3f}" for hit in hits]
+            )
+    hits = sorted({key[1] for cells in data.values() for key in cells})
+    headers = ["benchmark", axis_label] + [f"{h}~ IPC" for h in hits]
+    return format_table(headers, rows, title)
+
+
+def render_figure6(data: dict[str, dict]) -> str:
+    rows = []
+    for name, cells in data.items():
+        for style in ("banked", "duplicate"):
+            for has_lb in (False, True):
+                rows.append(
+                    [name, style + (".LB" if has_lb else "")]
+                    + [f"{cells[(style, has_lb, hit)]:.3f}" for hit in (1, 2, 3)]
+                )
+    return format_table(
+        ["benchmark", "organization", "1~ IPC", "2~ IPC", "3~ IPC"],
+        rows,
+        "Figure 6: 32 KB banked/duplicate caches with and without a line buffer",
+    )
+
+
+def render_figure7(data: dict[str, dict]) -> str:
+    rows = []
+    for name, cells in data.items():
+        for has_lb in (True, False):
+            rows.append(
+                [name, "LB" if has_lb else "no LB"]
+                + [f"{cells[(hit, has_lb)]:.3f}" for hit in (6, 7, 8)]
+            )
+    return format_table(
+        ["benchmark", "line buffer", "6~ IPC", "7~ IPC", "8~ IPC"],
+        rows,
+        "Figure 7: 4 MB DRAM cache with a 16 KB row-buffer first level",
+    )
+
+
+def render_figure8(data: dict[str, dict]) -> str:
+    blocks = []
+    for name, curves in data.items():
+        rows = []
+        for (style, hit), series in sorted(curves.items()):
+            rows.append(
+                [f"{hit}~ {style}"]
+                + [f"{ipc:.3f}" for _, ipc in series]
+            )
+        sizes = [
+            _size_label(s)
+            for s, _ in max(curves.values(), key=len)
+        ]
+        blocks.append(
+            format_table(
+                ["organization"] + sizes,
+                rows,
+                f"Figure 8 ({name}): IPC vs cache size (line buffer everywhere)",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def render_figure9(data: dict[str, list[ExecutionTimePoint]]) -> str:
+    blocks = []
+    for name, points in data.items():
+        rows = [
+            [
+                f"{p.cycle_time_fo4:.0f}",
+                f"{p.depth}~",
+                _size_label(p.cache_size),
+                f"{p.ipc:.3f}",
+                f"{p.normalized_time:.3f}",
+            ]
+            for p in points
+        ]
+        blocks.append(
+            format_table(
+                ["FO4", "depth", "cache", "IPC", "normalized time"],
+                rows,
+                f"Figure 9 ({name}): normalized execution time vs cycle time",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def render_headlines(numbers: dict) -> str:
+    lines = ["Headline numbers (sections 4-5)"]
+    for upgrade, gain in numbers["port_gain"].items():
+        lines.append(f"  ideal ports {upgrade}: {gain:+.1%} IPC")
+    for name, losses in numbers["pipeline_loss"].items():
+        lines.append(
+            f"  pipelining {name}: 2~ {losses['2_cycles']:.1%}, "
+            f"3~ {losses['3_cycles']:.1%} IPC loss"
+        )
+    for style, gain in numbers["line_buffer_gain"].items():
+        lines.append(f"  line buffer with {style} cache (1~): {gain:+.1%}")
+    for name, rec in numbers["lb_pipeline_recovery"].items():
+        lines.append(f"  LB recovers {rec:.0%} of pipelining loss ({name})")
+    lines.append(
+        f"  DRAM hit-time sensitivity: {numbers['dram_loss_per_cycle']:.1%}/cycle"
+    )
+    return "\n".join(lines)

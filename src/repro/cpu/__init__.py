@@ -1,0 +1,50 @@
+"""Dynamic superscalar processor model (the paper's MXS stand-in)."""
+
+from repro.cpu.branch import (
+    BranchPredictor,
+    BranchStats,
+    GsharePredictor,
+    PerfectPredictor,
+    TwoBitPredictor,
+    make_predictor,
+)
+from repro.cpu.config import R10000_FU_LIMITS, ProcessorConfig
+from repro.cpu.core import OutOfOrderCore, simulate
+from repro.cpu.isa import (
+    ADDRESS_CALC_CYCLES,
+    MAX_DEP_DISTANCE,
+    MEMORY_OPS,
+    R10000_LATENCY,
+    MicroOp,
+    Op,
+    alu,
+    branch,
+    load,
+    store,
+)
+from repro.cpu.result import PipelineStats, SimulationResult
+
+__all__ = [
+    "BranchPredictor",
+    "BranchStats",
+    "GsharePredictor",
+    "PerfectPredictor",
+    "TwoBitPredictor",
+    "make_predictor",
+    "R10000_FU_LIMITS",
+    "ProcessorConfig",
+    "OutOfOrderCore",
+    "simulate",
+    "ADDRESS_CALC_CYCLES",
+    "MAX_DEP_DISTANCE",
+    "MEMORY_OPS",
+    "R10000_LATENCY",
+    "MicroOp",
+    "Op",
+    "alu",
+    "branch",
+    "load",
+    "store",
+    "PipelineStats",
+    "SimulationResult",
+]

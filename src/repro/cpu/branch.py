@@ -1,0 +1,130 @@
+"""Hardware branch prediction for the dynamic superscalar core.
+
+MXS models "hardware branch prediction"; we provide the two classic
+table-based schemes of that era plus a perfect oracle for experiments
+that want to isolate memory effects:
+
+* :class:`TwoBitPredictor` -- per-PC saturating two-bit counters;
+* :class:`GsharePredictor` -- global history XOR PC indexing;
+* :class:`PerfectPredictor` -- never mispredicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class BranchStats:
+    branches: int = 0
+    mispredictions: int = 0
+
+    @property
+    def misprediction_rate(self) -> float:
+        return self.mispredictions / self.branches if self.branches else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        return 1.0 - self.misprediction_rate if self.branches else 1.0
+
+
+class BranchPredictor:
+    """Interface: predict, then record the resolved outcome."""
+
+    def __init__(self) -> None:
+        self.stats = BranchStats()
+
+    def predict(self, pc: int) -> bool:
+        raise NotImplementedError
+
+    def update(self, pc: int, taken: bool) -> None:
+        raise NotImplementedError
+
+    def observe(self, pc: int, taken: bool) -> bool:
+        """Predict, update, and return whether the prediction was correct."""
+        prediction = self.predict(pc)
+        self.update(pc, taken)
+        self.stats.branches += 1
+        correct = prediction == taken
+        if not correct:
+            self.stats.mispredictions += 1
+        return correct
+
+
+class TwoBitPredictor(BranchPredictor):
+    """Classic 2-bit saturating counter table, initialized weakly taken."""
+
+    def __init__(self, entries: int = 2048):
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError(f"table entries must be a power of two: {entries}")
+        super().__init__()
+        self.entries = entries
+        self._mask = entries - 1
+        self._table = [2] * entries  # 0-1 predict not-taken, 2-3 taken
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        return self._table[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        index = self._index(pc)
+        counter = self._table[index]
+        if taken:
+            self._table[index] = min(3, counter + 1)
+        else:
+            self._table[index] = max(0, counter - 1)
+
+
+class GsharePredictor(BranchPredictor):
+    """Two-bit counters indexed by PC xor global branch history."""
+
+    def __init__(self, entries: int = 2048, history_bits: int = 8):
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError(f"table entries must be a power of two: {entries}")
+        super().__init__()
+        self.entries = entries
+        self._mask = entries - 1
+        self._history_mask = (1 << history_bits) - 1
+        self._history = 0
+        self._table = [2] * entries
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self._history) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        return self._table[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        index = self._index(pc)
+        counter = self._table[index]
+        if taken:
+            self._table[index] = min(3, counter + 1)
+        else:
+            self._table[index] = max(0, counter - 1)
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+
+
+class PerfectPredictor(BranchPredictor):
+    """Oracle predictor: useful for isolating memory-system effects."""
+
+    def predict(self, pc: int) -> bool:  # pragma: no cover - trivial
+        return True
+
+    def update(self, pc: int, taken: bool) -> None:
+        pass
+
+    def observe(self, pc: int, taken: bool) -> bool:
+        self.stats.branches += 1
+        return True
+
+
+def make_predictor(kind: str, entries: int = 2048) -> BranchPredictor:
+    if kind == "twobit":
+        return TwoBitPredictor(entries)
+    if kind == "gshare":
+        return GsharePredictor(entries)
+    if kind == "perfect":
+        return PerfectPredictor()
+    raise ValueError(f"unknown branch predictor: {kind!r}")

@@ -1,0 +1,314 @@
+"""The four-issue dynamic superscalar out-of-order core (MXS stand-in).
+
+Cycle-level trace-driven model of the machine in Figure 2:
+
+* in-order **fetch** of up to 4 instructions/cycle into a 64-entry
+  instruction window, with hardware branch prediction -- a mispredicted
+  branch stalls fetch until the branch resolves (wrong-path execution is
+  not simulated, the standard trace-driven approximation);
+* out-of-order **issue** of up to 4 ready instructions/cycle, oldest
+  first, with *no restriction on instruction types* per cycle (the paper
+  removes functional-unit mix limits to focus on the memory system);
+* loads/stores take one address-calculation cycle and then access the
+  :class:`~repro.memory.hierarchy.MemorySystem`, which folds in port,
+  bank, MSHR, and bus contention and returns the completion cycle;
+* in-order **commit** of up to 4 instructions/cycle; stores drain from
+  the store buffer to the cache after commit at lowest priority.
+
+The 32-entry load/store buffer gates dispatch of memory operations.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator
+
+from repro.cpu.branch import BranchStats, make_predictor
+from repro.cpu.config import ProcessorConfig
+from repro.cpu.isa import ADDRESS_CALC_CYCLES, FU_CLASS, MAX_DEP_DISTANCE, MicroOp, Op
+from repro.cpu.result import PipelineStats, SimulationResult
+from repro.memory.hierarchy import MemorySystem
+
+_NOT_ISSUED = -1
+_RING = 1024
+_RING_MASK = _RING - 1
+assert _RING >= MAX_DEP_DISTANCE + 512, "ring must outlive any dependence"
+
+
+class _Slot:
+    """One instruction in flight."""
+
+    __slots__ = ("seq", "mop", "complete", "issued")
+
+    def __init__(self, seq: int, mop: MicroOp):
+        self.seq = seq
+        self.mop = mop
+        self.complete = 0  # valid only when issued
+        self.issued = False
+
+
+class OutOfOrderCore:
+    """Runs a micro-op trace against a memory system and reports timing."""
+
+    def __init__(self, config: ProcessorConfig, memory: MemorySystem):
+        self.config = config.validated()
+        self.memory = memory
+        self.predictor = make_predictor(
+            config.branch_predictor, config.predictor_entries
+        )
+
+    def run(
+        self,
+        trace: Iterator[MicroOp],
+        max_instructions: int,
+        *,
+        warmup_instructions: int = 0,
+    ) -> SimulationResult:
+        """Simulate until ``max_instructions`` commit (post-warmup).
+
+        ``warmup_instructions`` are executed first to warm the caches and
+        predictor; statistics are reset when they have committed, so the
+        reported IPC covers only the measured region (the paper likewise
+        simulates "an interesting portion" of each benchmark).
+        """
+        if max_instructions <= 0:
+            raise ValueError("max_instructions must be positive")
+        cfg = self.config
+        window: deque[_Slot] = deque()
+        comp = [0] * _RING  # completion cycle by seq; pre-trace state is ready
+        pipeline = PipelineStats()
+        op_counts: dict[str, int] = {}
+        store_lines: dict[int, tuple[int, int]] = {}  # line -> (seq, ready)
+
+        cycle = 0
+        fetched = 0
+        committed = 0
+        lsq_used = 0
+        held: MicroOp | None = None  # fetched but blocked on a full LSQ
+        blocking_branch: _Slot | None = None
+        trace_done = False
+        measuring = warmup_instructions == 0
+        measure_start_cycle = 0
+        measure_start_committed = 0
+        target = warmup_instructions + max_instructions
+
+        while committed < target and not (trace_done and not window):
+            # ---------------- commit ----------------
+            n_commit = 0
+            while (
+                window
+                and n_commit < cfg.commit_width
+                and window[0].issued
+                and window[0].complete <= cycle
+            ):
+                slot = window.popleft()
+                mop = slot.mop
+                if mop.is_memory:
+                    lsq_used -= 1
+                    if mop.op is Op.STORE:
+                        # Drain after commit, lowest priority (next cycle).
+                        self.memory.store(mop.address, cycle + 1)
+                        entry = store_lines.get(self.memory.line_of(mop.address))
+                        if entry is not None and entry[0] == slot.seq:
+                            del store_lines[self.memory.line_of(mop.address)]
+                if measuring:
+                    name = mop.op.name
+                    op_counts[name] = op_counts.get(name, 0) + 1
+                committed += 1
+                n_commit += 1
+                if committed == warmup_instructions and not measuring:
+                    measuring = True
+                    measure_start_cycle = cycle
+                    measure_start_committed = committed
+                    self._reset_stats()
+                    pipeline = PipelineStats()
+                if committed >= target:
+                    break
+
+            # ---------------- issue ----------------
+            n_issue = 0
+            fu_free = dict(cfg.fu_limits) if cfg.fu_limits is not None else None
+            for slot in window:
+                if n_issue >= cfg.issue_width:
+                    break
+                if slot.issued:
+                    continue
+                if fu_free is not None:
+                    unit = FU_CLASS[slot.mop.op]
+                    if fu_free.get(unit, 0) <= 0:
+                        continue  # structural hazard: no unit this cycle
+                srcs = slot.mop.srcs
+                ready = 0
+                ok = True
+                seq = slot.seq
+                for distance in srcs:
+                    producer = seq - distance
+                    if producer >= 0:
+                        when = comp[producer & _RING_MASK]
+                        if when < 0:
+                            ok = False
+                            break
+                        if when > ready:
+                            ready = when
+                if not ok or ready > cycle:
+                    continue
+                self._issue(slot, cycle, store_lines, pipeline)
+                comp[seq & _RING_MASK] = slot.complete
+                n_issue += 1
+                if fu_free is not None:
+                    fu_free[FU_CLASS[slot.mop.op]] -= 1
+
+            # ---------------- fetch ----------------
+            n_fetch = 0
+            if blocking_branch is not None:
+                if blocking_branch.issued:
+                    resume = (
+                        blocking_branch.complete + cfg.mispredict_redirect_penalty
+                    )
+                    if cycle >= resume:
+                        blocking_branch = None
+                if blocking_branch is not None and measuring:
+                    pipeline.mispredict_stall_cycles += 1
+            if blocking_branch is None and not trace_done:
+                while n_fetch < cfg.fetch_width:
+                    if len(window) >= cfg.window_size:
+                        if measuring:
+                            pipeline.window_full_stalls += 1
+                        break
+                    if held is not None:
+                        mop, held = held, None
+                    else:
+                        mop = next(trace, None)
+                    if mop is None:
+                        trace_done = True
+                        break
+                    if mop.is_memory and lsq_used >= cfg.lsq_size:
+                        if measuring:
+                            pipeline.lsq_full_stalls += 1
+                        held = mop  # retry next cycle
+                        break
+                    slot = _Slot(fetched, mop)
+                    comp[fetched & _RING_MASK] = _NOT_ISSUED
+                    window.append(slot)
+                    fetched += 1
+                    n_fetch += 1
+                    if mop.is_memory:
+                        lsq_used += 1
+                    if mop.op is Op.BRANCH:
+                        if not self.predictor.observe(mop.pc, mop.taken):
+                            blocking_branch = slot
+                            break
+
+            # ---------------- advance time ----------------
+            if n_commit or n_issue or n_fetch:
+                cycle += 1
+            else:
+                cycle = self._skip_to_next_event(cycle, window, comp, blocking_branch)
+
+        result = SimulationResult(
+            instructions=committed - measure_start_committed,
+            cycles=max(1, cycle - measure_start_cycle),
+            op_counts=op_counts,
+            pipeline=pipeline,
+            branches=self.predictor.stats,
+            memory=self.memory.stats,
+        )
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _issue(
+        self,
+        slot: _Slot,
+        cycle: int,
+        store_lines: dict[int, tuple[int, int]],
+        pipeline: PipelineStats,
+    ) -> None:
+        mop = slot.mop
+        op = mop.op
+        if op is Op.LOAD:
+            address_ready = cycle + ADDRESS_CALC_CYCLES
+            if self.config.store_forwarding:
+                line = self.memory.line_of(mop.address)
+                entry = store_lines.get(line)
+                if entry is not None:
+                    pipeline.store_forwards += 1
+                    slot.complete = max(address_ready + 1, entry[1] + 1)
+                    slot.issued = True
+                    return
+            result = self.memory.load(mop.address, address_ready)
+            slot.complete = result.completion_cycle
+        elif op is Op.STORE:
+            slot.complete = cycle + ADDRESS_CALC_CYCLES
+            if self.config.store_forwarding:
+                line = self.memory.line_of(mop.address)
+                store_lines[line] = (slot.seq, slot.complete)
+        else:
+            slot.complete = cycle + mop.latency
+        slot.issued = True
+
+    def _skip_to_next_event(
+        self,
+        cycle: int,
+        window: deque[_Slot],
+        comp: list[int],
+        blocking_branch: _Slot | None,
+    ) -> int:
+        """Nothing happened this cycle: jump to the next interesting one."""
+        horizon: int | None = None
+        for slot in window:
+            if slot.issued:
+                candidate = slot.complete
+            else:
+                candidate = None
+                ready = 0
+                for distance in slot.mop.srcs:
+                    producer = slot.seq - distance
+                    if producer >= 0:
+                        when = comp[producer & _RING_MASK]
+                        if when < 0:
+                            ready = -1
+                            break
+                        ready = max(ready, when)
+                if ready >= 0:
+                    candidate = max(cycle + 1, ready)
+            if candidate is not None and (horizon is None or candidate < horizon):
+                horizon = candidate
+        if blocking_branch is not None and blocking_branch.issued:
+            resume = blocking_branch.complete + self.config.mispredict_redirect_penalty
+            if horizon is None or resume < horizon:
+                horizon = resume
+        if horizon is None or horizon <= cycle:
+            return cycle + 1
+        return horizon
+
+    def _reset_stats(self) -> None:
+        """Zero every statistics object after cache warmup."""
+        from repro.memory.stats import MemoryStats
+
+        self.memory.stats = MemoryStats()
+        self.predictor.stats = BranchStats()
+        arbiter = self.memory.arbiter
+        arbiter.stats = type(arbiter.stats)()
+        self.memory.mshrs.stats = type(self.memory.mshrs.stats)()
+        if self.memory.line_buffer is not None:
+            self.memory.line_buffer.stats = type(self.memory.line_buffer.stats)()
+        if getattr(self.memory, "victim_cache", None) is not None:
+            self.memory.victim_cache.stats = type(self.memory.victim_cache.stats)()
+        backside = self.memory.backside
+        backside.stats = type(backside.stats)()
+
+
+def simulate(
+    trace: Iterator[MicroOp],
+    memory: MemorySystem,
+    *,
+    config: ProcessorConfig | None = None,
+    max_instructions: int = 20_000,
+    warmup_instructions: int = 0,
+) -> SimulationResult:
+    """Convenience wrapper: build a core and run a trace."""
+    core = OutOfOrderCore(config or ProcessorConfig(), memory)
+    return core.run(
+        trace, max_instructions, warmup_instructions=warmup_instructions
+    )

@@ -1,0 +1,138 @@
+"""Micro-operation model and R10000 execution latencies (section 3.1).
+
+The simulated processor is trace-driven: workload generators produce a
+stream of :class:`MicroOp` records carrying everything the timing model
+needs -- operation class, data dependences (as distances back to the
+producing instruction), memory address for loads/stores, and branch
+target behavior.  Functional emulation of MIPS semantics is deliberately
+out of scope; the paper's questions are entirely about timing.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Op(enum.IntEnum):
+    """Instruction classes with distinct execution behavior."""
+
+    IALU = 0  #: integer add/sub/logic/shift
+    IMUL = 1
+    IDIV = 2
+    FADD = 3  #: FP add/sub/convert
+    FMUL = 4
+    FDIV = 5
+    FSQRT = 6
+    LOAD = 7
+    STORE = 8
+    BRANCH = 9
+    NOP = 10
+
+
+#: Result latency in cycles for non-memory operations, per the MIPS
+#: R10000 [Yeag96, MIPS94].  Loads/stores take one cycle of address
+#: calculation and then access the memory system ("the load latency is
+#: actually one cycle greater than the cache access time due to the
+#: load's address calculation").
+R10000_LATENCY: dict[Op, int] = {
+    Op.IALU: 1,
+    Op.IMUL: 6,
+    Op.IDIV: 35,
+    Op.FADD: 2,
+    Op.FMUL: 2,
+    Op.FDIV: 12,
+    Op.FSQRT: 18,
+    Op.BRANCH: 1,
+    Op.NOP: 1,
+}
+
+#: Address-calculation latency for loads and stores.
+ADDRESS_CALC_CYCLES = 1
+
+#: Dependence distances beyond this are clamped by generators; the core
+#: sizes its completion ring buffer from it.
+MAX_DEP_DISTANCE = 256
+
+MEMORY_OPS = frozenset({Op.LOAD, Op.STORE})
+
+#: Functional-unit class of each op, for optional issue restrictions.
+FU_CLASS: dict[Op, str] = {
+    Op.IALU: "integer",
+    Op.IMUL: "integer",
+    Op.IDIV: "integer",
+    Op.FADD: "float",
+    Op.FMUL: "float",
+    Op.FDIV: "float",
+    Op.FSQRT: "float",
+    Op.LOAD: "memory",
+    Op.STORE: "memory",
+    Op.BRANCH: "branch",
+    Op.NOP: "integer",
+}
+
+
+class MicroOp:
+    """One dynamic instruction in a workload trace.
+
+    ``srcs`` holds distances (in dynamic instructions) back to each
+    producer: ``(1, 3)`` means the values produced one and three
+    instructions earlier are consumed.  Distances that reach before the
+    start of the trace are treated as always-ready (architectural state).
+    """
+
+    __slots__ = ("op", "srcs", "address", "pc", "taken")
+
+    def __init__(
+        self,
+        op: Op,
+        srcs: tuple[int, ...] = (),
+        address: int = 0,
+        pc: int = 0,
+        taken: bool = False,
+    ):
+        for distance in srcs:
+            if not 1 <= distance <= MAX_DEP_DISTANCE:
+                raise ValueError(
+                    f"dependence distance {distance} outside "
+                    f"[1, {MAX_DEP_DISTANCE}]"
+                )
+        self.op = op
+        self.srcs = srcs
+        self.address = address
+        self.pc = pc
+        self.taken = taken
+
+    @property
+    def is_memory(self) -> bool:
+        return self.op in MEMORY_OPS
+
+    @property
+    def latency(self) -> int:
+        """Execution latency excluding memory time (loads/stores: addr calc)."""
+        if self.is_memory:
+            return ADDRESS_CALC_CYCLES
+        return R10000_LATENCY[self.op]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        extra = ""
+        if self.is_memory:
+            extra = f", address={self.address:#x}"
+        elif self.op is Op.BRANCH:
+            extra = f", pc={self.pc:#x}, taken={self.taken}"
+        return f"MicroOp({self.op.name}, srcs={self.srcs}{extra})"
+
+
+def load(address: int, srcs: tuple[int, ...] = ()) -> MicroOp:
+    return MicroOp(Op.LOAD, srcs, address=address)
+
+
+def store(address: int, srcs: tuple[int, ...] = ()) -> MicroOp:
+    return MicroOp(Op.STORE, srcs, address=address)
+
+
+def branch(pc: int, taken: bool, srcs: tuple[int, ...] = ()) -> MicroOp:
+    return MicroOp(Op.BRANCH, srcs, pc=pc, taken=taken)
+
+
+def alu(srcs: tuple[int, ...] = ()) -> MicroOp:
+    return MicroOp(Op.IALU, srcs)

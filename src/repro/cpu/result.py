@@ -1,0 +1,61 @@
+"""Simulation result records produced by the out-of-order core."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cpu.branch import BranchStats
+from repro.memory.stats import MemoryStats
+
+
+@dataclass
+class PipelineStats:
+    """Where fetch bandwidth was lost."""
+
+    window_full_stalls: int = 0  #: fetch cycles lost to a full window
+    lsq_full_stalls: int = 0  #: fetch cycles lost to a full load/store buffer
+    mispredict_stall_cycles: int = 0  #: cycles fetch waited on a wrong branch
+    store_forwards: int = 0
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one (processor, memory system, workload) simulation."""
+
+    instructions: int
+    cycles: int
+    op_counts: dict[str, int] = field(default_factory=dict)
+    pipeline: PipelineStats = field(default_factory=PipelineStats)
+    branches: BranchStats = field(default_factory=BranchStats)
+    memory: MemoryStats = field(default_factory=MemoryStats)
+
+    @property
+    def ipc(self) -> float:
+        """Instructions committed per cycle -- the paper's Figure 4-8 metric."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def load_fraction(self) -> float:
+        return self.op_counts.get("LOAD", 0) / self.instructions
+
+    @property
+    def store_fraction(self) -> float:
+        return self.op_counts.get("STORE", 0) / self.instructions
+
+    def misses_per_instruction(self) -> float:
+        return self.memory.misses_per_instruction(self.instructions)
+
+    def execution_time_fo4(self, cycle_time_fo4: float) -> float:
+        """Execution time in FO4 units: cycles x cycle time (Figure 9)."""
+        if cycle_time_fo4 <= 0:
+            raise ValueError("cycle time must be positive")
+        return self.cycles * cycle_time_fo4
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            f"{self.instructions} instructions in {self.cycles} cycles, "
+            f"IPC={self.ipc:.3f}, "
+            f"L1 miss rate={self.memory.l1_miss_rate:.1%}, "
+            f"branch accuracy={self.branches.accuracy:.1%}"
+        )

@@ -1,0 +1,127 @@
+"""The off-L1 memory path: unified L2 cache, buses, and main memory.
+
+Section 3.1: the second level cache is 4 MB, two-way set-associative
+with 64-byte lines and a ten cycle (50 ns) access time; main memory has
+a sixty cycle (300 ns) access time; the chip-to-L2 bus peaks at
+2.5 GB/s and the L2-to-memory bus at 1.6 GB/s.
+
+A primary-cache miss for line ``L`` proceeds: request crosses to the
+L2 -> L2 lookup (hit time) -> on hit, the L1 line crosses the chip bus
+back; on miss, the L2 line is fetched from memory over the memory bus
+(memory latency + transfer), installed in the L2 (possibly writing back
+a dirty victim), and the L1 line then crosses the chip bus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory.bus import Bus
+from repro.memory.common import ServedBy
+from repro.memory.sram import SetAssociativeCache
+
+
+@dataclass
+class BacksideStats:
+    l1_line_requests: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+    writebacks: int = 0  #: dirty L1 victims written to the L2
+    l2_writebacks: int = 0  #: dirty L2 victims written to memory
+
+    @property
+    def l2_miss_rate(self) -> float:
+        total = self.l2_hits + self.l2_misses
+        return self.l2_misses / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class FillResponse:
+    """Timing of a line fill delivered to the primary cache."""
+
+    ready_cycle: int  #: cycle the full L1 line has arrived on chip
+    served_by: ServedBy
+
+
+@dataclass(frozen=True)
+class BacksideConfig:
+    l2_size: int = 4 * 1024 * 1024
+    l2_assoc: int = 2
+    l2_line: int = 64
+    l2_hit_cycles: int = 10
+    memory_cycles: int = 60
+    chip_bus_bytes_per_cycle: float = 12.5  #: 2.5 GB/s at 200 MHz
+    memory_bus_bytes_per_cycle: float = 8.0  #: 1.6 GB/s at 200 MHz
+
+
+class BacksideMemory:
+    """L2 + main memory serving primary-cache line fills."""
+
+    def __init__(self, config: BacksideConfig, l1_line_bytes: int):
+        self.config = config
+        self.l1_line_bytes = l1_line_bytes
+        if l1_line_bytes > config.l2_line:
+            raise ValueError(
+                f"L1 line ({l1_line_bytes}B) larger than L2 line ({config.l2_line}B)"
+            )
+        self.l2 = SetAssociativeCache(config.l2_size, config.l2_assoc, config.l2_line)
+        self.chip_bus = Bus(config.chip_bus_bytes_per_cycle, "chip<->L2")
+        self.memory_bus = Bus(config.memory_bus_bytes_per_cycle, "L2<->memory")
+        self.stats = BacksideStats()
+        self._line_shift = (config.l2_line // l1_line_bytes).bit_length() - 1
+
+    def _l2_line(self, l1_line: int) -> int:
+        return l1_line >> self._line_shift
+
+    def fetch_line(self, l1_line: int, cycle: int) -> FillResponse:
+        """Fetch an L1 line requested at ``cycle``; returns arrival timing."""
+        self.stats.l1_line_requests += 1
+        l2_line = self._l2_line(l1_line)
+        lookup_done = cycle + self.config.l2_hit_cycles
+        if self.l2.lookup(l2_line):
+            self.stats.l2_hits += 1
+            transfer = self.chip_bus.transfer(lookup_done, self.l1_line_bytes)
+            return FillResponse(transfer.done_cycle, ServedBy.L2)
+        self.stats.l2_misses += 1
+        # Miss determined after the L2 lookup; go to main memory.
+        mem_ready = lookup_done + self.config.memory_cycles
+        mem_xfer = self.memory_bus.transfer(mem_ready, self.config.l2_line)
+        victim = self.l2.fill(l2_line)
+        if victim is not None and victim.dirty:
+            self.stats.l2_writebacks += 1
+            # Writeback occupies the memory bus but is off the critical path.
+            self.memory_bus.transfer(mem_xfer.done_cycle, self.config.l2_line)
+        transfer = self.chip_bus.transfer(mem_xfer.done_cycle, self.l1_line_bytes)
+        return FillResponse(transfer.done_cycle, ServedBy.MEMORY)
+
+    def write_word_through(self, l1_line: int, cycle: int) -> int:
+        """A write-through store word crosses the chip bus into the L2.
+
+        Returns the cycle the write has retired at the L2.  If the line
+        is absent from the L2 it is allocated dirty (the fetch from
+        memory is off the store's critical path and not modeled).
+        """
+        transfer = self.chip_bus.transfer(cycle, 8)
+        l2_line = self._l2_line(l1_line)
+        if self.l2.probe(l2_line):
+            self.l2.lookup(l2_line, write=True)
+        else:
+            victim = self.l2.fill(l2_line, dirty=True)
+            if victim is not None and victim.dirty:
+                self.stats.l2_writebacks += 1
+                self.memory_bus.transfer(transfer.done_cycle, self.config.l2_line)
+        return transfer.done_cycle
+
+    def writeback_line(self, l1_line: int, cycle: int) -> None:
+        """A dirty L1 victim crosses the chip bus and updates the L2."""
+        self.stats.writebacks += 1
+        self.chip_bus.transfer(cycle, self.l1_line_bytes)
+        l2_line = self._l2_line(l1_line)
+        if self.l2.probe(l2_line):
+            self.l2.lookup(l2_line, write=True)
+        else:
+            # Victim no longer in L2 (evicted meanwhile): allocate dirty.
+            victim = self.l2.fill(l2_line, dirty=True)
+            if victim is not None and victim.dirty:
+                self.stats.l2_writebacks += 1
+                self.memory_bus.transfer(cycle, self.config.l2_line)

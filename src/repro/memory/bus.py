@@ -1,0 +1,75 @@
+"""Bandwidth-limited transfer buses (section 3.1).
+
+The memory organization supports 2.5 GB/s peak between the processor
+chip and the L2, and 1.6 GB/s peak between the L2 and main memory.  At
+the reference 200 MHz clock that is 12.5 and 8 bytes per cycle.  A bus
+is a serially reusable resource: each line transfer occupies it for
+``ceil(bytes / bytes_per_cycle)`` cycles, and later transfers queue.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass
+class BusStats:
+    transfers: int = 0
+    bytes_moved: int = 0
+    busy_cycles: int = 0
+    queue_cycles: int = 0  #: total cycles transfers waited for the bus
+
+
+@dataclass(frozen=True)
+class Transfer:
+    start_cycle: int
+    done_cycle: int
+
+
+class Bus:
+    """A single bus with a fixed peak bandwidth in bytes/cycle."""
+
+    def __init__(self, bytes_per_cycle: float, name: str = "bus"):
+        if bytes_per_cycle <= 0:
+            raise ValueError(f"bandwidth must be positive: {bytes_per_cycle}")
+        self.bytes_per_cycle = bytes_per_cycle
+        self.name = name
+        self.stats = BusStats()
+        self._next_free = 0
+
+    def occupancy(self, nbytes: int) -> int:
+        """Cycles the bus is held by a transfer of ``nbytes``."""
+        if nbytes <= 0:
+            raise ValueError(f"transfer size must be positive: {nbytes}")
+        return max(1, math.ceil(nbytes / self.bytes_per_cycle))
+
+    def transfer(self, cycle: int, nbytes: int) -> Transfer:
+        """Schedule a transfer requested at ``cycle``; returns its window."""
+        busy = self.occupancy(nbytes)
+        start = max(cycle, self._next_free)
+        self._next_free = start + busy
+        self.stats.transfers += 1
+        self.stats.bytes_moved += nbytes
+        self.stats.busy_cycles += busy
+        self.stats.queue_cycles += start - cycle
+        return Transfer(start_cycle=start, done_cycle=start + busy)
+
+    def utilization(self, total_cycles: int) -> float:
+        """Fraction of ``total_cycles`` the bus spent busy."""
+        if total_cycles <= 0:
+            return 0.0
+        return min(1.0, self.stats.busy_cycles / total_cycles)
+
+
+def bytes_per_cycle(bandwidth_bytes_per_s: float, cycle_time_fo4: float) -> float:
+    """Convert a physical bandwidth to bytes/cycle for a given clock.
+
+    Figure 9 varies the processor cycle time; the physical bus bandwidth
+    stays fixed, so faster clocks see fewer bytes per cycle.
+    """
+    from repro.timing.process import fo4_to_ns
+
+    if bandwidth_bytes_per_s <= 0 or cycle_time_fo4 <= 0:
+        raise ValueError("bandwidth and cycle time must be positive")
+    return bandwidth_bytes_per_s * fo4_to_ns(cycle_time_fo4) * 1e-9

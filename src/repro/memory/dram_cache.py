@@ -1,0 +1,114 @@
+"""On-chip DRAM cache with a row-buffer first-level cache (section 2.4).
+
+Models the [Saul96]-style organization the paper evaluates in Figure 7:
+
+* a 4 MB on-chip DRAM array used as the only cache level (the large DRAM
+  cache replaces the off-chip L2 entirely);
+* the DRAM banks' row buffers are combined into a 16 KB two-way
+  set-associative first-level data cache with **512-byte lines** (each
+  row buffer holds one 512 B row) and a one-cycle hit time;
+* a row-buffer miss pays the DRAM array hit time, varied 6-8 cycles;
+* a DRAM cache miss goes to main memory.
+
+The DRAM array is eight-way banked ("the DRAM's row buffers act as
+banks") and a bank is busy for the whole DRAM access (DRAM arrays are
+not pipelined the way SRAM is).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory.bus import Bus
+from repro.memory.common import ServedBy
+from repro.memory.sram import SetAssociativeCache
+
+
+@dataclass(frozen=True)
+class DramCacheConfig:
+    dram_size: int = 4 * 1024 * 1024
+    dram_assoc: int = 2
+    row_bytes: int = 512  #: DRAM row == row-buffer cache line
+    dram_hit_cycles: int = 6  #: varied 6-8 in Figure 7
+    dram_banks: int = 8
+    row_cache_size: int = 16 * 1024
+    row_cache_assoc: int = 2
+    row_cache_hit_cycles: int = 1
+    memory_cycles: int = 60
+    memory_bus_bytes_per_cycle: float = 8.0
+
+
+@dataclass
+class DramStats:
+    row_cache_hits: int = 0
+    row_cache_misses: int = 0
+    dram_hits: int = 0
+    dram_misses: int = 0
+    bank_wait_cycles: int = 0
+
+    @property
+    def row_cache_miss_rate(self) -> float:
+        total = self.row_cache_hits + self.row_cache_misses
+        return self.row_cache_misses / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class DramFill:
+    ready_cycle: int
+    served_by: ServedBy
+
+
+class DramCacheBackside:
+    """The DRAM array + main memory behind the row-buffer cache.
+
+    The row-buffer cache itself lives in the hierarchy frontend (it is
+    the primary data cache in DRAM mode); this class serves its misses.
+    """
+
+    def __init__(self, config: DramCacheConfig):
+        self.config = config
+        self.dram = SetAssociativeCache(
+            config.dram_size, config.dram_assoc, config.row_bytes
+        )
+        self.memory_bus = Bus(config.memory_bus_bytes_per_cycle, "DRAM<->memory")
+        self.stats = DramStats()
+        self._bank_free = [0] * config.dram_banks
+
+    def fetch_row(self, row_line: int, cycle: int) -> DramFill:
+        """Fetch a 512 B row into a row buffer; returns arrival timing."""
+        bank = row_line % self.config.dram_banks
+        start = max(cycle, self._bank_free[bank])
+        self.stats.bank_wait_cycles += start - cycle
+        done = start + self.config.dram_hit_cycles
+        self._bank_free[bank] = done  # bank busy for the full access
+        if self.dram.lookup(row_line):
+            self.stats.dram_hits += 1
+            return DramFill(done, ServedBy.DRAM_CACHE)
+        self.stats.dram_misses += 1
+        mem_ready = done + self.config.memory_cycles
+        transfer = self.memory_bus.transfer(mem_ready, self.config.row_bytes)
+        victim = self.dram.fill(row_line)
+        if victim is not None and victim.dirty:
+            self.memory_bus.transfer(transfer.done_cycle, self.config.row_bytes)
+        self._bank_free[bank] = max(self._bank_free[bank], transfer.done_cycle)
+        return DramFill(transfer.done_cycle, ServedBy.MEMORY)
+
+    def fetch_line(self, line: int, cycle: int) -> DramFill:
+        """Hierarchy-facing alias: in DRAM mode an L1 line *is* a row."""
+        return self.fetch_row(line, cycle)
+
+    def writeback_line(self, line: int, cycle: int) -> None:
+        """Hierarchy-facing alias for dirty row-buffer victims."""
+        self.writeback_row(line, cycle)
+
+    def writeback_row(self, row_line: int, cycle: int) -> None:
+        """A dirty row-buffer victim is written back into the DRAM array."""
+        bank = row_line % self.config.dram_banks
+        start = max(cycle, self._bank_free[bank])
+        self._bank_free[bank] = start + self.config.dram_hit_cycles
+        if self.dram.probe(row_line):
+            self.dram.lookup(row_line, write=True)
+        else:
+            victim = self.dram.fill(row_line, dirty=True)
+            if victim is not None and victim.dirty:
+                self.memory_bus.transfer(start, self.config.row_bytes)

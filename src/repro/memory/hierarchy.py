@@ -1,0 +1,351 @@
+"""The complete on-chip memory system seen by the processor core.
+
+``MemorySystem`` wires together one of the paper's cache organizations:
+
+* an optional line buffer in the load/store unit (section 2.3);
+* the primary data cache -- a set-associative SRAM with ideal, banked,
+  or duplicate ports and a 1-3 cycle pipelined hit time (sections
+  2.1-2.2), **or** a DRAM row-buffer cache (section 2.4);
+* four MSHRs making the cache lockup-free;
+* behind it, either the 4 MB L2 + main memory (SRAM mode) or the 4 MB
+  on-chip DRAM array + main memory (DRAM mode).
+
+Timing contract with the CPU core: ``load``/``store`` are called with
+the cycle at which the reference's address is ready; they return an
+:class:`~repro.memory.common.AccessResult` whose ``completion_cycle``
+is when the data is available.  Contention (ports, banks, MSHRs, buses)
+is folded in by the timestamped-resource models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.memory.backside import BacksideConfig, BacksideMemory
+from repro.memory.common import AccessResult, ConfigurationError, ServedBy
+from repro.memory.dram_cache import DramCacheBackside, DramCacheConfig
+from repro.memory.line_buffer import LineBuffer
+from repro.memory.mshr import MshrFile
+from repro.memory.ports import make_arbiter
+from repro.memory.sram import SetAssociativeCache
+from repro.memory.stats import MemoryStats
+from repro.memory.victim import VictimCache
+
+PORT_POLICIES = ("ideal", "banked", "duplicate")
+WRITE_POLICIES = ("write-back", "write-through")
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Configuration of one cache organization from the design space."""
+
+    l1_size: int = 32 * 1024
+    l1_assoc: int = 2
+    l1_line: int = 32
+    l1_hit_cycles: int = 1  #: 1-3; >1 means a pipelined multi-cycle cache
+    port_policy: str = "ideal"
+    ports: int = 2  #: number of ideal ports (port_policy == "ideal")
+    banks: int = 8  #: number of external banks (port_policy == "banked")
+    bank_interleave: str = "line"  #: "line" or "page" bank mapping
+    line_buffer: bool = False
+    line_buffer_entries: int = 32
+    mshrs: int = 4
+    write_policy: str = "write-back"  #: or "write-through" [Joup93]
+    write_allocate: bool = True  #: allocate L1 lines on store misses
+    victim_entries: int = 0  #: >0 adds a victim cache [Joup90]
+    #: fetch line+1 on every demand miss (stream-buffer-style [Joup90]);
+    #: shares MSHRs and buses, so it can also hurt.
+    next_line_prefetch: bool = False
+    backside: BacksideConfig = field(default_factory=BacksideConfig)
+    dram: DramCacheConfig | None = None  #: set => DRAM-cache mode
+
+    def validated(self) -> "MemoryConfig":
+        if self.port_policy not in PORT_POLICIES:
+            raise ConfigurationError(f"unknown port policy {self.port_policy!r}")
+        if not 1 <= self.l1_hit_cycles:
+            raise ConfigurationError(f"bad hit time {self.l1_hit_cycles}")
+        if self.l1_line & (self.l1_line - 1):
+            raise ConfigurationError(f"line size not a power of two: {self.l1_line}")
+        if self.write_policy not in WRITE_POLICIES:
+            raise ConfigurationError(f"unknown write policy {self.write_policy!r}")
+        if self.victim_entries < 0:
+            raise ConfigurationError("victim_entries cannot be negative")
+        if self.dram is not None and self.write_policy != "write-back":
+            raise ConfigurationError("DRAM-cache mode supports write-back only")
+        if self.dram is not None:
+            # In DRAM mode the primary cache *is* the row-buffer cache.
+            return replace(
+                self,
+                l1_size=self.dram.row_cache_size,
+                l1_assoc=self.dram.row_cache_assoc,
+                l1_line=self.dram.row_bytes,
+                l1_hit_cycles=self.dram.row_cache_hit_cycles,
+            )
+        return self
+
+
+class MemorySystem:
+    """Facade over the full data-memory hierarchy for one simulation."""
+
+    def __init__(self, config: MemoryConfig):
+        config = config.validated()
+        self.config = config
+        self.l1 = SetAssociativeCache(config.l1_size, config.l1_assoc, config.l1_line)
+        self._line_shift = config.l1_line.bit_length() - 1
+        self.arbiter = make_arbiter(
+            config.port_policy,
+            ports=config.ports,
+            banks=config.banks,
+            interleave=config.bank_interleave,
+        )
+        self.mshrs = MshrFile(config.mshrs)
+        self.line_buffer = (
+            LineBuffer(config.line_buffer_entries, config.l1_line)
+            if config.line_buffer
+            else None
+        )
+        self.victim_cache = (
+            VictimCache(config.victim_entries, config.l1_line)
+            if config.victim_entries
+            else None
+        )
+        self.backside: BacksideMemory | DramCacheBackside
+        if config.dram is not None:
+            self.backside = DramCacheBackside(config.dram)
+            self._l1_served = ServedBy.ROW_BUFFER
+        else:
+            self.backside = BacksideMemory(config.backside, config.l1_line)
+            self._l1_served = ServedBy.L1
+        self.stats = MemoryStats()
+        self._pending_served: dict[int, ServedBy] = {}
+
+    @property
+    def line_bytes(self) -> int:
+        return self.config.l1_line
+
+    def line_of(self, address: int) -> int:
+        return address >> self._line_shift
+
+    # ------------------------------------------------------------------
+    # Functional warm-up
+    # ------------------------------------------------------------------
+
+    def prefill_backside(self, l1_lines: "list[int] | tuple[int, ...]") -> None:
+        """Install lines into the L2 (or DRAM array) state, no timing.
+
+        Models the steady state of a long run: after the paper's 100M+
+        instructions, the 4 MB second level holds (as much as fits of)
+        the workload's entire footprint, so compulsory misses are
+        negligible in the measured region.  Lines are given in L1-line
+        units; capacity and LRU behavior of the second level still apply.
+        """
+        backside = self.backside
+        if isinstance(backside, DramCacheBackside):
+            for line in l1_lines:
+                backside.dram.fill(line)
+        else:
+            shift = backside._line_shift
+            previous = None
+            for line in l1_lines:
+                l2_line = line >> shift
+                if l2_line != previous:
+                    backside.l2.fill(l2_line)
+                    previous = l2_line
+
+    def warm(self, references: list[tuple[bool, int]]) -> None:
+        """Warm cache *state* from (is_store, address) pairs, no timing.
+
+        Used before timing simulations so that working sets larger than
+        the measured instruction window still exhibit steady-state hit
+        rates (the paper simulates 100M+ instructions; we warm
+        functionally and then measure a shorter timing window).  No
+        statistics are recorded and no cycles pass.
+        """
+        l1 = self.l1
+        line_buffer = self.line_buffer
+        backside = self.backside
+        is_dram = isinstance(backside, DramCacheBackside)
+        for is_store, address in references:
+            line = address >> self._line_shift
+            if line_buffer is not None and not is_store:
+                line_buffer._cache.fill(line)
+            if l1.lookup(line, write=is_store):
+                continue
+            if is_dram:
+                backside.dram.fill(line)
+            else:
+                backside.l2.fill(line >> backside._line_shift)
+            victim = l1.fill(line, dirty=is_store)
+            if victim is not None and line_buffer is not None:
+                line_buffer._cache.invalidate(victim.line)
+
+    # ------------------------------------------------------------------
+    # Loads
+    # ------------------------------------------------------------------
+
+    def load(self, address: int, cycle: int) -> AccessResult:
+        """A load whose address is ready at ``cycle``."""
+        self.stats.loads += 1
+        line = self.line_of(address)
+        if self.line_buffer is not None and self.line_buffer.load_lookup(line):
+            # If the line's fill is still in flight the buffered copy is
+            # not valid yet; data is forwarded when the fill arrives.
+            done = self.mshrs.pending_ready(line, cycle + 1) or cycle + 1
+            result = AccessResult(done, ServedBy.LINE_BUFFER, cycle)
+            self._finish_load(result, cycle)
+            return result
+        start = self.arbiter.reserve(line, cycle)
+        if self.l1.lookup(line):
+            done = start + self.config.l1_hit_cycles
+            in_flight = self.mshrs.pending_ready(line, done)
+            if in_flight is not None:
+                # Delayed hit: the line is being filled; wait for it.
+                # Counted as a hit (no new miss traffic), tracked apart.
+                self.stats.l1_load_hits += 1
+                self.stats.delayed_hits += 1
+                self.mshrs.stats.merged_misses += 1
+                served = self._pending_served.get(line, ServedBy.L2)
+                result = AccessResult(in_flight, served, start)
+            else:
+                self.stats.l1_load_hits += 1
+                result = AccessResult(done, self._l1_served, start)
+        else:
+            self.stats.l1_load_misses += 1
+            result = self._miss(line, start, dirty=False)
+        if self.line_buffer is not None:
+            self.line_buffer.fill(line)
+        self._finish_load(result, cycle)
+        return result
+
+    def _finish_load(self, result: AccessResult, issue_cycle: int) -> None:
+        self.stats.served_by[result.served_by] += 1
+        self.stats.load_latency_total += result.completion_cycle - issue_cycle
+
+    # ------------------------------------------------------------------
+    # Stores
+    # ------------------------------------------------------------------
+
+    def store(self, address: int, cycle: int) -> AccessResult:
+        """A buffered store draining to the cache at ``cycle``.
+
+        Write-back, write-allocate.  Duplicate caches write both copies
+        (handled by the arbiter's ``reserve_store``).
+        """
+        self.stats.stores += 1
+        line = self.line_of(address)
+        if self.line_buffer is not None:
+            self.line_buffer.store_update(line)
+        start = self.arbiter.reserve_store(line, cycle)
+        if self.config.write_policy == "write-through":
+            return self._store_through(line, start)
+        if self.l1.lookup(line, write=True):
+            done = start + self.config.l1_hit_cycles
+            in_flight = self.mshrs.pending_ready(line, done)
+            if in_flight is not None:
+                self.stats.l1_store_hits += 1
+                self.stats.delayed_hits += 1
+                self.mshrs.stats.merged_misses += 1
+                served = self._pending_served.get(line, ServedBy.L2)
+                result = AccessResult(in_flight, served, start)
+            else:
+                self.stats.l1_store_hits += 1
+                result = AccessResult(done, self._l1_served, start)
+        else:
+            self.stats.l1_store_misses += 1
+            result = self._miss(line, start, dirty=True)
+        self.stats.served_by[result.served_by] += 1
+        return result
+
+    def _store_through(self, line: int, start: int) -> AccessResult:
+        """Write-through store: update L1 if present (clean), always send
+        the word to the L2 over the chip bus [Joup93].
+
+        With ``write_allocate`` off, a store miss does not disturb the
+        L1 at all -- the classic write-through/no-allocate pairing.
+        """
+        assert isinstance(self.backside, BacksideMemory)
+        done = start + self.config.l1_hit_cycles
+        if self.l1.lookup(line):
+            self.stats.l1_store_hits += 1
+            served = self._l1_served
+        else:
+            self.stats.l1_store_misses += 1
+            served = ServedBy.L2
+            if self.config.write_allocate:
+                response = self.backside.fetch_line(line, done)
+                done = response.ready_cycle
+                served = response.served_by
+                victim = self.l1.fill(line)
+                if victim is not None and self.line_buffer is not None:
+                    self.line_buffer.invalidate(victim.line)
+        transfer = self.backside.write_word_through(line, done)
+        result = AccessResult(max(done, transfer), served, start)
+        self.stats.served_by[result.served_by] += 1
+        return result
+
+    # ------------------------------------------------------------------
+    # Miss handling
+    # ------------------------------------------------------------------
+
+    def _miss(self, line: int, port_start: int, *, dirty: bool) -> AccessResult:
+        """Common lockup-free miss path for loads and stores."""
+        detect = port_start + self.config.l1_hit_cycles
+        if self.victim_cache is not None:
+            swap_hit, was_dirty = self.victim_cache.probe_and_take(line)
+            if swap_hit:
+                done = detect + VictimCache.SWAP_PENALTY_CYCLES
+                self._install(line, done, dirty=dirty or was_dirty)
+                return AccessResult(done, ServedBy.VICTIM_CACHE, port_start)
+        grant = self.mshrs.request(line, detect)
+        if grant.merged:
+            assert grant.pending_ready is not None
+            served = self._pending_served.get(line, ServedBy.L2)
+            if dirty:
+                self.l1.lookup(line, write=True)  # mark dirty once filled
+            return AccessResult(max(grant.pending_ready, detect), served, port_start)
+        response = self.backside.fetch_line(line, grant.start_cycle)
+        self.mshrs.complete(line, response.ready_cycle)
+        self._pending_served[line] = response.served_by
+        if len(self._pending_served) > 4 * self.config.mshrs:
+            self._trim_pending()
+        self._install(line, response.ready_cycle, dirty=dirty)
+        if self.config.next_line_prefetch:
+            self._prefetch(line + 1, response.ready_cycle)
+        return AccessResult(response.ready_cycle, response.served_by, port_start)
+
+    def _prefetch(self, line: int, cycle: int) -> None:
+        """Next-line prefetch into the L1, if a free MSHR allows it.
+
+        The prefetch consumes real resources (an MSHR and bus occupancy)
+        but never delays the demand miss that triggered it.  Early
+        touches to the prefetched line become delayed hits until its
+        fill arrives, via the normal MSHR bookkeeping.
+        """
+        if self.l1.probe(line) or self.mshrs.pending_ready(line, cycle):
+            return
+        if self.mshrs.outstanding(cycle) >= self.mshrs.entries:
+            return  # never steal the last MSHR from demand traffic
+        self.stats.prefetches_issued += 1
+        response = self.backside.fetch_line(line, cycle)
+        self.mshrs.complete(line, response.ready_cycle)
+        self._pending_served[line] = response.served_by
+        self._install(line, response.ready_cycle, dirty=False)
+
+    def _install(self, line: int, ready_cycle: int, *, dirty: bool) -> None:
+        """Fill a line into the L1, routing the victim appropriately."""
+        victim = self.l1.fill(line, dirty=dirty)
+        if victim is None:
+            return
+        if self.line_buffer is not None:
+            self.line_buffer.invalidate(victim.line)
+        if self.victim_cache is not None:
+            displaced = self.victim_cache.insert(victim.line, victim.dirty)
+            if displaced is not None and displaced[1]:
+                self.backside.writeback_line(displaced[0], ready_cycle)
+        elif victim.dirty:
+            self.backside.writeback_line(victim.line, ready_cycle)
+
+    def _trim_pending(self) -> None:
+        """Bound the merged-miss bookkeeping map (keep most recent entries)."""
+        keep = list(self._pending_served.items())[-2 * self.config.mshrs :]
+        self._pending_served = dict(keep)

@@ -1,0 +1,72 @@
+"""The level-zero line buffer (section 2.3) [Wils96].
+
+A small fully-set-associative multi-ported buffer inside the processor's
+load/store execution unit.  It holds recently accessed primary-cache
+lines so that loads with spatial or temporal locality are satisfied in a
+single cycle *without occupying a cache port*, which both raises port
+bandwidth and hides the extra latency of pipelined caches.
+
+The paper uses a 32-entry buffer.  It is multi-ported, so any number of
+loads may hit it in the same cycle; coherence with the cache is kept by
+updating on store hits and invalidating entries whose line leaves the
+primary cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory.sram import FullyAssociativeCache
+
+DEFAULT_ENTRIES = 32
+
+
+@dataclass
+class LineBufferStats:
+    load_lookups: int = 0
+    load_hits: int = 0
+    fills: int = 0
+    store_updates: int = 0
+    invalidations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        if not self.load_lookups:
+            return 0.0
+        return self.load_hits / self.load_lookups
+
+
+class LineBuffer:
+    """Fully associative, LRU, one-cycle, port-free level-zero cache."""
+
+    def __init__(self, entries: int = DEFAULT_ENTRIES, line_bytes: int = 32):
+        self._cache = FullyAssociativeCache(entries, line_bytes)
+        self.entries = entries
+        self.line_bytes = line_bytes
+        self.stats = LineBufferStats()
+
+    def load_lookup(self, line: int) -> bool:
+        """True if a load to ``line`` is satisfied by the buffer."""
+        self.stats.load_lookups += 1
+        hit = self._cache.lookup(line)
+        if hit:
+            self.stats.load_hits += 1
+        return hit
+
+    def fill(self, line: int) -> None:
+        """Install the line returned by a completed cache load."""
+        self.stats.fills += 1
+        self._cache.fill(line)
+
+    def store_update(self, line: int) -> None:
+        """A store writes through: refresh the copy if present (no allocate)."""
+        if self._cache.lookup(line):
+            self.stats.store_updates += 1
+
+    def invalidate(self, line: int) -> None:
+        """The line left the primary cache; drop any stale copy."""
+        if self._cache.invalidate(line):
+            self.stats.invalidations += 1
+
+    def __len__(self) -> int:
+        return len(self._cache)

@@ -1,0 +1,83 @@
+"""Miss status handling registers (lockup-free cache support) [Fark94].
+
+The paper's primary data cache has four MSHRs: up to four distinct lines
+may be outstanding to the L2/memory at once, and further references to a
+pending line merge into its MSHR (secondary misses) instead of issuing a
+new request.  When all four registers hold distinct pending lines, a new
+primary miss must wait for the earliest register to retire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class MshrStats:
+    primary_misses: int = 0
+    merged_misses: int = 0  #: secondary misses absorbed by a pending entry
+    full_stall_cycles: int = 0  #: cycles a primary miss waited for a register
+
+
+@dataclass
+class MshrGrant:
+    """Outcome of asking the MSHR file to track a missing line."""
+
+    start_cycle: int  #: when the miss request may go to the next level
+    merged: bool  #: True if an existing entry for the line was joined
+    pending_ready: int | None  #: for merged grants, the existing fill time
+
+
+class MshrFile:
+    """A fixed-size file of miss status handling registers."""
+
+    def __init__(self, entries: int):
+        if entries < 1:
+            raise ValueError(f"need at least one MSHR, got {entries}")
+        self.entries = entries
+        self.stats = MshrStats()
+        # line -> cycle at which its fill completes and the register frees
+        self._pending: dict[int, int] = {}
+
+    def outstanding(self, cycle: int) -> int:
+        """Number of registers still busy at ``cycle``."""
+        return sum(1 for ready in self._pending.values() if ready > cycle)
+
+    def request(self, line: int, cycle: int) -> MshrGrant:
+        """Ask to track a miss on ``line`` observed at ``cycle``."""
+        self._expire(cycle)
+        ready = self._pending.get(line)
+        if ready is not None:
+            self.stats.merged_misses += 1
+            return MshrGrant(start_cycle=cycle, merged=True, pending_ready=ready)
+        self.stats.primary_misses += 1
+        start = cycle
+        if len(self._pending) >= self.entries:
+            # Wait for the earliest outstanding fill to retire its register.
+            earliest_line = min(self._pending, key=self._pending.__getitem__)
+            start = max(cycle, self._pending[earliest_line])
+            del self._pending[earliest_line]
+            self.stats.full_stall_cycles += start - cycle
+        return MshrGrant(start_cycle=start, merged=False, pending_ready=None)
+
+    def pending_ready(self, line: int, cycle: int) -> int | None:
+        """If ``line``'s fill is still in flight at ``cycle``, its ready time.
+
+        Used to model *delayed hits*: the functional cache state is
+        updated as soon as a miss is processed, so a later reference can
+        find the line present even though its data has not physically
+        arrived; such a reference must wait for the outstanding fill.
+        """
+        ready = self._pending.get(line)
+        if ready is not None and ready > cycle:
+            return ready
+        return None
+
+    def complete(self, line: int, fill_cycle: int) -> None:
+        """Record when the fill for ``line`` will arrive (frees the MSHR)."""
+        self._pending[line] = fill_cycle
+
+    def _expire(self, cycle: int) -> None:
+        done = [line for line, ready in self._pending.items() if ready <= cycle]
+        for line in done:
+            del self._pending[line]

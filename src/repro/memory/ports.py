@@ -1,0 +1,148 @@
+"""Cache-port arbitration models (section 2.1).
+
+Three ways of providing load/store bandwidth are modeled, all as
+timestamped resources (a request at cycle ``t`` is granted the earliest
+cycle at which a suitable port is free):
+
+* **ideal ports** -- ``n`` ports, each accepting one access per cycle to
+  any address ("an ideal cache port operates independently of any other
+  cache port [and] is accessible every cycle");
+* **banked ports** -- one port per external bank; an access must use the
+  bank its line maps to, so two same-bank accesses in one cycle conflict;
+* **duplicate ports** -- two copies of the cache (DEC Alpha 21164 style).
+  Loads use either copy; stores must write both copies to keep them
+  consistent, but are buffered and drained at lowest priority so they
+  rarely steal load bandwidth (the paper's stated assumption).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class PortStats:
+    """Contention counters maintained by every arbiter."""
+
+    requests: int = 0
+    delayed: int = 0  #: granted later than requested
+    wait_cycles: int = 0  #: total grant - request cycles
+    bank_conflicts: int = 0  #: delays attributable to bank mapping
+
+
+class PortArbiter:
+    """Base interface: grant a start cycle for an access."""
+
+    def __init__(self) -> None:
+        self.stats = PortStats()
+
+    def reserve(self, line: int, cycle: int) -> int:
+        """Earliest cycle >= ``cycle`` at which the access may start."""
+        raise NotImplementedError
+
+    def reserve_store(self, line: int, cycle: int) -> int:
+        """Like :meth:`reserve` but for a buffered store drain."""
+        return self.reserve(line, cycle)
+
+    def _account(self, requested: int, granted: int) -> int:
+        self.stats.requests += 1
+        if granted > requested:
+            self.stats.delayed += 1
+            self.stats.wait_cycles += granted - requested
+        return granted
+
+
+class IdealPorts(PortArbiter):
+    """``n`` fully pipelined ports, each usable by any address."""
+
+    def __init__(self, ports: int):
+        if ports < 1:
+            raise ValueError(f"need at least one port, got {ports}")
+        super().__init__()
+        self.ports = ports
+        self._next_free = [0] * ports
+
+    def reserve(self, line: int, cycle: int) -> int:
+        best = min(range(self.ports), key=self._next_free.__getitem__)
+        start = max(cycle, self._next_free[best])
+        self._next_free[best] = start + 1
+        return self._account(cycle, start)
+
+
+class BankedPorts(PortArbiter):
+    """One port per external bank; lines are interleaved across banks.
+
+    The bank of an access is ``line mod banks`` (consecutive lines hit
+    consecutive banks, the usual interleaving).  A busy bank delays the
+    access even if other banks are idle -- the bank-conflict penalty of
+    section 2.1.
+    """
+
+    #: lines per bank stretch under "page" interleaving (32 lines = 1 KB)
+    PAGE_LINES_SHIFT = 5
+
+    def __init__(self, banks: int, interleave: str = "line"):
+        if banks < 1:
+            raise ValueError(f"need at least one bank, got {banks}")
+        if interleave not in ("line", "page"):
+            raise ValueError(f"unknown interleaving {interleave!r}")
+        super().__init__()
+        self.banks = banks
+        self.interleave = interleave
+        self._next_free = [0] * banks
+
+    def bank_of(self, line: int) -> int:
+        """Bank selection: "line" interleaving spreads consecutive lines
+        across banks (the usual choice -- sequential streams hit all
+        banks); "page" interleaving keeps 1 KB stretches in one bank
+        (cheaper wiring, worse for streams).  The ablation bench
+        quantifies the difference."""
+        if self.interleave == "line":
+            return line % self.banks
+        return (line >> self.PAGE_LINES_SHIFT) % self.banks
+
+    def reserve(self, line: int, cycle: int) -> int:
+        bank = self.bank_of(line)
+        start = max(cycle, self._next_free[bank])
+        if start > cycle:
+            self.stats.bank_conflicts += 1
+        self._next_free[bank] = start + 1
+        return self._account(cycle, start)
+
+
+class DuplicatePorts(PortArbiter):
+    """Two mirrored copies of the cache: loads pick either, stores use both."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._next_free = [0, 0]
+
+    @property
+    def ports(self) -> int:
+        return 2
+
+    def reserve(self, line: int, cycle: int) -> int:
+        best = 0 if self._next_free[0] <= self._next_free[1] else 1
+        start = max(cycle, self._next_free[best])
+        self._next_free[best] = start + 1
+        return self._account(cycle, start)
+
+    def reserve_store(self, line: int, cycle: int) -> int:
+        """A store writes both copies in the same cycle to stay coherent."""
+        start = max(cycle, *self._next_free)
+        self._next_free[0] = start + 1
+        self._next_free[1] = start + 1
+        return self._account(cycle, start)
+
+
+def make_arbiter(
+    policy: str, *, ports: int = 2, banks: int = 8, interleave: str = "line"
+) -> PortArbiter:
+    """Factory used by the hierarchy configuration layer."""
+    if policy == "ideal":
+        return IdealPorts(ports)
+    if policy == "banked":
+        return BankedPorts(banks, interleave)
+    if policy == "duplicate":
+        return DuplicatePorts()
+    raise ValueError(f"unknown port policy: {policy!r}")

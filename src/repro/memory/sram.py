@@ -1,0 +1,168 @@
+"""Functional set-associative cache state with true LRU replacement.
+
+This models *contents* only (hits, misses, evictions, dirty lines); all
+timing -- ports, banks, pipelining, MSHRs, buses -- lives in the other
+modules of :mod:`repro.memory`.  The paper's primary data cache is
+two-way set-associative with 32-byte lines and write-back/write-allocate
+semantics (stores allocate through the MSHRs like loads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Eviction:
+    """A line pushed out of the cache by a fill."""
+
+    line: int
+    dirty: bool
+
+
+class SetAssociativeCache:
+    """LRU set-associative cache over *line addresses*.
+
+    All methods take line addresses (byte address divided by the line
+    size); callers convert with :func:`repro.memory.common.line_address`.
+    """
+
+    def __init__(self, size_bytes: int, associativity: int, line_bytes: int):
+        if size_bytes <= 0 or size_bytes % (associativity * line_bytes):
+            raise ValueError(
+                f"cache size {size_bytes} not divisible into "
+                f"{associativity}-way sets of {line_bytes}B lines"
+            )
+        self.size_bytes = size_bytes
+        self.associativity = associativity
+        self.line_bytes = line_bytes
+        self.num_sets = size_bytes // (associativity * line_bytes)
+        if self.num_sets & (self.num_sets - 1):
+            raise ValueError(f"number of sets must be a power of two: {self.num_sets}")
+        self._set_mask = self.num_sets - 1
+        # Per set: list of tags in MRU-first order, and the set of dirty tags.
+        self._ways: list[list[int]] = [[] for _ in range(self.num_sets)]
+        self._dirty: list[set[int]] = [set() for _ in range(self.num_sets)]
+
+    def _locate(self, line: int) -> tuple[int, int]:
+        return line & self._set_mask, line >> self.num_sets.bit_length() - 1
+
+    def lookup(self, line: int, *, write: bool = False) -> bool:
+        """Reference a line; returns hit/miss and updates LRU (and dirty)."""
+        index, tag = self._locate(line)
+        ways = self._ways[index]
+        try:
+            pos = ways.index(tag)
+        except ValueError:
+            return False
+        if pos:
+            ways.insert(0, ways.pop(pos))
+        if write:
+            self._dirty[index].add(tag)
+        return True
+
+    def probe(self, line: int) -> bool:
+        """Check presence without touching LRU state."""
+        index, tag = self._locate(line)
+        return tag in self._ways[index]
+
+    def fill(self, line: int, *, dirty: bool = False) -> Eviction | None:
+        """Install a line (MRU position); returns the victim, if any.
+
+        Filling a line that is already present refreshes its LRU position
+        (this happens when a merged MSHR response races a prefetch-like
+        refill) and returns ``None``.
+        """
+        index, tag = self._locate(line)
+        ways = self._ways[index]
+        if tag in ways:
+            self.lookup(line, write=dirty)
+            return None
+        evicted: Eviction | None = None
+        if len(ways) >= self.associativity:
+            victim_tag = ways.pop()
+            victim_dirty = victim_tag in self._dirty[index]
+            self._dirty[index].discard(victim_tag)
+            victim_line = (victim_tag << self.num_sets.bit_length() - 1) | index
+            evicted = Eviction(victim_line, victim_dirty)
+        ways.insert(0, tag)
+        if dirty:
+            self._dirty[index].add(tag)
+        return evicted
+
+    def invalidate(self, line: int) -> bool:
+        """Drop a line if present; returns whether it was present."""
+        index, tag = self._locate(line)
+        ways = self._ways[index]
+        if tag not in ways:
+            return False
+        ways.remove(tag)
+        self._dirty[index].discard(tag)
+        return True
+
+    def is_dirty(self, line: int) -> bool:
+        index, tag = self._locate(line)
+        return tag in self._dirty[index]
+
+    def resident_lines(self) -> list[int]:
+        """All currently valid line addresses (testing/inspection aid)."""
+        shift = self.num_sets.bit_length() - 1
+        return [
+            (tag << shift) | index
+            for index, ways in enumerate(self._ways)
+            for tag in ways
+        ]
+
+    def __len__(self) -> int:
+        return sum(len(ways) for ways in self._ways)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SetAssociativeCache({self.size_bytes}B, "
+            f"{self.associativity}-way, {self.line_bytes}B lines)"
+        )
+
+
+class FullyAssociativeCache:
+    """Small fully-associative LRU cache (line buffer, victim-style uses)."""
+
+    def __init__(self, entries: int, line_bytes: int):
+        if entries <= 0:
+            raise ValueError(f"entries must be positive: {entries}")
+        self.entries = entries
+        self.line_bytes = line_bytes
+        self._lines: list[int] = []  # MRU first
+
+    def lookup(self, line: int) -> bool:
+        try:
+            pos = self._lines.index(line)
+        except ValueError:
+            return False
+        if pos:
+            self._lines.insert(0, self._lines.pop(pos))
+        return True
+
+    def probe(self, line: int) -> bool:
+        return line in self._lines
+
+    def fill(self, line: int) -> int | None:
+        """Install a line; returns the evicted line address, if any."""
+        if self.lookup(line):
+            return None
+        evicted = None
+        if len(self._lines) >= self.entries:
+            evicted = self._lines.pop()
+        self._lines.insert(0, line)
+        return evicted
+
+    def invalidate(self, line: int) -> bool:
+        if line in self._lines:
+            self._lines.remove(line)
+            return True
+        return False
+
+    def clear(self) -> None:
+        self._lines.clear()
+
+    def __len__(self) -> int:
+        return len(self._lines)

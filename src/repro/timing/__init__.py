@@ -1,0 +1,75 @@
+"""Cache timing substrate: FO4 units, cacti-style access times, pipelining.
+
+This subpackage reproduces section 2 of the paper: the technology model
+(FO4 delays in a 0.5 µm process), the modified-cacti SRAM access-time
+model behind Figure 1, and the pipelining arithmetic that decides how
+large a cache fits in 1-3 cycles at a given processor cycle time.
+"""
+
+from repro.timing.cacti import (
+    FIGURE1_SIZES,
+    AccessTimeResult,
+    ArrayOrganization,
+    CacheGeometryError,
+    access_time,
+    banked_access_fo4,
+    duplicate_access_fo4,
+    figure1_curves,
+    single_ported_access_fo4,
+)
+from repro.timing.pipelining import (
+    MAX_PIPELINE_DEPTH,
+    CacheFit,
+    design_points,
+    fits_in_cycles,
+    max_cache_size,
+    pipelined_access_fo4,
+    required_depth,
+)
+from repro.timing.process import (
+    CHIP_TO_L2_BANDWIDTH,
+    FO4_NS,
+    L2_ACCESS_NS,
+    L2_TO_MEMORY_BANDWIDTH,
+    LATCH_OVERHEAD_FO4,
+    MEMORY_ACCESS_NS,
+    REFERENCE_CLOCK_MHZ,
+    REFERENCE_CYCLE_FO4,
+    ProcessParameters,
+    clock_mhz,
+    fo4_to_ns,
+    latency_in_cycles,
+    ns_to_fo4,
+)
+
+__all__ = [
+    "FIGURE1_SIZES",
+    "AccessTimeResult",
+    "ArrayOrganization",
+    "CacheGeometryError",
+    "access_time",
+    "banked_access_fo4",
+    "duplicate_access_fo4",
+    "figure1_curves",
+    "single_ported_access_fo4",
+    "MAX_PIPELINE_DEPTH",
+    "CacheFit",
+    "design_points",
+    "fits_in_cycles",
+    "max_cache_size",
+    "pipelined_access_fo4",
+    "required_depth",
+    "CHIP_TO_L2_BANDWIDTH",
+    "FO4_NS",
+    "L2_ACCESS_NS",
+    "L2_TO_MEMORY_BANDWIDTH",
+    "LATCH_OVERHEAD_FO4",
+    "MEMORY_ACCESS_NS",
+    "REFERENCE_CLOCK_MHZ",
+    "REFERENCE_CYCLE_FO4",
+    "ProcessParameters",
+    "clock_mhz",
+    "fo4_to_ns",
+    "latency_in_cycles",
+    "ns_to_fo4",
+]

@@ -1,0 +1,271 @@
+"""Analytical SRAM access-time model in the style of cacti [Wilt96].
+
+The paper uses a modified cacti (sub-array limit raised from 8 to 32) to
+produce Figure 1: access time in FO4 for single-ported and eight-way
+banked caches from 4 KB to 1 MB.  This module reimplements the essential
+structure of that model:
+
+* a cache is split into ``Ndwl * Ndbl`` sub-arrays, with ``Nspd`` sets
+  mapped per wordline;
+* the access path is decoder -> wordline -> bitline -> sense amplifier
+  -> tag comparison -> output drive, plus wire delay to route data across
+  the array and between banks;
+* the model searches all organizations inside the design space and
+  reports the fastest one.
+
+Like cacti itself (which was calibrated against SPICE), the raw RC model
+is calibrated against published anchors.  We use the paper's own numbers:
+an 8 KB cache is 25 FO4 [Horo96], a 512 KB cache is 1.67x that, and a
+1 MB cache is 2.20x that (section 2.2).  A monotone log-size correction
+through those anchors is applied to the raw model so that the reproduced
+Figure 1 matches the paper where the paper pins it down.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.timing.process import DEFAULT_PROCESS, ProcessParameters, ns_to_fo4
+
+#: Design-space bounds.  The paper raised cacti's sub-array limit to 32.
+MAX_SUBARRAYS = 32
+_NDWL_CHOICES = (1, 2, 4, 8)
+_NDBL_CHOICES = (1, 2, 4, 8, 16, 32)
+_NSPD_CHOICES = (1, 2, 4)
+
+#: Cache sizes considered by the paper's SRAM study (Figure 1).
+FIGURE1_SIZES = tuple(2**k for k in range(12, 21))  # 4 KB .. 1 MB
+
+
+@dataclass(frozen=True)
+class ArrayOrganization:
+    """One point in the cacti design space."""
+
+    ndwl: int  #: number of wordline divisions
+    ndbl: int  #: number of bitline divisions
+    nspd: int  #: sets mapped onto one physical wordline
+
+    @property
+    def subarrays(self) -> int:
+        return self.ndwl * self.ndbl
+
+
+@dataclass(frozen=True)
+class AccessTimeResult:
+    """Access time of the best organization found for a cache geometry."""
+
+    size_bytes: int
+    associativity: int
+    block_bytes: int
+    organization: ArrayOrganization
+    raw_ns: float  #: uncalibrated RC model output
+    access_fo4: float  #: calibrated access time in FO4
+
+    @property
+    def access_ns(self) -> float:
+        from repro.timing.process import fo4_to_ns
+
+        return fo4_to_ns(self.access_fo4)
+
+
+class CacheGeometryError(ValueError):
+    """Raised for cache geometries outside the modeled design space."""
+
+
+def _subarray_geometry(
+    size_bytes: int, associativity: int, block_bytes: int, org: ArrayOrganization
+) -> tuple[float, float]:
+    """Rows and columns of one sub-array, or raises if not realizable."""
+    rows = size_bytes / (block_bytes * associativity * org.ndbl * org.nspd)
+    cols = 8 * block_bytes * associativity * org.nspd / org.ndwl
+    if rows < 1 or cols < 8:
+        raise CacheGeometryError(
+            f"organization {org} degenerate for {size_bytes}B cache"
+        )
+    return rows, cols
+
+
+def _organization_delay_ns(
+    size_bytes: int,
+    associativity: int,
+    block_bytes: int,
+    org: ArrayOrganization,
+    process: ProcessParameters,
+) -> float:
+    """Raw RC access time of a specific organization, in nanoseconds."""
+    rows, cols = _subarray_geometry(size_bytes, associativity, block_bytes, org)
+    p = process
+    decoder = p.decoder_base_ns + p.decoder_per_bit_ns * math.log2(max(rows, 2.0))
+    wordline = p.wordline_base_ns + p.wordline_per_column_ns * cols
+    bitline = p.bitline_base_ns + p.bitline_per_row_ns * rows
+    comparator = p.comparator_base_ns + p.comparator_per_way_ns * math.log2(
+        max(associativity, 2)
+    )
+    routing = p.routing_per_sqrt_kb_ns * math.sqrt(size_bytes / 1024.0)
+    bank_wiring = p.bank_wiring_per_sqrt_bank_ns * math.sqrt(org.subarrays)
+    return (
+        decoder
+        + wordline
+        + bitline
+        + p.sense_amp_ns
+        + comparator
+        + p.output_driver_ns
+        + routing
+        + bank_wiring
+    )
+
+
+def _search_organizations(
+    size_bytes: int,
+    associativity: int,
+    block_bytes: int,
+    min_subarrays: int,
+    process: ProcessParameters,
+) -> tuple[ArrayOrganization, float]:
+    """Exhaustively search the design space for the fastest organization."""
+    best: tuple[ArrayOrganization, float] | None = None
+    for ndwl in _NDWL_CHOICES:
+        for ndbl in _NDBL_CHOICES:
+            for nspd in _NSPD_CHOICES:
+                org = ArrayOrganization(ndwl, ndbl, nspd)
+                if not min_subarrays <= org.subarrays <= MAX_SUBARRAYS:
+                    continue
+                try:
+                    delay = _organization_delay_ns(
+                        size_bytes, associativity, block_bytes, org, process
+                    )
+                except CacheGeometryError:
+                    continue
+                if best is None or delay < best[1]:
+                    best = (org, delay)
+    if best is None:
+        raise CacheGeometryError(
+            f"no realizable organization for size={size_bytes} assoc="
+            f"{associativity} block={block_bytes} min_subarrays={min_subarrays}"
+        )
+    return best
+
+
+# ---------------------------------------------------------------------------
+# Anchor calibration
+# ---------------------------------------------------------------------------
+
+#: (size_bytes, access time in FO4) anchors stated by the paper.
+#: 8 KB = 25 FO4 [Horo96]; section 2.2: at a 25 FO4 cycle "a 512 Kbyte
+#: cache can be accessed in 1.67 cycles, and a 1 Mbyte cache ... 2.20";
+#: section 4.4: "a processor cycle time of 29 FO4 can accommodate a one
+#: cycle 64 Kbyte duplicate cache".
+PAPER_ANCHORS: tuple[tuple[int, float], ...] = (
+    (8 * 1024, 25.0),
+    (64 * 1024, 29.0),
+    (512 * 1024, 1.67 * 25.0),
+    (1024 * 1024, 2.20 * 25.0),
+)
+
+#: Reference geometry for the anchors: the paper's primary data cache is
+#: two-way set-associative with 32-byte lines.
+ANCHOR_ASSOCIATIVITY = 2
+ANCHOR_BLOCK_BYTES = 32
+
+
+@lru_cache(maxsize=None)
+def _anchor_corrections(process: ProcessParameters) -> tuple[tuple[float, float], ...]:
+    """Per-anchor multiplicative corrections in (log2 size, factor) form."""
+    corrections = []
+    for size, target_fo4 in PAPER_ANCHORS:
+        _, raw_ns = _search_organizations(
+            size, ANCHOR_ASSOCIATIVITY, ANCHOR_BLOCK_BYTES, 1, process
+        )
+        corrections.append((math.log2(size), target_fo4 / ns_to_fo4(raw_ns)))
+    return tuple(corrections)
+
+
+def _correction_factor(size_bytes: int, process: ProcessParameters) -> float:
+    """Interpolate the anchor correction at ``size_bytes`` (log-size linear)."""
+    anchors = _anchor_corrections(process)
+    x = math.log2(size_bytes)
+    if x <= anchors[0][0]:
+        return anchors[0][1]
+    if x >= anchors[-1][0]:
+        return anchors[-1][1]
+    for (x0, f0), (x1, f1) in zip(anchors, anchors[1:]):
+        if x0 <= x <= x1:
+            t = (x - x0) / (x1 - x0)
+            return f0 + t * (f1 - f0)
+    raise AssertionError("unreachable: anchors are sorted")
+
+
+# ---------------------------------------------------------------------------
+# Public API
+# ---------------------------------------------------------------------------
+
+
+def access_time(
+    size_bytes: int,
+    *,
+    associativity: int = ANCHOR_ASSOCIATIVITY,
+    block_bytes: int = ANCHOR_BLOCK_BYTES,
+    min_banks: int = 1,
+    process: ProcessParameters = DEFAULT_PROCESS,
+) -> AccessTimeResult:
+    """Access time of the fastest cache organization for a geometry.
+
+    ``min_banks`` constrains the search the way the paper constrains its
+    modified cacti: ``min_banks=8`` forces "eight or more banks" and
+    yields the eight-way banked curve of Figure 1; the default reproduces
+    the single-ported curve.
+    """
+    if size_bytes <= 0 or size_bytes & (size_bytes - 1):
+        raise CacheGeometryError(f"cache size must be a power of two: {size_bytes}")
+    if associativity < 1:
+        raise CacheGeometryError(f"associativity must be >= 1: {associativity}")
+    if min_banks < 1:
+        raise CacheGeometryError(f"min_banks must be >= 1: {min_banks}")
+    org, raw_ns = _search_organizations(
+        size_bytes, associativity, block_bytes, min_banks, process
+    )
+    fo4 = ns_to_fo4(raw_ns) * _correction_factor(size_bytes, process)
+    return AccessTimeResult(
+        size_bytes=size_bytes,
+        associativity=associativity,
+        block_bytes=block_bytes,
+        organization=org,
+        raw_ns=raw_ns,
+        access_fo4=fo4,
+    )
+
+
+def single_ported_access_fo4(size_bytes: int) -> float:
+    """Figure 1 single-ported curve at one size, in FO4."""
+    return access_time(size_bytes).access_fo4
+
+
+def banked_access_fo4(size_bytes: int, banks: int = 8) -> float:
+    """Figure 1 eight-way (or more) banked curve at one size, in FO4.
+
+    The paper assumes "no timing penalty for changing an internally
+    banked cache to an externally banked cache", so external banking is
+    modeled exactly as a min-subarray constraint on the search.
+    """
+    return access_time(size_bytes, min_banks=banks).access_fo4
+
+
+def duplicate_access_fo4(size_bytes: int) -> float:
+    """Access time of one copy of a duplicate (dual-ported) cache.
+
+    Section 2.1: duplicating the cache doubles area but "the access times
+    for single-ported caches ... can also be used for duplicate caches".
+    """
+    return single_ported_access_fo4(size_bytes)
+
+
+def figure1_curves(
+    sizes: tuple[int, ...] = FIGURE1_SIZES,
+) -> dict[str, list[tuple[int, float]]]:
+    """Both Figure 1 series as ``{label: [(size, fo4), ...]}``."""
+    return {
+        "single_ported": [(s, single_ported_access_fo4(s)) for s in sizes],
+        "eight_way_banked": [(s, banked_access_fo4(s)) for s in sizes],
+    }

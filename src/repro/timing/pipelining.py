@@ -1,0 +1,99 @@
+"""Cache pipelining math (section 2.2) and cycle-time/size trade-offs.
+
+A cache whose access time exceeds the processor cycle time must be
+pipelined.  Each additional pipeline stage inserts a latch costing
+1.5 FO4 [section 2.2], so a cache with access time ``a`` FO4 fits in
+``d`` cycles of a ``T``-FO4 clock when::
+
+    a + 1.5 * (d - 1) <= d * T
+
+These helpers answer the two questions Figure 9 needs: how deep must a
+given cache be pipelined, and what is the largest cache that fits at a
+given (cycle time, depth) point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.timing import cacti
+from repro.timing.process import LATCH_OVERHEAD_FO4
+
+#: Hit-time depths studied by the paper (1-3 processor cycles).
+MAX_PIPELINE_DEPTH = 3
+
+
+def pipelined_access_fo4(access_fo4: float, depth: int) -> float:
+    """Total access latency including pipeline latch overhead."""
+    if depth < 1:
+        raise ValueError(f"pipeline depth must be >= 1, got {depth}")
+    return access_fo4 + LATCH_OVERHEAD_FO4 * (depth - 1)
+
+
+def fits_in_cycles(access_fo4: float, depth: int, cycle_time_fo4: float) -> bool:
+    """True if a cache with the given access time fits in ``depth`` cycles."""
+    if cycle_time_fo4 <= 0:
+        raise ValueError(f"cycle time must be positive, got {cycle_time_fo4}")
+    return pipelined_access_fo4(access_fo4, depth) <= depth * cycle_time_fo4 + 1e-9
+
+
+def required_depth(
+    access_fo4: float, cycle_time_fo4: float, max_depth: int = MAX_PIPELINE_DEPTH
+) -> int | None:
+    """Minimum pipeline depth that accommodates the cache, or None."""
+    for depth in range(1, max_depth + 1):
+        if fits_in_cycles(access_fo4, depth, cycle_time_fo4):
+            return depth
+    return None
+
+
+@dataclass(frozen=True)
+class CacheFit:
+    """The largest cache realizable at a (cycle time, depth) design point."""
+
+    size_bytes: int
+    depth: int
+    cycle_time_fo4: float
+    access_fo4: float
+
+
+def max_cache_size(
+    cycle_time_fo4: float,
+    depth: int,
+    *,
+    banked: bool = False,
+    sizes: tuple[int, ...] = cacti.FIGURE1_SIZES,
+) -> CacheFit | None:
+    """Largest cache from ``sizes`` that fits in ``depth`` cycles.
+
+    Returns ``None`` when even the smallest size does not fit -- the
+    paper notes that below 24 FO4 "the processor cannot support a
+    single-cycle non-pipelined cache of even 4 KBytes".
+    """
+    best: CacheFit | None = None
+    for size in sizes:
+        access = (
+            cacti.banked_access_fo4(size)
+            if banked
+            else cacti.single_ported_access_fo4(size)
+        )
+        if fits_in_cycles(access, depth, cycle_time_fo4):
+            if best is None or size > best.size_bytes:
+                best = CacheFit(size, depth, cycle_time_fo4, access)
+    return best
+
+
+def design_points(
+    cycle_times_fo4: tuple[float, ...],
+    depths: tuple[int, ...] = (1, 2, 3),
+    *,
+    banked: bool = False,
+) -> list[CacheFit]:
+    """All realizable (cycle time, depth, max size) points for Figure 9."""
+    points = []
+    for cycle_time in cycle_times_fo4:
+        for depth in depths:
+            fit = max_cache_size(cycle_time, depth, banked=banked)
+            if fit is not None:
+                points.append(fit)
+    return points

@@ -1,0 +1,100 @@
+"""Process technology constants for the 0.5 µm CMOS process modeled by cacti.
+
+The paper uses the fan-out-of-four (FO4) inverter delay as a technology
+independent unit of time [Horo92] and anchors it with two facts:
+
+* a processor whose critical path is a single-ported, single-cycle 8 KB
+  primary data cache has a cycle time of 25 FO4 [Horo96], and
+* that processor runs at 200 MHz (section 3.1), i.e. a 5 ns cycle.
+
+Together these fix 1 FO4 = 0.2 ns in the 0.5 µm process, which is the
+conversion used throughout this package (and lets the fixed 50 ns L2 and
+300 ns memory latencies of Figure 9 be re-expressed in cycles for any
+processor cycle time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Seconds per FO4 inverter delay in the modeled 0.5 µm process.
+FO4_NS: float = 0.2
+
+#: The reference processor cycle time (section 3.1): 25 FO4 == 5 ns == 200 MHz.
+REFERENCE_CYCLE_FO4: float = 25.0
+REFERENCE_CLOCK_MHZ: float = 200.0
+
+#: Pipeline latch insertion delay (section 2.2): "Pipelining requires the
+#: addition of a latch with a delay of 1.5 FO4".
+LATCH_OVERHEAD_FO4: float = 1.5
+
+#: Fixed backside latencies from section 3.1, in nanoseconds.  At the
+#: reference 200 MHz clock they equal 10 and 60 cycles respectively.
+L2_ACCESS_NS: float = 50.0
+MEMORY_ACCESS_NS: float = 300.0
+
+#: Peak bus bandwidths from section 3.1, in bytes per second.
+CHIP_TO_L2_BANDWIDTH: float = 2.5e9
+L2_TO_MEMORY_BANDWIDTH: float = 1.6e9
+
+
+def ns_to_fo4(nanoseconds: float) -> float:
+    """Convert a delay in nanoseconds to FO4 units."""
+    return nanoseconds / FO4_NS
+
+
+def fo4_to_ns(fo4: float) -> float:
+    """Convert a delay in FO4 units to nanoseconds."""
+    return fo4 * FO4_NS
+
+
+def clock_mhz(cycle_time_fo4: float) -> float:
+    """Clock frequency in MHz for a given cycle time in FO4."""
+    if cycle_time_fo4 <= 0:
+        raise ValueError(f"cycle time must be positive, got {cycle_time_fo4}")
+    return 1e3 / fo4_to_ns(cycle_time_fo4)
+
+
+def latency_in_cycles(nanoseconds: float, cycle_time_fo4: float) -> int:
+    """Round a fixed physical latency to whole cycles of the given clock.
+
+    Used to scale the L2 (50 ns) and main-memory (300 ns) latencies when
+    the processor cycle time changes (Figure 9): a 10 FO4 processor sees
+    a 25-cycle L2, the reference 25 FO4 processor sees 10 cycles.
+    """
+    if cycle_time_fo4 <= 0:
+        raise ValueError(f"cycle time must be positive, got {cycle_time_fo4}")
+    cycles = round(nanoseconds / fo4_to_ns(cycle_time_fo4))
+    return max(1, cycles)
+
+
+@dataclass(frozen=True)
+class ProcessParameters:
+    """RC-style delay coefficients for the analytical SRAM model.
+
+    The coefficients are loosely derived from the Wilton-Jouppi cacti
+    model for a 0.5 µm process; their absolute scale is removed by the
+    anchor calibration in :mod:`repro.timing.cacti`, so only the relative
+    growth of each component with array geometry matters.
+    All times are in nanoseconds.
+    """
+
+    decoder_base_ns: float = 0.40
+    decoder_per_bit_ns: float = 0.070  # per log2(rows) of decode depth
+    wordline_base_ns: float = 0.10
+    wordline_per_column_ns: float = 0.0015
+    bitline_base_ns: float = 0.20
+    bitline_per_row_ns: float = 0.0025
+    sense_amp_ns: float = 0.30
+    comparator_base_ns: float = 0.25
+    comparator_per_way_ns: float = 0.050  # per log2(associativity)
+    output_driver_ns: float = 0.30
+    # Wire delay to route data from a sub-array to the cache edge grows
+    # with the physical extent of the cache (~ sqrt of its area).
+    routing_per_sqrt_kb_ns: float = 0.020
+    # Extra wiring needed to interconnect independently addressed banks
+    # (section 2.1: banking "increases ... the wire delay").
+    bank_wiring_per_sqrt_bank_ns: float = 0.25
+
+
+DEFAULT_PROCESS = ProcessParameters()

@@ -1,0 +1,66 @@
+"""Synthetic workload substrate standing in for SimOS + SPEC95.
+
+See :mod:`repro.workloads.catalog` for the nine benchmarks and
+``DESIGN.md`` for the substitution rationale.
+"""
+
+from repro.workloads.branches import (
+    FLOAT_BRANCHES,
+    INTEGER_BRANCHES,
+    MULTIPROG_BRANCHES,
+    BranchModel,
+    BranchProfile,
+)
+from repro.workloads.catalog import (
+    BENCHMARKS,
+    GROUPS,
+    REPRESENTATIVES,
+    benchmark,
+    by_group,
+)
+from repro.workloads.deps import (
+    FLOAT_ILP,
+    INTEGER_ILP,
+    MULTIPROG_ILP,
+    DependenceTracker,
+    IlpProfile,
+)
+from repro.workloads.generator import WorkloadGenerator, WorkloadSpec, trace
+from repro.workloads.traces import (
+    TraceProfile,
+    capture,
+    load_trace,
+    profile_trace,
+    replay,
+    save_trace,
+)
+from repro.workloads.regions import Region, RegionAddressModel
+
+__all__ = [
+    "FLOAT_BRANCHES",
+    "INTEGER_BRANCHES",
+    "MULTIPROG_BRANCHES",
+    "BranchModel",
+    "BranchProfile",
+    "BENCHMARKS",
+    "GROUPS",
+    "REPRESENTATIVES",
+    "benchmark",
+    "by_group",
+    "FLOAT_ILP",
+    "INTEGER_ILP",
+    "MULTIPROG_ILP",
+    "DependenceTracker",
+    "IlpProfile",
+    "WorkloadGenerator",
+    "WorkloadSpec",
+    "trace",
+    "Region",
+    "RegionAddressModel",
+    "TraceProfile",
+    "capture",
+    "load_trace",
+    "profile_trace",
+    "replay",
+    "save_trace",
+]

@@ -1,0 +1,220 @@
+"""Synthetic benchmark trace generation.
+
+A :class:`WorkloadSpec` bundles everything that characterizes one of the
+paper's nine benchmarks: instruction mix (Table 2's load/store
+percentages), kernel/user split, memory regions (Figure 3's working-set
+shape), ILP profile, and branch behavior.  A :class:`WorkloadGenerator`
+turns a spec plus a seed into a deterministic infinite micro-op stream.
+
+Operating-system behavior is modeled structurally: execution alternates
+between user phases and kernel bursts (with their own address space and
+branch sites) in the ratio given by ``kernel_fraction``, and
+multiprogrammed workloads round-robin between per-process address
+spaces every ``context_switch_interval`` instructions, which is what
+gives them their large aggregate working sets.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.cpu.isa import MicroOp, Op
+from repro.workloads.branches import BranchModel, BranchProfile
+from repro.workloads.deps import DependenceTracker, IlpProfile
+from repro.workloads.regions import Region, RegionAddressModel
+
+#: Offset between per-process address spaces (and the kernel space).
+_SPACE_STRIDE = 1 << 26  # 64 MB
+_KERNEL_SPACE_INDEX = 31
+#: Length of one kernel burst (system call / interrupt service), instrs.
+_KERNEL_BURST = 400
+
+_INT_COMPUTE = ((Op.IALU, 0.92), (Op.IMUL, 0.06), (Op.IDIV, 0.02))
+_FP_COMPUTE = ((Op.FADD, 0.50), (Op.FMUL, 0.38), (Op.FDIV, 0.10), (Op.FSQRT, 0.02))
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Full characterization of one synthetic benchmark."""
+
+    name: str
+    description: str
+    group: str  #: "SPECint95" | "SPECfp95" | "multiprogramming"
+    load_fraction: float
+    store_fraction: float
+    kernel_fraction: float  #: share of *non-idle* time in kernel mode
+    idle_fraction: float  #: reported for Table 2; idle is not simulated
+    user_regions: tuple[Region, ...]
+    kernel_regions: tuple[Region, ...] = ()
+    ilp: IlpProfile = field(default=None)  # type: ignore[assignment]
+    branches: BranchProfile = field(default=None)  # type: ignore[assignment]
+    fp_fraction: float = 0.0  #: share of compute ops that are FP
+    processes: int = 1
+    context_switch_interval: int = 0  #: 0 = single process, no switching
+
+    def __post_init__(self) -> None:
+        if self.ilp is None or self.branches is None:
+            raise ValueError(f"{self.name}: ilp and branches profiles required")
+        refs = self.load_fraction + self.store_fraction
+        if not 0.0 < refs < 0.9:
+            raise ValueError(f"{self.name}: implausible reference fraction {refs}")
+        if refs + self.branches.frequency >= 1.0:
+            raise ValueError(f"{self.name}: mix fractions exceed 1.0")
+        if not 0.0 <= self.kernel_fraction < 1.0:
+            raise ValueError(f"{self.name}: bad kernel fraction")
+        if self.kernel_fraction > 0 and not self.kernel_regions:
+            raise ValueError(f"{self.name}: kernel fraction without kernel regions")
+        if self.processes < 1:
+            raise ValueError(f"{self.name}: need at least one process")
+        if self.processes > 1 and self.context_switch_interval <= 0:
+            raise ValueError(f"{self.name}: multiprocess needs a switch interval")
+
+
+class _Space:
+    """One address space: memory regions, branch sites, dependence chains."""
+
+    def __init__(
+        self,
+        regions: tuple[Region, ...],
+        branches: BranchProfile,
+        ilp: IlpProfile,
+        rng: random.Random,
+        index: int,
+    ):
+        self.memory = RegionAddressModel(
+            regions, rng, base_offset=index * _SPACE_STRIDE
+        )
+        self.branches = BranchModel(
+            branches, rng, pc_base=0x1000 + index * 0x10000
+        )
+        self.deps = DependenceTracker(ilp, rng)
+
+
+class WorkloadGenerator:
+    """Deterministic micro-op stream for one (spec, seed) pair."""
+
+    def __init__(self, spec: WorkloadSpec, seed: int = 0):
+        self.spec = spec
+        self._rng = random.Random((hash(spec.name) & 0xFFFF_FFFF) ^ seed)
+        self._user_spaces = [
+            _Space(spec.user_regions, spec.branches, spec.ilp, self._rng, index)
+            for index in range(spec.processes)
+        ]
+        self._kernel_space = (
+            _Space(
+                spec.kernel_regions,
+                spec.branches,
+                spec.ilp,
+                self._rng,
+                _KERNEL_SPACE_INDEX,
+            )
+            if spec.kernel_fraction > 0
+            else None
+        )
+        # user run length between kernel bursts preserving kernel_fraction
+        if spec.kernel_fraction > 0:
+            self._user_run = max(
+                1,
+                round(_KERNEL_BURST * (1 - spec.kernel_fraction) / spec.kernel_fraction),
+            )
+        else:
+            self._user_run = 0
+
+    def instructions(self) -> Iterator[MicroOp]:
+        """The infinite instruction stream."""
+        spec = self.spec
+        rng = self._rng
+        p_load = spec.load_fraction
+        p_store = p_load + spec.store_fraction
+        p_branch = p_store + spec.branches.frequency
+        process = 0
+        since_switch = 0
+        in_kernel = False
+        phase_left = self._user_run if self._user_run else -1
+        seq = 0  # global dynamic instruction index
+
+        while True:
+            # --- phase bookkeeping (kernel bursts, context switches) ---
+            if self._kernel_space is not None:
+                phase_left -= 1
+                if phase_left <= 0:
+                    in_kernel = not in_kernel
+                    phase_left = _KERNEL_BURST if in_kernel else self._user_run
+            if spec.context_switch_interval:
+                since_switch += 1
+                if since_switch >= spec.context_switch_interval:
+                    since_switch = 0
+                    process = (process + 1) % spec.processes
+            space = (
+                self._kernel_space
+                if in_kernel and self._kernel_space is not None
+                else self._user_spaces[process]
+            )
+
+            # --- instruction class ---
+            point = rng.random()
+            if point < p_load:
+                yield MicroOp(
+                    Op.LOAD,
+                    space.deps.next_srcs(seq, address=True),
+                    address=space.memory.next_address(),
+                )
+            elif point < p_store:
+                yield MicroOp(
+                    Op.STORE,
+                    space.deps.next_srcs(seq, address=True),
+                    address=space.memory.next_address(),
+                )
+            elif point < p_branch:
+                # Branch conditions resolve quickly in real codes (compare
+                # of a register already in flight); modeling them as
+                # chain-free keeps mispredict resolution realistic instead
+                # of serializing behind the whole chain backlog.
+                yield space.branches.next_branch(())
+            else:
+                kernel_fp = 0.0 if in_kernel else spec.fp_fraction
+                table = _FP_COMPUTE if rng.random() < kernel_fp else _INT_COMPUTE
+                yield MicroOp(self._pick_op(table, rng), space.deps.next_srcs(seq))
+            seq += 1
+
+    @staticmethod
+    def _pick_op(table: tuple[tuple[Op, float], ...], rng: random.Random) -> Op:
+        point = rng.random()
+        acc = 0.0
+        for op, weight in table:
+            acc += weight
+            if point < acc:
+                return op
+        return table[0][0]
+
+    def footprint_lines(self, line_bytes: int = 32) -> list[int]:
+        """All cache lines the workload's regions span, across every
+        address space (processes + kernel).  Feed to
+        :meth:`repro.memory.hierarchy.MemorySystem.prefill_backside`."""
+        lines: list[int] = []
+        for space in self._user_spaces:
+            lines.extend(space.memory.all_lines(line_bytes))
+        if self._kernel_space is not None:
+            lines.extend(self._kernel_space.memory.all_lines(line_bytes))
+        return lines
+
+    def memory_references(self, instructions: int) -> list[tuple[bool, int]]:
+        """The (is_store, address) reference stream of ``instructions``.
+
+        Convenience for functional cache simulations (Figure 3): same
+        stream the full trace would produce, already filtered.
+        """
+        refs: list[tuple[bool, int]] = []
+        stream = self.instructions()
+        for _ in range(instructions):
+            mop = next(stream)
+            if mop.is_memory:
+                refs.append((mop.op is Op.STORE, mop.address))
+        return refs
+
+
+def trace(spec: WorkloadSpec, seed: int = 0) -> Iterator[MicroOp]:
+    """Shorthand: a fresh instruction stream for a spec."""
+    return WorkloadGenerator(spec, seed).instructions()

@@ -1,0 +1,95 @@
+"""Tests for the analysis helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    amdahl_speedup,
+    arithmetic_mean,
+    best_size,
+    crossover,
+    geometric_mean,
+    implied_memory_fraction,
+    monotone_non_increasing,
+    normalize,
+    relative_change,
+)
+
+
+class TestCurves:
+    def test_normalize(self):
+        assert normalize([2.0, 4.0], 2.0) == [1.0, 2.0]
+        with pytest.raises(ValueError):
+            normalize([1.0], 0.0)
+
+    def test_means(self):
+        assert arithmetic_mean([1.0, 3.0]) == 2.0
+        assert geometric_mean([1.0, 4.0]) == 2.0
+        with pytest.raises(ValueError):
+            arithmetic_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+
+    def test_crossover_found(self):
+        x = crossover([0, 1, 2], [0.0, 1.0, 2.0], [2.0, 1.0, 0.0])
+        assert x == pytest.approx(1.0)
+
+    def test_crossover_none(self):
+        assert crossover([0, 1], [0.0, 1.0], [2.0, 3.0]) is None
+
+    def test_crossover_at_start(self):
+        assert crossover([5, 6], [1.0, 2.0], [1.0, 0.0]) == 5
+
+    def test_crossover_length_mismatch(self):
+        with pytest.raises(ValueError):
+            crossover([0], [1.0, 2.0], [1.0])
+
+    def test_relative_change(self):
+        assert relative_change(2.0, 3.0) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            relative_change(0.0, 1.0)
+
+    def test_best_size(self):
+        assert best_size([(4096, 1.0), (8192, 2.0), (16384, 1.5)]) == 8192
+        with pytest.raises(ValueError):
+            best_size([])
+
+    def test_monotone(self):
+        assert monotone_non_increasing([3.0, 2.0, 2.0, 1.0])
+        assert not monotone_non_increasing([1.0, 2.0])
+        assert monotone_non_increasing([1.0, 1.05], tolerance=0.1)
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=10), min_size=1))
+    def test_geometric_leq_arithmetic(self, values):
+        assert geometric_mean(values) <= arithmetic_mean(values) + 1e-9
+
+
+class TestAmdahl:
+    def test_paper_tomcatv_example(self):
+        """Section 4.4: 3x clock with half the time in memory -> 1.5x."""
+        assert amdahl_speedup(0.5, 3.0) == pytest.approx(1.5)
+
+    def test_inverse_recovers_fraction(self):
+        assert implied_memory_fraction(3.0, 1.5) == pytest.approx(0.5)
+
+    def test_no_enhancement_no_speedup(self):
+        assert amdahl_speedup(0.0, 10.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            amdahl_speedup(1.5, 2.0)
+        with pytest.raises(ValueError):
+            amdahl_speedup(0.5, 0.0)
+        with pytest.raises(ValueError):
+            implied_memory_fraction(1.0, 1.0)
+        with pytest.raises(ValueError):
+            implied_memory_fraction(3.0, 5.0)
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=1.1, max_value=10.0),
+    )
+    def test_speedup_bounded_by_enhancement(self, fraction, enhancement):
+        speedup = amdahl_speedup(fraction, enhancement)
+        assert 1.0 <= speedup <= enhancement + 1e-9

@@ -1,0 +1,63 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.analysis import render_chart, render_miss_rate_chart
+
+
+class TestRenderChart:
+    def test_contains_title_labels_and_legend(self):
+        chart = render_chart(
+            {"a": [1.0, 2.0], "b": [2.0, 1.0]}, ["x0", "x1"], title="T"
+        )
+        assert chart.startswith("T\n")
+        assert "x0" in chart and "x1" in chart
+        assert "o=a" in chart and "*=b" in chart
+
+    def test_extremes_on_top_and_bottom_rows(self):
+        chart = render_chart({"a": [0.0, 10.0]}, ["lo", "hi"], height=5)
+        lines = chart.splitlines()
+        assert lines[0].strip().startswith("10.00")
+        assert "0.00" in lines[4]
+
+    def test_flat_series_does_not_crash(self):
+        chart = render_chart({"a": [3.0, 3.0, 3.0]}, ["1", "2", "3"])
+        assert "o" in chart
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_chart({"a": [1.0]}, ["x", "y"])
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            render_chart({}, [])
+
+    def test_tiny_height_rejected(self):
+        with pytest.raises(ValueError):
+            render_chart({"a": [1.0]}, ["x"], height=2)
+
+    def test_marks_positioned_by_value(self):
+        """The larger value must appear on an earlier (higher) line."""
+        chart = render_chart({"a": [10.0, 0.0]}, ["L", "R"], height=6)
+        rows = [
+            i
+            for i, line in enumerate(chart.splitlines())
+            if "o" in line and "|" in line
+        ]
+        assert rows[0] < rows[-1]
+
+
+class TestMissRateChart:
+    def curves(self):
+        return {
+            "gcc": [(4096, 0.038), (32768, 0.014)],
+            "tomcatv": [(4096, 0.057), (32768, 0.047)],
+        }
+
+    def test_renders_selected_benchmarks(self):
+        chart = render_miss_rate_chart(self.curves(), ["gcc", "tomcatv"])
+        assert "o=gcc" in chart and "4K" in chart and "32K" in chart
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(KeyError):
+            render_miss_rate_chart(self.curves(), ["doom"])

@@ -1,0 +1,137 @@
+"""Tests for the experiment driver and its qualitative reproductions.
+
+These run short simulations (a few thousand instructions) so the whole
+file stays under a couple of minutes; the bench harness runs the full-
+budget versions.
+"""
+
+import pytest
+
+from repro.core import (
+    ExperimentSettings,
+    average_ipc,
+    banked,
+    dram_cache,
+    duplicate,
+    ideal_ports,
+    run_experiment,
+)
+from repro.core.experiment import clear_cache, scale_factor
+
+FAST = ExperimentSettings(
+    instructions=4_000, timing_warmup=1_000, functional_warmup=120_000
+)
+
+
+class TestDriverMechanics:
+    def test_returns_simulation_result(self):
+        result = run_experiment(duplicate(), "gcc", FAST)
+        assert result.instructions == FAST.instructions
+        assert result.ipc > 0
+
+    def test_memoization_returns_identical_object(self):
+        a = run_experiment(duplicate(), "li", FAST)
+        b = run_experiment(duplicate(), "li", FAST)
+        assert a is b
+
+    def test_clear_cache(self):
+        a = run_experiment(duplicate(), "li", FAST)
+        clear_cache()
+        b = run_experiment(duplicate(), "li", FAST)
+        assert a is not b
+        assert a.ipc == b.ipc  # still deterministic
+
+    def test_accepts_spec_objects(self):
+        from repro.workloads import benchmark
+
+        result = run_experiment(duplicate(), benchmark("li"), FAST)
+        assert result.ipc > 0
+
+    def test_average_ipc(self):
+        value = average_ipc(duplicate(), ("li", "gcc"), FAST)
+        a = run_experiment(duplicate(), "li", FAST).ipc
+        b = run_experiment(duplicate(), "gcc", FAST).ipc
+        assert value == pytest.approx((a + b) / 2)
+
+    def test_average_needs_workloads(self):
+        with pytest.raises(ValueError):
+            average_ipc(duplicate(), ())
+
+    def test_scale_factor_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "2")
+        assert scale_factor() == 2.0
+        monkeypatch.setenv("REPRO_SCALE", "bogus")
+        assert scale_factor() == 1.0
+
+    def test_scaled_settings(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "2")
+        scaled = FAST.scaled()
+        assert scaled.instructions == 2 * FAST.instructions
+
+
+class TestPaperQualitative:
+    """Short-run versions of the paper's headline orderings."""
+
+    def test_second_port_helps(self):
+        one = run_experiment(ideal_ports(ports=1), "gcc", FAST).ipc
+        two = run_experiment(ideal_ports(ports=2), "gcc", FAST).ipc
+        assert two > one * 1.03
+
+    def test_diminishing_port_returns(self):
+        two = run_experiment(ideal_ports(ports=2), "gcc", FAST).ipc
+        four = run_experiment(ideal_ports(ports=4), "gcc", FAST).ipc
+        one = run_experiment(ideal_ports(ports=1), "gcc", FAST).ipc
+        assert (four - two) < (two - one)
+
+    def test_pipelining_hurts_integer_more_than_fp(self):
+        def loss(name):
+            fast = run_experiment(ideal_ports(hit_cycles=1), name, FAST).ipc
+            slow = run_experiment(ideal_ports(hit_cycles=3), name, FAST).ipc
+            return 1 - slow / fast
+
+        assert loss("gcc") > 2 * loss("tomcatv")
+
+    def test_line_buffer_always_helps_duplicate(self):
+        for hit in (1, 3):
+            plain = run_experiment(duplicate(hit_cycles=hit), "gcc", FAST).ipc
+            with_lb = run_experiment(
+                duplicate(hit_cycles=hit, line_buffer=True), "gcc", FAST
+            ).ipc
+            assert with_lb >= plain * 0.995
+
+    def test_line_buffer_helps_duplicate_more_than_banked(self):
+        def gain(make):
+            plain = run_experiment(make(line_buffer=False), "gcc", FAST).ipc
+            lb = run_experiment(make(line_buffer=True), "gcc", FAST).ipc
+            return lb / plain
+
+        assert gain(lambda **kw: duplicate(**kw)) >= gain(
+            lambda **kw: banked(**kw)
+        ) - 0.005
+
+    def test_line_buffer_hides_pipelining(self):
+        """Section 4.2: the LB recovers part of the pipelining loss."""
+        drop_plain = (
+            run_experiment(duplicate(hit_cycles=1), "gcc", FAST).ipc
+            - run_experiment(duplicate(hit_cycles=3), "gcc", FAST).ipc
+        )
+        drop_lb = (
+            run_experiment(duplicate(hit_cycles=1, line_buffer=True), "gcc", FAST).ipc
+            - run_experiment(duplicate(hit_cycles=3, line_buffer=True), "gcc", FAST).ipc
+        )
+        assert drop_lb < drop_plain
+
+    def test_dram_hit_time_monotone(self):
+        ipcs = [
+            run_experiment(dram_cache(hit, line_buffer=True), "gcc", FAST).ipc
+            for hit in (6, 8)
+        ]
+        assert ipcs[1] <= ipcs[0] * 1.01
+
+    def test_bigger_cache_helps_database(self):
+        small = run_experiment(duplicate(8 * 1024, line_buffer=True), "database", FAST)
+        large = run_experiment(
+            duplicate(512 * 1024, line_buffer=True), "database", FAST
+        )
+        assert large.ipc > small.ipc
+        assert large.memory.l1_miss_rate < small.memory.l1_miss_rate

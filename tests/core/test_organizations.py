@@ -1,0 +1,92 @@
+"""Tests for cache-organization descriptors."""
+
+import pytest
+
+from repro.core import banked, dram_cache, duplicate, ideal_ports
+from repro.memory import ConfigurationError, MemorySystem
+from repro.timing import banked_access_fo4, single_ported_access_fo4
+
+KB = 1024
+
+
+class TestConstructors:
+    def test_ideal_ports(self):
+        org = ideal_ports(32 * KB, ports=3, hit_cycles=2)
+        assert org.port_policy == "ideal" and org.ports == 3
+        assert org.hit_cycles == 2
+
+    def test_banked(self):
+        org = banked(64 * KB, banks=16)
+        assert org.port_policy == "banked" and org.banks == 16
+
+    def test_duplicate(self):
+        org = duplicate(32 * KB, line_buffer=True)
+        assert org.port_policy == "duplicate" and org.line_buffer
+
+    def test_dram(self):
+        org = dram_cache(dram_hit_cycles=7)
+        assert org.dram is not None
+        assert org.dram.dram_hit_cycles == 7
+        assert org.dram.dram_size == 4 * 1024 * KB
+
+
+class TestLabels:
+    def test_labels_follow_paper_notation(self):
+        assert ideal_ports(32 * KB, ports=2, hit_cycles=2).label == "2~ 2-port 32K"
+        assert banked(32 * KB).label == "1~ 8-way banked 32K"
+        assert duplicate(512 * KB, hit_cycles=2).label == "2~ duplicate 512K"
+        assert duplicate(32 * KB, line_buffer=True).label == "1~ duplicate 32K +LB"
+        assert dram_cache(6).label == "6~ DRAM 4M"
+
+
+class TestAccessTimes:
+    def test_duplicate_uses_single_ported_curve(self):
+        assert duplicate(64 * KB).access_time_fo4() == pytest.approx(
+            single_ported_access_fo4(64 * KB)
+        )
+
+    def test_banked_uses_banked_curve(self):
+        assert banked(4 * KB).access_time_fo4() == pytest.approx(
+            banked_access_fo4(4 * KB)
+        )
+
+    def test_dram_uses_row_cache_size(self):
+        assert dram_cache().access_time_fo4() == pytest.approx(
+            single_ported_access_fo4(16 * KB)
+        )
+
+
+class TestMaterialization:
+    def test_memory_config_round_trip(self):
+        org = duplicate(64 * KB, hit_cycles=2, line_buffer=True)
+        system = MemorySystem(org.memory_config())
+        assert system.l1.size_bytes == 64 * KB
+        assert system.config.l1_hit_cycles == 2
+        assert system.line_buffer is not None
+
+    def test_dram_memory_config(self):
+        system = MemorySystem(dram_cache().memory_config())
+        assert system.l1.line_bytes == 512
+        assert system.l1.size_bytes == 16 * KB
+
+    def test_invalid_policy_caught_at_materialization(self):
+        from repro.core import CacheOrganization
+
+        with pytest.raises(ConfigurationError):
+            MemorySystem(CacheOrganization(port_policy="magic").memory_config())
+
+
+class TestModifiers:
+    def test_with_line_buffer(self):
+        base = duplicate(32 * KB)
+        assert base.with_line_buffer().line_buffer
+        assert not base.line_buffer  # immutable
+
+    def test_resized_and_pipelined(self):
+        org = duplicate(32 * KB).resized(128 * KB).pipelined(3)
+        assert org.size_bytes == 128 * KB and org.hit_cycles == 3
+
+    def test_hashable_for_memoization(self):
+        assert duplicate(32 * KB) == duplicate(32 * KB)
+        assert hash(duplicate(32 * KB)) == hash(duplicate(32 * KB))
+        assert duplicate(32 * KB) != banked(32 * KB)

@@ -1,0 +1,97 @@
+"""Tests for the branch predictors."""
+
+import pytest
+
+from repro.cpu import (
+    GsharePredictor,
+    PerfectPredictor,
+    TwoBitPredictor,
+    make_predictor,
+)
+
+
+class TestTwoBitPredictor:
+    def test_learns_always_taken(self):
+        predictor = TwoBitPredictor(64)
+        for _ in range(10):
+            predictor.observe(0x40, True)
+        assert predictor.predict(0x40)
+        assert predictor.stats.misprediction_rate < 0.2
+
+    def test_learns_always_not_taken(self):
+        predictor = TwoBitPredictor(64)
+        for _ in range(10):
+            predictor.observe(0x40, False)
+        assert not predictor.predict(0x40)
+
+    def test_hysteresis_survives_single_flip(self):
+        """A loop-exit branch should not destroy a strongly-taken entry."""
+        predictor = TwoBitPredictor(64)
+        for _ in range(10):
+            predictor.observe(0x40, True)
+        predictor.observe(0x40, False)  # single not-taken
+        assert predictor.predict(0x40)  # still predicts taken
+
+    def test_alternating_pattern_is_hard(self):
+        predictor = TwoBitPredictor(64)
+        for i in range(100):
+            predictor.observe(0x40, i % 2 == 0)
+        assert predictor.stats.misprediction_rate > 0.3
+
+    def test_distinct_pcs_use_distinct_entries(self):
+        predictor = TwoBitPredictor(64)
+        for _ in range(10):
+            predictor.observe(0x40, True)
+            predictor.observe(0x44, False)
+        assert predictor.predict(0x40)
+        assert not predictor.predict(0x44)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            TwoBitPredictor(100)
+
+
+class TestGsharePredictor:
+    def test_learns_history_correlated_pattern(self):
+        """Gshare can learn a strict alternation via history bits."""
+        predictor = GsharePredictor(256, history_bits=4)
+        for i in range(400):
+            predictor.observe(0x40, i % 2 == 0)
+        # after training, the last 100 observations should be mostly right
+        recent = GsharePredictor(256, history_bits=4)
+        for i in range(300):
+            recent.observe(0x40, i % 2 == 0)
+        before = recent.stats.mispredictions
+        for i in range(300, 400):
+            recent.observe(0x40, i % 2 == 0)
+        assert recent.stats.mispredictions - before < 10
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            GsharePredictor(100)
+
+
+class TestPerfectPredictor:
+    def test_never_mispredicts(self):
+        predictor = PerfectPredictor()
+        for i in range(50):
+            assert predictor.observe(i * 4, i % 3 == 0)
+        assert predictor.stats.mispredictions == 0
+        assert predictor.stats.branches == 50
+        assert predictor.stats.accuracy == 1.0
+
+
+class TestFactory:
+    def test_kinds(self):
+        assert isinstance(make_predictor("twobit"), TwoBitPredictor)
+        assert isinstance(make_predictor("gshare"), GsharePredictor)
+        assert isinstance(make_predictor("perfect"), PerfectPredictor)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_predictor("psychic")
+
+    def test_empty_stats(self):
+        predictor = make_predictor("twobit")
+        assert predictor.stats.misprediction_rate == 0.0
+        assert predictor.stats.accuracy == 1.0

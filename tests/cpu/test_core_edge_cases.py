@@ -1,0 +1,223 @@
+"""Edge-case and scheduling-detail tests for the out-of-order core."""
+
+import itertools
+
+import pytest
+
+from repro.cpu import (
+    MicroOp,
+    Op,
+    ProcessorConfig,
+    alu,
+    branch,
+    load,
+    simulate,
+    store,
+)
+from repro.memory import MemoryConfig, MemorySystem
+
+
+def run(trace, n, *, mem=None, cpu=None, warmup=0):
+    memory = MemorySystem(MemoryConfig(**(mem or {})))
+    return simulate(
+        iter(trace),
+        memory,
+        config=ProcessorConfig(**(cpu or {})),
+        max_instructions=n,
+        warmup_instructions=warmup,
+    )
+
+
+class TestIdleCycleSkipping:
+    """The fast-forward path must not change results, only save time."""
+
+    def test_long_memory_gap_cycles_consistent(self):
+        """A single dependent chain of cold loads: cycles must equal the
+        sum of miss latencies within rounding, whether or not the core
+        fast-forwards."""
+
+        def cold_chain():
+            for i in itertools.count():
+                yield load(i * 4096, srcs=(1,))
+
+        result = run(cold_chain(), 50)
+        # Every load misses to memory (~80+ cycles); the run must cost
+        # at least 50 x 60 cycles -- proving time advanced through gaps.
+        assert result.cycles > 50 * 60
+
+    def test_skip_does_not_starve_commit(self):
+        def slow_then_fast():
+            yield MicroOp(Op.IDIV, srcs=())
+            for _ in range(20):
+                yield alu(srcs=(1,))
+
+        result = run(slow_then_fast(), 21)
+        assert result.instructions == 21
+
+
+class TestWindowOrdering:
+    def test_oldest_first_issue_priority(self):
+        """With issue width 1, program order wins among ready ops."""
+
+        def two_ready():
+            yield alu()
+            yield alu()
+            while True:
+                yield alu(srcs=(2,))
+
+        result = run(two_ready(), 500, cpu={"issue_width": 1})
+        assert result.ipc == pytest.approx(1.0, rel=0.05)
+
+    def test_commit_strictly_in_order(self):
+        """A long-latency head blocks commit of younger ops: the
+        window fills and IPC collapses to the divide latency."""
+
+        def div_headed():
+            while True:
+                yield MicroOp(Op.IDIV, srcs=(1,))
+                for _ in range(63):
+                    yield alu()
+
+        result = run(div_headed(), 640, cpu={"window_size": 64})
+        # one 35-cycle divide gates each 64-instruction block
+        assert result.ipc < 64 / 35 * 1.2
+
+
+class TestLsqBoundaries:
+    def test_lsq_exactly_full_then_drains(self):
+        def burst():
+            for i in range(40):
+                yield load(i * 64)
+            while True:
+                yield alu()
+
+        result = run(burst(), 300, cpu={"lsq_size": 4})
+        assert result.instructions == 300
+
+    def test_held_memory_op_not_lost(self):
+        """The op held back by a full LSQ must still commit eventually."""
+
+        def loads_only():
+            for i in itertools.count():
+                yield load((i % 64) * 32)
+
+        result = run(loads_only(), 200, cpu={"lsq_size": 1}, warmup=0)
+        assert result.op_counts.get("LOAD", 0) == 200
+
+
+class TestBranchEdges:
+    def test_back_to_back_mispredicts(self):
+        import random
+
+        rng = random.Random(3)
+
+        def all_branches():
+            while True:
+                yield branch(0x40, taken=rng.random() < 0.5)
+
+        result = run(all_branches(), 400)
+        assert result.instructions == 400
+        assert result.branches.branches >= 400
+
+    def test_branch_at_fetch_group_boundary(self):
+        def pattern():
+            while True:
+                for _ in range(3):
+                    yield alu()
+                yield branch(0x80, taken=True)
+
+        result = run(pattern(), 400)
+        assert result.instructions == 400
+
+    def test_redirect_penalty_configurable(self):
+        import random
+
+        def noisy(seed):
+            rng = random.Random(seed)
+            while True:
+                yield alu()
+                yield branch(0x40, taken=rng.random() < 0.5)
+
+        fast = run(noisy(5), 2000, cpu={"mispredict_redirect_penalty": 0})
+        slow = run(noisy(5), 2000, cpu={"mispredict_redirect_penalty": 8})
+        assert slow.cycles > fast.cycles
+
+
+class TestStoreBufferDrain:
+    def test_stores_write_cache_after_commit(self):
+        def one_store():
+            yield store(0x100)
+            while True:
+                yield alu()
+
+        memory = MemorySystem(MemoryConfig())
+        simulate(one_store(), memory, max_instructions=50)
+        assert memory.l1.probe(memory.line_of(0x100))
+
+    def test_store_dirty_bit_set(self):
+        def stores():
+            for i in range(8):
+                yield store(i * 64)
+            while True:
+                yield alu()
+
+        memory = MemorySystem(MemoryConfig())
+        simulate(stores(), memory, max_instructions=100)
+        assert memory.l1.is_dirty(0)
+
+
+class TestInstructionAccounting:
+    def test_exact_instruction_count_all_widths(self):
+        for width in (1, 2, 4, 8):
+            result = run(
+                (alu() for _ in itertools.count()),
+                333,
+                cpu={
+                    "fetch_width": width,
+                    "issue_width": width,
+                    "commit_width": width,
+                    "window_size": max(8, width),
+                },
+            )
+            assert result.instructions == 333
+
+    def test_warmup_excluded_from_op_counts(self):
+        result = run((alu() for _ in itertools.count()), 100, warmup=400)
+        assert sum(result.op_counts.values()) == 100
+
+
+class TestFunctionalUnitLimits:
+    def test_single_memory_unit_halves_load_throughput(self):
+        def loads():
+            for i in itertools.count():
+                yield load((i % 256) * 32)
+
+        free = run(loads(), 2000, warmup=500)
+        limited = run(
+            loads(),
+            2000,
+            warmup=500,
+            cpu={"fu_limits": (("memory", 1), ("integer", 4), ("branch", 4))},
+        )
+        assert limited.ipc <= min(free.ipc, 1.05)
+
+    def test_r10000_limits_bound_integer_ipc(self):
+        from repro.cpu import R10000_FU_LIMITS
+
+        result = run(
+            (alu() for _ in itertools.count()),
+            2000,
+            cpu={"fu_limits": R10000_FU_LIMITS},
+        )
+        # two integer ALUs cap an all-ALU stream at IPC 2
+        assert result.ipc == pytest.approx(2.0, rel=0.05)
+
+    def test_unrestricted_default_matches_paper(self):
+        result = run((alu() for _ in itertools.count()), 2000)
+        assert result.ipc == pytest.approx(4.0, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProcessorConfig(fu_limits=(("psychic", 1),)).validated()
+        with pytest.raises(ValueError):
+            ProcessorConfig(fu_limits=(("integer", 0),)).validated()

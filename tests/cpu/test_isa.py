@@ -1,0 +1,65 @@
+"""Tests for the micro-op model and R10000 latencies."""
+
+import pytest
+
+from repro.cpu import (
+    ADDRESS_CALC_CYCLES,
+    MAX_DEP_DISTANCE,
+    R10000_LATENCY,
+    MicroOp,
+    Op,
+    alu,
+    branch,
+    load,
+    store,
+)
+
+
+class TestLatencies:
+    def test_single_cycle_integer_alu(self):
+        assert R10000_LATENCY[Op.IALU] == 1
+
+    def test_fp_pipeline_latencies(self):
+        """R10000: 2-cycle FP add/multiply, long divide."""
+        assert R10000_LATENCY[Op.FADD] == 2
+        assert R10000_LATENCY[Op.FMUL] == 2
+        assert R10000_LATENCY[Op.FDIV] > R10000_LATENCY[Op.FMUL]
+
+    def test_every_non_memory_op_has_a_latency(self):
+        for op in Op:
+            if op not in (Op.LOAD, Op.STORE):
+                assert R10000_LATENCY[op] >= 1
+
+    def test_memory_ops_use_address_calc(self):
+        """Load latency is one cycle greater than the cache access time."""
+        assert load(0x100).latency == ADDRESS_CALC_CYCLES
+        assert store(0x100).latency == ADDRESS_CALC_CYCLES
+
+    def test_alu_latency_property(self):
+        assert alu().latency == 1
+        assert MicroOp(Op.IDIV).latency == 35
+
+
+class TestMicroOp:
+    def test_memory_classification(self):
+        assert load(0).is_memory
+        assert store(0).is_memory
+        assert not alu().is_memory
+        assert not branch(0, True).is_memory
+
+    def test_srcs_validation(self):
+        with pytest.raises(ValueError):
+            MicroOp(Op.IALU, srcs=(0,))
+        with pytest.raises(ValueError):
+            MicroOp(Op.IALU, srcs=(MAX_DEP_DISTANCE + 1,))
+        MicroOp(Op.IALU, srcs=(1, MAX_DEP_DISTANCE))  # boundary is fine
+
+    def test_helpers_carry_fields(self):
+        mop = load(0xABC, srcs=(2,))
+        assert mop.address == 0xABC and mop.srcs == (2,)
+        b = branch(0x40, taken=True, srcs=(1,))
+        assert b.pc == 0x40 and b.taken
+
+    def test_slots_prevent_arbitrary_attributes(self):
+        with pytest.raises(AttributeError):
+            alu().bogus = 1

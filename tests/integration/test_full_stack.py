@@ -1,0 +1,132 @@
+"""Cross-module integration tests: the whole stack, end to end."""
+
+import pytest
+
+from repro.core import (
+    ExperimentSettings,
+    banked,
+    dram_cache,
+    duplicate,
+    ideal_ports,
+    run_experiment,
+)
+from repro.core.experiment import clear_cache
+from repro.cpu import OutOfOrderCore, ProcessorConfig
+from repro.memory import MemorySystem, ServedBy
+from repro.workloads import WorkloadGenerator, benchmark
+
+FAST = ExperimentSettings(
+    instructions=3_000, timing_warmup=500, functional_warmup=80_000
+)
+
+
+class TestConservation:
+    """Counts must reconcile across the CPU and memory layers."""
+
+    @pytest.mark.parametrize(
+        "org",
+        [
+            duplicate(32 * 1024, line_buffer=True),
+            banked(32 * 1024),
+            ideal_ports(ports=4, hit_cycles=3),
+            dram_cache(6, line_buffer=True),
+        ],
+        ids=lambda o: o.label,
+    )
+    def test_loads_committed_equal_loads_issued(self, org):
+        result = run_experiment(org, "gcc", FAST)
+        # Every committed LOAD issued exactly one memory-system load;
+        # up to a window's worth of issued loads may still be in flight
+        # when the run reaches its instruction target.
+        committed_loads = result.op_counts.get("LOAD", 0)
+        assert 0 <= result.memory.loads - committed_loads <= 64
+        # Stores drain at commit; the tail may still sit in the buffer.
+        committed_stores = result.op_counts.get("STORE", 0)
+        assert 0 <= committed_stores - result.memory.stores <= 64
+
+    def test_served_by_partitions_accesses(self):
+        result = run_experiment(duplicate(line_buffer=True), "li", FAST)
+        assert sum(result.memory.served_by.values()) == result.memory.accesses
+
+    def test_hits_plus_misses_equal_cache_accesses(self):
+        result = run_experiment(duplicate(), "li", FAST)
+        memory = result.memory
+        assert memory.l1_hits + memory.l1_misses == memory.accesses
+
+    def test_line_buffer_accounted_outside_l1(self):
+        result = run_experiment(duplicate(line_buffer=True), "li", FAST)
+        lb_served = result.memory.served_by[ServedBy.LINE_BUFFER]
+        l1_accesses = result.memory.l1_hits + result.memory.l1_misses
+        assert lb_served + l1_accesses == result.memory.accesses
+
+
+class TestDeterminism:
+    def test_identical_runs_bit_identical(self):
+        results = []
+        for _ in range(2):
+            clear_cache()
+            results.append(run_experiment(duplicate(), "database", FAST))
+        a, b = results
+        assert a.cycles == b.cycles
+        assert a.ipc == b.ipc
+        assert a.memory.l1_misses == b.memory.l1_misses
+        assert a.branches.mispredictions == b.branches.mispredictions
+
+    def test_different_seeds_differ(self):
+        from dataclasses import replace
+
+        a = run_experiment(duplicate(), "gcc", FAST)
+        b = run_experiment(duplicate(), "gcc", replace(FAST, seed=99))
+        assert a.cycles != b.cycles
+
+
+class TestManualAssembly:
+    """The public API pieces compose without the experiment driver."""
+
+    def test_build_and_run_by_hand(self):
+        spec = benchmark("li")
+        generator = WorkloadGenerator(spec, seed=7)
+        memory = MemorySystem(
+            duplicate(16 * 1024, line_buffer=True).memory_config()
+        )
+        memory.prefill_backside(generator.footprint_lines(memory.line_bytes))
+        memory.warm(generator.memory_references(50_000))
+        core = OutOfOrderCore(ProcessorConfig(), memory)
+        result = core.run(generator.instructions(), 2_000)
+        assert result.instructions == 2_000
+        assert 0.2 < result.ipc < 4.0
+
+    def test_custom_processor_width(self):
+        spec = benchmark("tomcatv")
+        generator = WorkloadGenerator(spec, seed=7)
+        memory = MemorySystem(duplicate().memory_config())
+        core = OutOfOrderCore(
+            ProcessorConfig(fetch_width=8, issue_width=8, commit_width=8),
+            memory,
+        )
+        result = core.run(generator.instructions(), 2_000)
+        assert result.ipc > 0
+
+
+class TestScaling:
+    def test_more_instructions_more_cycles(self):
+        from dataclasses import replace
+
+        short = run_experiment(duplicate(), "li", FAST)
+        longer = run_experiment(
+            duplicate(), "li", replace(FAST, instructions=6_000)
+        )
+        assert longer.cycles > short.cycles
+        # IPC estimates agree within simulation noise.
+        assert longer.ipc == pytest.approx(short.ipc, rel=0.25)
+
+    def test_all_nine_benchmarks_run(self):
+        from repro.workloads import BENCHMARKS
+
+        tiny = ExperimentSettings(
+            instructions=800, timing_warmup=200, functional_warmup=30_000
+        )
+        for name in BENCHMARKS:
+            result = run_experiment(duplicate(line_buffer=True), name, tiny)
+            assert result.instructions == 800, name
+            assert result.ipc > 0.1, name

@@ -1,0 +1,60 @@
+"""Tests for the level-zero line buffer."""
+
+from repro.memory import LineBuffer
+
+
+class TestLineBuffer:
+    def test_miss_then_hit_after_fill(self):
+        lb = LineBuffer(entries=4)
+        assert not lb.load_lookup(3)
+        lb.fill(3)
+        assert lb.load_lookup(3)
+        assert lb.stats.load_hits == 1
+        assert lb.stats.load_lookups == 2
+
+    def test_lru_capacity(self):
+        lb = LineBuffer(entries=2)
+        lb.fill(1)
+        lb.fill(2)
+        lb.fill(3)  # evicts 1
+        assert not lb.load_lookup(1)
+        assert lb.load_lookup(2)
+        assert lb.load_lookup(3)
+
+    def test_store_updates_only_resident_lines(self):
+        lb = LineBuffer(entries=4)
+        lb.store_update(9)  # no allocate on store
+        assert not lb.load_lookup(9)
+        lb.fill(9)
+        lb.store_update(9)
+        assert lb.stats.store_updates == 1
+
+    def test_invalidation_on_cache_eviction(self):
+        lb = LineBuffer(entries=4)
+        lb.fill(5)
+        lb.invalidate(5)
+        assert not lb.load_lookup(5)
+        assert lb.stats.invalidations == 1
+        lb.invalidate(5)  # idempotent, not double counted
+        assert lb.stats.invalidations == 1
+
+    def test_hit_rate(self):
+        lb = LineBuffer(entries=4)
+        lb.fill(1)
+        lb.load_lookup(1)
+        lb.load_lookup(2)
+        assert lb.stats.hit_rate == 0.5
+
+    def test_hit_rate_no_lookups(self):
+        assert LineBuffer().stats.hit_rate == 0.0
+
+    def test_default_is_32_entries(self):
+        """The paper's line buffer has 32 entries."""
+        assert LineBuffer().entries == 32
+
+    def test_spatial_locality_one_fill_many_hits(self):
+        """Sequential words in one line hit after a single fill."""
+        lb = LineBuffer(entries=4, line_bytes=32)
+        lb.fill(0)
+        hits = sum(lb.load_lookup(addr // 32) for addr in range(0, 32, 8))
+        assert hits == 4

@@ -1,0 +1,131 @@
+"""Tests for the MSHR file and the bandwidth-limited buses."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import Bus, MshrFile, bytes_per_cycle
+
+
+class TestMshrFile:
+    def test_primary_miss_starts_immediately(self):
+        mshrs = MshrFile(4)
+        grant = mshrs.request(1, 10)
+        assert grant.start_cycle == 10 and not grant.merged
+
+    def test_secondary_miss_merges(self):
+        mshrs = MshrFile(4)
+        mshrs.request(1, 10)
+        mshrs.complete(1, 60)
+        grant = mshrs.request(1, 15)
+        assert grant.merged and grant.pending_ready == 60
+        assert mshrs.stats.merged_misses == 1
+
+    def test_full_file_stalls_new_primary_miss(self):
+        mshrs = MshrFile(2)
+        for line, ready in ((1, 100), (2, 120)):
+            mshrs.request(line, 10)
+            mshrs.complete(line, ready)
+        grant = mshrs.request(3, 11)
+        assert grant.start_cycle == 100  # waits for earliest retire
+        assert mshrs.stats.full_stall_cycles == 89
+
+    def test_retired_entries_free_registers(self):
+        mshrs = MshrFile(1)
+        mshrs.request(1, 0)
+        mshrs.complete(1, 50)
+        grant = mshrs.request(2, 60)  # after line 1 retired
+        assert grant.start_cycle == 60 and not grant.merged
+
+    def test_merge_after_retire_is_new_miss(self):
+        mshrs = MshrFile(4)
+        mshrs.request(1, 0)
+        mshrs.complete(1, 50)
+        grant = mshrs.request(1, 55)
+        assert not grant.merged
+
+    def test_outstanding_count(self):
+        mshrs = MshrFile(4)
+        mshrs.request(1, 0)
+        mshrs.complete(1, 50)
+        mshrs.request(2, 0)
+        mshrs.complete(2, 70)
+        assert mshrs.outstanding(10) == 2
+        assert mshrs.outstanding(60) == 1
+
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ValueError):
+            MshrFile(0)
+
+    @settings(max_examples=30)
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=40),
+    )
+    def test_outstanding_never_exceeds_capacity(self, entries, lines):
+        mshrs = MshrFile(entries)
+        cycle = 0
+        for line in lines:
+            grant = mshrs.request(line, cycle)
+            if not grant.merged:
+                mshrs.complete(line, grant.start_cycle + 40)
+            assert mshrs.outstanding(cycle) <= entries
+            cycle += 1
+
+
+class TestBus:
+    def test_occupancy_rounds_up(self):
+        bus = Bus(12.5)
+        assert bus.occupancy(32) == 3
+        assert bus.occupancy(64) == 6
+        assert bus.occupancy(1) == 1
+
+    def test_transfers_serialize(self):
+        bus = Bus(8.0)
+        first = bus.transfer(0, 64)  # 8 cycles
+        assert (first.start_cycle, first.done_cycle) == (0, 8)
+        second = bus.transfer(2, 64)
+        assert second.start_cycle == 8
+        assert bus.stats.queue_cycles == 6
+
+    def test_idle_bus_starts_immediately(self):
+        bus = Bus(8.0)
+        bus.transfer(0, 8)
+        transfer = bus.transfer(100, 8)
+        assert transfer.start_cycle == 100
+
+    def test_utilization(self):
+        bus = Bus(8.0)
+        bus.transfer(0, 32)  # 4 cycles busy
+        assert bus.utilization(8) == pytest.approx(0.5)
+        assert bus.utilization(0) == 0.0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            Bus(0)
+        with pytest.raises(ValueError):
+            Bus(8.0).transfer(0, 0)
+
+    @settings(max_examples=30)
+    @given(st.lists(st.integers(min_value=1, max_value=128), min_size=1, max_size=30))
+    def test_bandwidth_never_exceeded(self, sizes):
+        """Total busy time >= total bytes / peak bandwidth."""
+        bus = Bus(12.5)
+        end = 0
+        for nbytes in sizes:
+            end = bus.transfer(0, nbytes).done_cycle
+        assert end >= sum(sizes) / 12.5
+
+
+class TestBandwidthConversion:
+    def test_paper_reference_values(self):
+        """2.5 GB/s and 1.6 GB/s are 12.5 and 8 bytes/cycle at 200 MHz."""
+        assert bytes_per_cycle(2.5e9, 25.0) == pytest.approx(12.5)
+        assert bytes_per_cycle(1.6e9, 25.0) == pytest.approx(8.0)
+
+    def test_faster_clock_fewer_bytes_per_cycle(self):
+        assert bytes_per_cycle(2.5e9, 10.0) == pytest.approx(5.0)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            bytes_per_cycle(0, 25.0)

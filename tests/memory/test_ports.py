@@ -1,0 +1,134 @@
+"""Tests for the port arbitration models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import BankedPorts, DuplicatePorts, IdealPorts, make_arbiter
+
+
+class TestIdealPorts:
+    def test_two_ports_serve_two_per_cycle(self):
+        ports = IdealPorts(2)
+        assert ports.reserve(0, 10) == 10
+        assert ports.reserve(1, 10) == 10
+
+    def test_third_access_waits(self):
+        ports = IdealPorts(2)
+        ports.reserve(0, 10)
+        ports.reserve(1, 10)
+        assert ports.reserve(2, 10) == 11
+        assert ports.stats.delayed == 1
+        assert ports.stats.wait_cycles == 1
+
+    def test_fully_pipelined(self):
+        """Each port accepts a new access every cycle regardless of misses."""
+        ports = IdealPorts(1)
+        for cycle in range(5):
+            assert ports.reserve(0, cycle) == cycle
+
+    def test_rejects_zero_ports(self):
+        with pytest.raises(ValueError):
+            IdealPorts(0)
+
+    @settings(max_examples=30)
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=60),
+    )
+    def test_never_overbooks_a_cycle(self, nports, cycles):
+        """No more than n accesses may start in any single cycle."""
+        ports = IdealPorts(nports)
+        starts = [ports.reserve(i, c) for i, c in enumerate(sorted(cycles))]
+        for cycle in set(starts):
+            assert starts.count(cycle) <= nports
+
+    @settings(max_examples=30)
+    @given(st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=40))
+    def test_grant_never_before_request(self, cycles):
+        ports = IdealPorts(2)
+        for i, c in enumerate(sorted(cycles)):
+            assert ports.reserve(i, c) >= c
+
+
+class TestBankedPorts:
+    def test_different_banks_no_conflict(self):
+        banks = BankedPorts(8)
+        assert banks.reserve(0, 5) == 5
+        assert banks.reserve(1, 5) == 5
+        assert banks.stats.bank_conflicts == 0
+
+    def test_same_bank_conflicts(self):
+        banks = BankedPorts(8)
+        assert banks.reserve(0, 5) == 5
+        assert banks.reserve(8, 5) == 6  # line 8 maps to bank 0
+        assert banks.stats.bank_conflicts == 1
+
+    def test_bank_mapping_interleaved(self):
+        banks = BankedPorts(4)
+        assert banks.bank_of(0) == 0
+        assert banks.bank_of(5) == 1
+        assert banks.bank_of(7) == 3
+
+    def test_single_bank_serializes(self):
+        banks = BankedPorts(1)
+        assert banks.reserve(0, 0) == 0
+        assert banks.reserve(1, 0) == 1
+        assert banks.reserve(2, 0) == 2
+
+    def test_rejects_zero_banks(self):
+        with pytest.raises(ValueError):
+            BankedPorts(0)
+
+    @settings(max_examples=30)
+    @given(
+        st.integers(min_value=1, max_value=16),
+        st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=60),
+    )
+    def test_per_bank_exclusivity(self, nbanks, lines):
+        """A bank never starts two accesses in the same cycle."""
+        banks = BankedPorts(nbanks)
+        schedule: dict[tuple[int, int], int] = {}
+        for line in lines:
+            start = banks.reserve(line, 0)
+            key = (line % nbanks, start)
+            schedule[key] = schedule.get(key, 0) + 1
+        assert all(count == 1 for count in schedule.values())
+
+
+class TestDuplicatePorts:
+    def test_loads_use_either_copy(self):
+        dup = DuplicatePorts()
+        assert dup.reserve(0, 3) == 3
+        assert dup.reserve(99, 3) == 3
+        assert dup.reserve(5, 3) == 4
+
+    def test_store_occupies_both_copies(self):
+        dup = DuplicatePorts()
+        assert dup.reserve_store(0, 3) == 3
+        # both copies now busy at cycle 3
+        assert dup.reserve(1, 3) == 4
+        assert dup.reserve(2, 3) == 4
+
+    def test_store_waits_for_both_free(self):
+        dup = DuplicatePorts()
+        dup.reserve(0, 3)  # copy 0 busy at 3
+        assert dup.reserve_store(1, 3) == 4
+
+    def test_has_two_ports(self):
+        assert DuplicatePorts().ports == 2
+
+
+class TestFactory:
+    def test_makes_all_policies(self):
+        assert isinstance(make_arbiter("ideal", ports=3), IdealPorts)
+        assert isinstance(make_arbiter("banked", banks=8), BankedPorts)
+        assert isinstance(make_arbiter("duplicate"), DuplicatePorts)
+
+    def test_configures_counts(self):
+        assert make_arbiter("ideal", ports=3).ports == 3
+        assert make_arbiter("banked", banks=16).banks == 16
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            make_arbiter("magic")

@@ -1,0 +1,124 @@
+"""Tests for the cacti-style access-time model (Figure 1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.timing import (
+    FIGURE1_SIZES,
+    CacheGeometryError,
+    access_time,
+    banked_access_fo4,
+    duplicate_access_fo4,
+    figure1_curves,
+    single_ported_access_fo4,
+)
+from repro.timing.cacti import MAX_SUBARRAYS, PAPER_ANCHORS
+
+
+class TestPaperAnchors:
+    """The model must hit the access times the paper states explicitly."""
+
+    def test_8k_is_25_fo4(self):
+        assert single_ported_access_fo4(8 * 1024) == pytest.approx(25.0, abs=0.2)
+
+    def test_512k_is_1_67_cycles(self):
+        """Section 2.2: a 512 KB cache is accessed in 1.67 x 25 FO4."""
+        assert single_ported_access_fo4(512 * 1024) == pytest.approx(41.75, abs=0.3)
+
+    def test_1m_is_2_20_cycles(self):
+        """Section 2.2: a 1 MB cache is accessed in 2.20 x 25 FO4."""
+        assert single_ported_access_fo4(1024 * 1024) == pytest.approx(55.0, abs=0.5)
+
+    def test_64k_fits_29_fo4_cycle(self):
+        """Section 4.4: 29 FO4 accommodates a one-cycle 64 KB cache."""
+        assert single_ported_access_fo4(64 * 1024) <= 29.0 + 1e-6
+
+    def test_all_anchors(self):
+        for size, target in PAPER_ANCHORS:
+            assert single_ported_access_fo4(size) == pytest.approx(target, rel=0.02)
+
+
+class TestFigure1Shape:
+    def test_single_ported_monotone_in_size(self):
+        fo4s = [single_ported_access_fo4(s) for s in FIGURE1_SIZES]
+        assert fo4s == sorted(fo4s)
+
+    def test_banked_monotone_in_size(self):
+        fo4s = [banked_access_fo4(s) for s in FIGURE1_SIZES]
+        assert fo4s == sorted(fo4s)
+
+    def test_banked_slower_below_16k(self):
+        """Figure 1: eight-way banking hurts small caches."""
+        for size in (4 * 1024, 8 * 1024):
+            assert banked_access_fo4(size) > single_ported_access_fo4(size)
+
+    def test_banked_equal_at_16k_and_above(self):
+        """Caches >= 16 KB are already eight-way banked internally."""
+        for size in FIGURE1_SIZES:
+            if size >= 16 * 1024:
+                assert banked_access_fo4(size) == pytest.approx(
+                    single_ported_access_fo4(size)
+                )
+
+    def test_internal_banking_emerges_at_16k(self):
+        """The unconstrained optimum has >= 8 sub-arrays at >= 16 KB."""
+        assert access_time(4 * 1024).organization.subarrays < 8
+        for size in (16 * 1024, 64 * 1024, 1024 * 1024):
+            assert access_time(size).organization.subarrays >= 8
+
+    def test_duplicate_cache_uses_single_ported_times(self):
+        """Section 2.1: duplicate caches keep single-ported access time."""
+        for size in FIGURE1_SIZES:
+            assert duplicate_access_fo4(size) == single_ported_access_fo4(size)
+
+    def test_figure1_curves_structure(self):
+        curves = figure1_curves()
+        assert set(curves) == {"single_ported", "eight_way_banked"}
+        for points in curves.values():
+            assert [s for s, _ in points] == list(FIGURE1_SIZES)
+
+    def test_subarray_limit_respected(self):
+        """The paper's modified cacti allows at most 32 sub-arrays."""
+        for size in FIGURE1_SIZES:
+            assert access_time(size).organization.subarrays <= MAX_SUBARRAYS
+
+
+class TestInputValidation:
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(CacheGeometryError):
+            access_time(10_000)
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(CacheGeometryError):
+            access_time(0)
+
+    def test_rejects_bad_associativity(self):
+        with pytest.raises(CacheGeometryError):
+            access_time(8192, associativity=0)
+
+    def test_rejects_bad_min_banks(self):
+        with pytest.raises(CacheGeometryError):
+            access_time(8192, min_banks=0)
+
+
+class TestProperties:
+    @given(st.integers(min_value=12, max_value=20))
+    def test_more_banks_never_faster(self, log_size):
+        size = 2**log_size
+        assert banked_access_fo4(size) >= single_ported_access_fo4(size) - 1e-9
+
+    @given(st.integers(min_value=12, max_value=19))
+    def test_doubling_size_never_faster(self, log_size):
+        assert single_ported_access_fo4(2 ** (log_size + 1)) >= (
+            single_ported_access_fo4(2**log_size) - 1e-9
+        )
+
+    @given(
+        st.integers(min_value=12, max_value=20),
+        st.sampled_from([1, 2, 4, 8]),
+    )
+    def test_access_time_positive_and_finite(self, log_size, assoc):
+        result = access_time(2**log_size, associativity=assoc)
+        assert 0 < result.access_fo4 < 200
+        assert result.raw_ns > 0

@@ -1,0 +1,87 @@
+"""White-box tests for the cacti model's organization search."""
+
+import pytest
+
+from repro.timing import access_time
+from repro.timing.cacti import (
+    ArrayOrganization,
+    CacheGeometryError,
+    _organization_delay_ns,
+    _search_organizations,
+    _subarray_geometry,
+)
+from repro.timing.process import DEFAULT_PROCESS
+
+
+class TestSubarrayGeometry:
+    def test_monolithic_8k(self):
+        rows, cols = _subarray_geometry(
+            8192, 2, 32, ArrayOrganization(1, 1, 1)
+        )
+        assert rows == 8192 / (32 * 2)
+        assert cols == 8 * 32 * 2
+
+    def test_splitting_halves_dimensions(self):
+        base_rows, base_cols = _subarray_geometry(
+            8192, 2, 32, ArrayOrganization(1, 1, 1)
+        )
+        rows, cols = _subarray_geometry(8192, 2, 32, ArrayOrganization(2, 2, 1))
+        assert rows == base_rows / 2
+        assert cols == base_cols / 2
+
+    def test_nspd_trades_rows_for_columns(self):
+        rows1, cols1 = _subarray_geometry(
+            8192, 2, 32, ArrayOrganization(1, 1, 1)
+        )
+        rows2, cols2 = _subarray_geometry(
+            8192, 2, 32, ArrayOrganization(1, 1, 2)
+        )
+        assert rows2 == rows1 / 2 and cols2 == cols1 * 2
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(CacheGeometryError):
+            _subarray_geometry(4096, 2, 32, ArrayOrganization(1, 32, 4))
+
+
+class TestDelayModel:
+    def test_more_rows_slower_bitlines(self):
+        small = _organization_delay_ns(
+            8192, 2, 32, ArrayOrganization(1, 2, 1), DEFAULT_PROCESS
+        )
+        large = _organization_delay_ns(
+            65536, 2, 32, ArrayOrganization(1, 2, 1), DEFAULT_PROCESS
+        )
+        assert large > small
+
+    def test_search_finds_no_worse_than_monolithic(self):
+        org, best = _search_organizations(65536, 2, 32, 1, DEFAULT_PROCESS)
+        monolithic = _organization_delay_ns(
+            65536, 2, 32, ArrayOrganization(1, 1, 1), DEFAULT_PROCESS
+        )
+        assert best <= monolithic
+
+    def test_min_banks_constrains_search(self):
+        org, _ = _search_organizations(4096, 2, 32, 8, DEFAULT_PROCESS)
+        assert org.subarrays >= 8
+
+    def test_impossible_constraint_raises(self):
+        with pytest.raises(CacheGeometryError):
+            # 33 > MAX_SUBARRAYS leaves an empty design space.
+            _search_organizations(8192, 2, 32, 33, DEFAULT_PROCESS)
+
+
+class TestAccessTimeVariants:
+    def test_higher_associativity_never_faster(self):
+        for size in (8192, 65536):
+            two = access_time(size, associativity=2).access_fo4
+            eight = access_time(size, associativity=8).access_fo4
+            assert eight >= two - 0.5  # comparator grows with ways
+
+    def test_result_carries_organization(self):
+        result = access_time(64 * 1024)
+        assert result.organization.subarrays >= 1
+        assert result.access_ns == pytest.approx(result.access_fo4 * 0.2)
+
+    def test_block_size_variant_valid(self):
+        result = access_time(16 * 1024, block_bytes=64)
+        assert result.access_fo4 > 0

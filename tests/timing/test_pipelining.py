@@ -1,0 +1,108 @@
+"""Tests for pipeline-depth / cycle-time / cache-size trade-offs."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.timing import (
+    design_points,
+    fits_in_cycles,
+    max_cache_size,
+    pipelined_access_fo4,
+    required_depth,
+    single_ported_access_fo4,
+)
+
+
+class TestLatchOverhead:
+    def test_depth_one_adds_nothing(self):
+        assert pipelined_access_fo4(40.0, 1) == pytest.approx(40.0)
+
+    def test_each_stage_adds_1_5_fo4(self):
+        """Section 2.2: each pipeline latch costs 1.5 FO4."""
+        assert pipelined_access_fo4(40.0, 2) == pytest.approx(41.5)
+        assert pipelined_access_fo4(40.0, 3) == pytest.approx(43.0)
+
+    def test_rejects_bad_depth(self):
+        with pytest.raises(ValueError):
+            pipelined_access_fo4(40.0, 0)
+
+
+class TestRequiredDepth:
+    def test_paper_512k_two_cycles_at_25_fo4(self):
+        """Section 2.2: 512 KB pipelines into two 25 FO4 cycles."""
+        access = single_ported_access_fo4(512 * 1024)
+        assert required_depth(access, 25.0) == 2
+
+    def test_paper_1m_three_cycles_at_25_fo4(self):
+        """Section 2.2: a 1 MB cache needs a three-cycle hit time."""
+        access = single_ported_access_fo4(1024 * 1024)
+        assert required_depth(access, 25.0) == 3
+
+    def test_8k_single_cycle_at_25_fo4(self):
+        assert required_depth(single_ported_access_fo4(8 * 1024), 25.0) == 1
+
+    def test_none_when_too_slow(self):
+        assert required_depth(100.0, 10.0, max_depth=3) is None
+
+    def test_fits_rejects_nonpositive_cycle(self):
+        with pytest.raises(ValueError):
+            fits_in_cycles(25.0, 1, 0.0)
+
+
+class TestMaxCacheSize:
+    def test_29_fo4_fits_64k_single_cycle(self):
+        """Section 4.4/5: 29 FO4 accommodates a one-cycle 64 KB cache."""
+        fit = max_cache_size(29.0, 1)
+        assert fit is not None and fit.size_bytes == 64 * 1024
+
+    def test_below_24_fo4_no_single_cycle_cache(self):
+        """Section 5: under 24 FO4 not even a 4 KB single-cycle cache fits."""
+        assert max_cache_size(23.0, 1) is None
+
+    def test_10_fo4_requires_three_cycles(self):
+        """Section 4.4: at 10 FO4 at least three cycles of pipelining."""
+        assert max_cache_size(10.0, 1) is None
+        assert max_cache_size(10.0, 2) is None
+        fit = max_cache_size(10.0, 3)
+        assert fit is not None
+
+    def test_25_fo4_two_cycle_fits_512k(self):
+        fit = max_cache_size(25.0, 2)
+        assert fit is not None and fit.size_bytes == 512 * 1024
+
+    def test_deeper_pipeline_never_smaller(self):
+        for cycle_time in (10.0, 15.0, 20.0, 25.0, 30.0):
+            sizes = []
+            for depth in (1, 2, 3):
+                fit = max_cache_size(cycle_time, depth)
+                sizes.append(0 if fit is None else fit.size_bytes)
+            assert sizes == sorted(sizes)
+
+    def test_design_points_skips_unrealizable(self):
+        points = design_points((10.0, 25.0))
+        assert all(p.size_bytes >= 4096 for p in points)
+        # at 10 FO4 depths 1 and 2 are unrealizable
+        assert sum(1 for p in points if p.cycle_time_fo4 == 10.0) == 1
+        assert sum(1 for p in points if p.cycle_time_fo4 == 25.0) == 3
+
+
+class TestProperties:
+    @given(
+        st.floats(min_value=5.0, max_value=40.0),
+        st.integers(min_value=1, max_value=3),
+    )
+    def test_larger_cycle_time_never_shrinks_fit(self, cycle_time, depth):
+        smaller = max_cache_size(cycle_time, depth)
+        larger = max_cache_size(cycle_time + 5.0, depth)
+        if smaller is not None:
+            assert larger is not None
+            assert larger.size_bytes >= smaller.size_bytes
+
+    @given(st.floats(min_value=20.0, max_value=80.0))
+    def test_required_depth_consistent_with_fits(self, access):
+        depth = required_depth(access, 25.0)
+        if depth is not None:
+            assert fits_in_cycles(access, depth, 25.0)
+            if depth > 1:
+                assert not fits_in_cycles(access, depth - 1, 25.0)

@@ -1,0 +1,59 @@
+"""Tests for the process technology constants and FO4 conversions."""
+
+import pytest
+
+from repro.timing import (
+    FO4_NS,
+    L2_ACCESS_NS,
+    MEMORY_ACCESS_NS,
+    REFERENCE_CLOCK_MHZ,
+    REFERENCE_CYCLE_FO4,
+    clock_mhz,
+    fo4_to_ns,
+    latency_in_cycles,
+    ns_to_fo4,
+)
+
+
+class TestFo4Conversion:
+    def test_round_trip(self):
+        assert ns_to_fo4(fo4_to_ns(25.0)) == pytest.approx(25.0)
+
+    def test_reference_cycle_is_5ns(self):
+        """25 FO4 == 5 ns, the paper's 200 MHz reference machine."""
+        assert fo4_to_ns(REFERENCE_CYCLE_FO4) == pytest.approx(5.0)
+
+    def test_fo4_is_200ps(self):
+        assert FO4_NS == pytest.approx(0.2)
+
+    def test_reference_clock(self):
+        assert clock_mhz(REFERENCE_CYCLE_FO4) == pytest.approx(REFERENCE_CLOCK_MHZ)
+
+    def test_faster_cycle_gives_higher_clock(self):
+        assert clock_mhz(10.0) > clock_mhz(25.0)
+
+    def test_clock_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            clock_mhz(0)
+
+
+class TestLatencyScaling:
+    def test_l2_is_10_cycles_at_reference(self):
+        """Section 3.1: 4 MB L2 has a 'ten cycle (50ns) access time'."""
+        assert latency_in_cycles(L2_ACCESS_NS, REFERENCE_CYCLE_FO4) == 10
+
+    def test_memory_is_60_cycles_at_reference(self):
+        """Section 3.1: 'sixty cycle (300ns) access time' main memory."""
+        assert latency_in_cycles(MEMORY_ACCESS_NS, REFERENCE_CYCLE_FO4) == 60
+
+    def test_faster_clock_means_more_cycles(self):
+        """A 10 FO4 machine sees the 50 ns L2 as 25 cycles."""
+        assert latency_in_cycles(L2_ACCESS_NS, 10.0) == 25
+        assert latency_in_cycles(MEMORY_ACCESS_NS, 10.0) == 150
+
+    def test_minimum_one_cycle(self):
+        assert latency_in_cycles(0.01, 25.0) == 1
+
+    def test_rejects_nonpositive_cycle_time(self):
+        with pytest.raises(ValueError):
+            latency_in_cycles(50.0, -1.0)

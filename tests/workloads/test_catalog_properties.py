@@ -1,0 +1,84 @@
+"""Catalog-wide properties: every benchmark behaves like its group."""
+
+import itertools
+
+import pytest
+
+from repro.cpu.isa import Op
+from repro.workloads import BENCHMARKS, WorkloadGenerator, by_group, trace
+
+
+def stream(name, n=20_000, seed=3):
+    return itertools.islice(trace(BENCHMARKS[name], seed), n)
+
+
+class TestEverySpec:
+    @pytest.mark.parametrize("name", sorted(BENCHMARKS))
+    def test_generates_valid_microops(self, name):
+        for mop in stream(name, 3_000):
+            assert mop.op in Op
+            if mop.is_memory:
+                assert mop.address >= 0 and mop.address % 8 == 0
+            for distance in mop.srcs:
+                assert 1 <= distance <= 256
+
+    @pytest.mark.parametrize("name", sorted(BENCHMARKS))
+    def test_reference_fraction_near_spec(self, name):
+        spec = BENCHMARKS[name]
+        refs = sum(m.is_memory for m in stream(name, 25_000))
+        expected = spec.load_fraction + spec.store_fraction
+        assert refs / 25_000 == pytest.approx(expected, abs=0.025)
+
+    @pytest.mark.parametrize("name", sorted(BENCHMARKS))
+    def test_footprint_lines_cover_generated_addresses(self, name):
+        generator = WorkloadGenerator(BENCHMARKS[name], seed=5)
+        footprint = set(generator.footprint_lines(32))
+        for is_store, address in generator.memory_references(8_000):
+            assert address >> 5 in footprint
+
+
+class TestGroupCharacter:
+    def fp_fraction(self, name):
+        ops = [m.op for m in stream(name, 15_000)]
+        fp = sum(op in (Op.FADD, Op.FMUL, Op.FDIV, Op.FSQRT) for op in ops)
+        return fp / len(ops)
+
+    def test_fp_group_has_fp_work(self):
+        for spec in by_group("SPECfp95"):
+            assert self.fp_fraction(spec.name) > 0.15, spec.name
+
+    def test_integer_groups_have_none(self):
+        for group in ("SPECint95", "multiprogramming"):
+            for spec in by_group(group):
+                assert self.fp_fraction(spec.name) < 0.02, spec.name
+
+    def test_multiprogramming_footprints_largest(self):
+        def footprint(name):
+            generator = WorkloadGenerator(BENCHMARKS[name], seed=1)
+            return len(generator.footprint_lines(32))
+
+        smallest_multi = min(
+            footprint(s.name) for s in by_group("multiprogramming")
+        )
+        largest_int = max(footprint(s.name) for s in by_group("SPECint95"))
+        assert smallest_multi > largest_int
+
+    def test_fp_branch_rate_lowest(self):
+        def branch_rate(name):
+            ops = [m.op for m in stream(name, 15_000)]
+            return sum(op is Op.BRANCH for op in ops) / len(ops)
+
+        fp_max = max(branch_rate(s.name) for s in by_group("SPECfp95"))
+        int_min = min(branch_rate(s.name) for s in by_group("SPECint95"))
+        assert fp_max < int_min
+
+    def test_kernel_bursts_respect_fraction(self):
+        """gcc spends ~10 % of instructions in the kernel space."""
+        kernel = 0
+        total = 0
+        for mop in stream("gcc", 40_000):
+            if mop.is_memory:
+                total += 1
+                if mop.address >> 26 == 31:
+                    kernel += 1
+        assert kernel / total == pytest.approx(0.10, abs=0.04)

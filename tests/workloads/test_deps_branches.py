@@ -1,0 +1,125 @@
+"""Tests for ILP profiles and branch models."""
+
+import random
+
+import pytest
+
+from repro.cpu import TwoBitPredictor
+from repro.cpu.isa import MAX_DEP_DISTANCE, Op
+from repro.workloads import (
+    FLOAT_BRANCHES,
+    FLOAT_ILP,
+    INTEGER_BRANCHES,
+    INTEGER_ILP,
+    BranchModel,
+    BranchProfile,
+    DependenceTracker,
+    IlpProfile,
+)
+
+
+def collect_srcs(profile, n=4000, seed=3, address=False):
+    tracker = DependenceTracker(profile, random.Random(seed))
+    out = []
+    for seq in range(n):
+        out.append(tracker.next_srcs(seq, address=address))
+    return out
+
+
+class TestIlpProfiles:
+    def test_distances_within_isa_limit(self):
+        for profile in (INTEGER_ILP, FLOAT_ILP):
+            for srcs in collect_srcs(profile):
+                for distance in srcs:
+                    assert 1 <= distance <= MAX_DEP_DISTANCE
+
+    def test_integer_chains_are_tight(self):
+        """Few chains => near producers => strong serialization."""
+        distances = [d for srcs in collect_srcs(INTEGER_ILP) for d in srcs]
+        assert sum(distances) / len(distances) < 2 * INTEGER_ILP.chains
+
+    def test_float_has_more_parallel_chains(self):
+        fp = [d for srcs in collect_srcs(FLOAT_ILP) for d in srcs]
+        ints = [d for srcs in collect_srcs(INTEGER_ILP) for d in srcs]
+        assert sum(fp) / len(fp) > 2 * (sum(ints) / len(ints))
+
+    def test_float_loads_mostly_independent(self):
+        dependent = sum(
+            bool(s) for s in collect_srcs(FLOAT_ILP, n=2000, address=True)
+        )
+        assert dependent / 2000 < 0.2
+
+    def test_integer_loads_pointer_chase(self):
+        dependent = sum(
+            bool(s) for s in collect_srcs(INTEGER_ILP, n=2000, address=True)
+        )
+        assert dependent / 2000 > 0.6
+
+    def test_chain_distances_cluster_near_chain_count(self):
+        """With k chains and round-robin-ish selection, dependence
+        distances concentrate around k (the previous member of the same
+        chain is ~k instructions back)."""
+        distances = [d for srcs in collect_srcs(INTEGER_ILP) for d in srcs]
+        near = sum(d <= 4 * INTEGER_ILP.chains for d in distances)
+        assert near / len(distances) > 0.9
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            IlpProfile("bad", 0, 0.5, 0.1, 0.5)
+        with pytest.raises(ValueError):
+            IlpProfile("bad", 3, 1.5, 0.1, 0.5)
+
+    def test_stale_chain_restarts(self):
+        """A tail beyond the ISA window yields no dependence."""
+        tracker = DependenceTracker(
+            IlpProfile("one", 1, 1.0, 0.0, 1.0), random.Random(1)
+        )
+        tracker.next_srcs(0)
+        assert tracker.next_srcs(MAX_DEP_DISTANCE + 5) == ()
+
+
+class TestBranchProfiles:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BranchProfile(frequency=1.0, loop_fraction=0.5, mean_trip_count=8)
+        with pytest.raises(ValueError):
+            BranchProfile(frequency=0.1, loop_fraction=0.5, mean_trip_count=1)
+
+    def test_branches_are_branch_ops(self):
+        m = BranchModel(INTEGER_BRANCHES, random.Random(5))
+        for _ in range(50):
+            assert m.next_branch().op is Op.BRANCH
+
+    def test_float_branches_more_predictable(self):
+        """FP loop branches should train a 2-bit predictor much better."""
+
+        def accuracy(profile):
+            model = BranchModel(profile, random.Random(5))
+            predictor = TwoBitPredictor(1024)
+            for _ in range(6000):
+                mop = model.next_branch()
+                predictor.observe(mop.pc, mop.taken)
+            return predictor.stats.accuracy
+
+        assert accuracy(FLOAT_BRANCHES) > 0.93
+        assert accuracy(FLOAT_BRANCHES) > accuracy(INTEGER_BRANCHES)
+
+    def test_integer_branches_reasonably_predictable(self):
+        model = BranchModel(INTEGER_BRANCHES, random.Random(5))
+        predictor = TwoBitPredictor(1024)
+        for _ in range(6000):
+            mop = model.next_branch()
+            predictor.observe(mop.pc, mop.taken)
+        assert 0.6 < predictor.stats.accuracy < 0.97
+
+    def test_loop_branches_mostly_taken(self):
+        profile = BranchProfile(
+            frequency=0.1, loop_fraction=1.0, mean_trip_count=16
+        )
+        model = BranchModel(profile, random.Random(5))
+        taken = sum(model.next_branch().taken for _ in range(4000))
+        assert taken / 4000 > 0.85
+
+    def test_srcs_passed_through(self):
+        m = BranchModel(INTEGER_BRANCHES, random.Random(5))
+        assert m.next_branch(srcs=(2,)).srcs == (2,)

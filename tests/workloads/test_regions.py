@@ -1,0 +1,170 @@
+"""Tests for the region-mixture address models."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import Region, RegionAddressModel
+
+
+def model(regions, seed=1, base=0):
+    return RegionAddressModel(tuple(regions), random.Random(seed), base)
+
+
+class TestRegionValidation:
+    def test_rejects_unknown_pattern(self):
+        with pytest.raises(ValueError):
+            Region("x", 1024, 1.0, "spiral")
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            Region("x", 0, 1.0)
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(ValueError):
+            Region("x", 1024, -0.5)
+
+    def test_rejects_bad_hot_fraction(self):
+        with pytest.raises(ValueError):
+            Region("x", 1024, 1.0, "hot", hot_fraction=0.0)
+
+    def test_rejects_bad_burst(self):
+        with pytest.raises(ValueError):
+            Region("x", 1024, 1.0, burst_mean=0.5)
+
+    def test_rejects_zero_stride_sequential(self):
+        with pytest.raises(ValueError):
+            Region("x", 1024, 1.0, "sequential", stride=0)
+
+
+class TestModelConstruction:
+    def test_needs_regions(self):
+        with pytest.raises(ValueError):
+            model([])
+
+    def test_needs_positive_weight(self):
+        with pytest.raises(ValueError):
+            model([Region("x", 1024, 0.0)])
+
+    def test_regions_do_not_overlap(self):
+        regions = [Region(f"r{i}", 8192, 1.0) for i in range(4)]
+        m = model(regions)
+        bases = m._bases
+        for (base_a, reg_a), base_b in zip(
+            zip(bases, regions), bases[1:], strict=False
+        ):
+            assert base_a + reg_a.size_bytes <= base_b
+
+    def test_base_offset_shifts_everything(self):
+        m0 = model([Region("x", 4096, 1.0)], base=0)
+        m1 = model([Region("x", 4096, 1.0)], base=1 << 26)
+        for _ in range(100):
+            assert m1.next_address() >= 1 << 26
+            assert m0.next_address() < 1 << 20
+
+
+class TestPatterns:
+    def test_sequential_walks_with_stride(self):
+        m = model([Region("a", 4096, 1.0, "sequential", stride=8)])
+        addresses = [m.next_address() for _ in range(10)]
+        deltas = {b - a for a, b in zip(addresses, addresses[1:])}
+        assert deltas == {8}
+
+    def test_sequential_wraps(self):
+        m = model([Region("a", 64, 1.0, "sequential", stride=8)])
+        addresses = [m.next_address() for _ in range(16)]
+        assert addresses[8] == addresses[0]
+
+    def test_addresses_stay_in_region(self):
+        region = Region("a", 8192, 1.0, "random")
+        m = model([region])
+        for _ in range(500):
+            assert 0 <= m.next_address() < m.footprint_bytes
+
+    def test_hot_pattern_concentrates(self):
+        region = Region(
+            "a", 64 * 1024, 1.0, "hot", hot_fraction=0.1, hot_weight=0.9,
+            burst_mean=1.0,
+        )
+        m = model([region])
+        hot_limit = 64 * 1024 * 0.1
+        inside = sum(m.next_address() < hot_limit for _ in range(3000))
+        assert inside > 2400  # ~90 % plus spill from bursts
+
+    def test_bursts_stay_within_a_line(self):
+        """Consecutive same-region accesses mostly share a cache line."""
+        m = model([Region("a", 1 << 20, 1.0, "random", burst_mean=8)])
+        addresses = [m.next_address() for _ in range(4000)]
+        same_line = sum(
+            (a >> 5) == (b >> 5) for a, b in zip(addresses, addresses[1:])
+        )
+        assert same_line / len(addresses) > 0.6
+
+    def test_alignment(self):
+        m = model(
+            [
+                Region("a", 8192, 0.5, "hot"),
+                Region("b", 8192, 0.5, "sequential"),
+            ]
+        )
+        for _ in range(200):
+            assert m.next_address() % 8 == 0
+
+
+class TestMixture:
+    def test_weights_respected(self):
+        m = model(
+            [
+                Region("a", 4096, 0.8, "random", burst_mean=1.0),
+                Region("b", 4096, 0.2, "random", burst_mean=1.0),
+            ]
+        )
+        boundary = m._bases[1]
+        in_a = sum(m.next_address() < boundary for _ in range(5000))
+        assert 0.72 < in_a / 5000 < 0.88
+
+    def test_deterministic_under_seed(self):
+        regions = [Region("a", 8192, 1.0, "hot")]
+        a = [model(regions, seed=7).next_address() for _ in range(1)]
+        m1, m2 = model(regions, seed=7), model(regions, seed=7)
+        assert [m1.next_address() for _ in range(200)] == [
+            m2.next_address() for _ in range(200)
+        ]
+
+    def test_weighted_footprint(self):
+        m = model(
+            [
+                Region("a", 1000, 0.5),
+                Region("b", 3000, 0.5),
+            ]
+        )
+        assert m.total_weight_footprint() == 2000
+
+
+class TestProperties:
+    @settings(max_examples=30)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=64),  # size KB
+                st.floats(min_value=0.1, max_value=1.0),  # weight
+                st.sampled_from(["hot", "random", "sequential"]),
+            ),
+            min_size=1,
+            max_size=5,
+        ),
+        st.integers(min_value=0, max_value=1000),
+    )
+    def test_all_addresses_valid(self, specs, seed):
+        regions = [
+            Region(f"r{i}", kb * 1024, w, pattern)
+            for i, (kb, w, pattern) in enumerate(specs)
+        ]
+        m = model(regions, seed=seed)
+        for _ in range(200):
+            address = m.next_address()
+            assert address >= 0
+            assert address % 8 == 0
+            assert address < m.footprint_bytes

@@ -1,0 +1,134 @@
+"""Tests for trace capture, serialization, and characterization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.isa import MicroOp, Op, alu, branch, load, store
+from repro.workloads import benchmark, trace
+from repro.workloads.traces import (
+    capture,
+    load_trace,
+    profile_trace,
+    replay,
+    save_trace,
+)
+
+
+def sample_trace(n=200, seed=1):
+    return capture(trace(benchmark("gcc"), seed), n)
+
+
+class TestCaptureReplay:
+    def test_capture_length(self):
+        assert len(sample_trace(123)) == 123
+
+    def test_capture_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            capture(iter([]), 0)
+
+    def test_replay_is_fresh_each_time(self):
+        captured = sample_trace(50)
+        a = list(replay(captured))
+        b = list(replay(captured))
+        assert a == b == captured
+
+    def test_replayed_trace_simulates_identically(self):
+        from repro.cpu import simulate
+        from repro.memory import MemoryConfig, MemorySystem
+
+        captured = sample_trace(2000)
+        results = []
+        for _ in range(2):
+            memory = MemorySystem(MemoryConfig())
+            results.append(
+                simulate(replay(captured), memory, max_instructions=2000)
+            )
+        assert results[0].ipc == results[1].ipc
+
+
+class TestSerialization:
+    def test_round_trip(self, tmp_path):
+        captured = sample_trace(500)
+        path = tmp_path / "gcc.trace"
+        written = save_trace(captured, path)
+        assert written == 500
+        loaded = load_trace(path)
+        assert len(loaded) == 500
+        for original, restored in zip(captured, loaded):
+            assert original.op == restored.op
+            assert original.srcs == restored.srcs
+            assert original.address == restored.address
+            assert original.pc == restored.pc
+            assert original.taken == restored.taken
+
+    def test_rejects_foreign_file(self, tmp_path):
+        path = tmp_path / "bogus.trace"
+        path.write_text("not a trace\n1 2 3\n")
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    @settings(max_examples=25)
+    @given(
+        st.lists(
+            st.sampled_from(
+                [
+                    alu(),
+                    alu(srcs=(1,)),
+                    MicroOp(Op.FMUL, srcs=(2, 5)),
+                    load(0xDEADBEE8, srcs=(3,)),
+                    store(0x1000),
+                    branch(0x44, taken=True, srcs=(1,)),
+                    branch(0x48, taken=False),
+                ]
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_round_trip_property(self, mops):
+        import tempfile
+        from pathlib import Path
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "t.trace"
+            save_trace(mops, path)
+            loaded = load_trace(path)
+        assert [
+            (m.op, m.srcs, m.address, m.pc, m.taken) for m in mops
+        ] == [(m.op, m.srcs, m.address, m.pc, m.taken) for m in loaded]
+
+
+class TestProfile:
+    def test_profile_matches_spec(self):
+        spec = benchmark("gcc")
+        profile = profile_trace(capture(trace(spec, 1), 30_000))
+        assert profile.load_fraction == pytest.approx(spec.load_fraction, abs=0.02)
+        assert profile.store_fraction == pytest.approx(
+            spec.store_fraction, abs=0.02
+        )
+        assert profile.instructions == 30_000
+        assert profile.footprint_bytes > 0
+
+    def test_branches_mostly_taken_for_fp(self):
+        profile = profile_trace(capture(trace(benchmark("tomcatv"), 1), 30_000))
+        assert profile.taken_fraction > 0.7
+        assert profile.branch_fraction < 0.08
+
+    def test_fractions_sum_to_one(self):
+        profile = profile_trace(sample_trace(5000))
+        assert sum(profile.op_fractions.values()) == pytest.approx(1.0)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            profile_trace([])
+
+    def test_summary_is_readable(self):
+        summary = profile_trace(sample_trace(3000)).summary()
+        assert "loads" in summary and "footprint" in summary
+
+    def test_footprint_counts_distinct_lines(self):
+        mops = [load(0), load(8), load(32), load(64)]
+        profile = profile_trace(mops)
+        assert profile.distinct_lines_32b == 3
+        assert profile.footprint_bytes == 96
