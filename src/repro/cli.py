@@ -19,6 +19,7 @@ import time
 
 from repro.core import ExperimentSettings, figures
 from repro.core import reporting
+from repro.robustness.runner import resilient_sweeps
 from repro.workloads.catalog import BENCHMARKS, REPRESENTATIVES
 
 EXPERIMENTS = (
@@ -129,6 +130,23 @@ def _run_ablations(settings: ExperimentSettings) -> str:
     return "\n\n".join(blocks)
 
 
+def _validated_benchmarks(
+    parser: argparse.ArgumentParser, names: list[str]
+) -> list[str]:
+    """Case-insensitive benchmark validation with a one-line error."""
+    by_lower = {key.lower(): key for key in BENCHMARKS}
+    resolved = []
+    for name in names:
+        canonical = by_lower.get(name.lower())
+        if canonical is None:
+            parser.error(
+                f"unknown benchmark {name!r}; choose from: "
+                + ", ".join(sorted(BENCHMARKS))
+            )
+        resolved.append(canonical)
+    return resolved
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -139,14 +157,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=EXPERIMENTS + ("all",),
-        help="which table/figure to regenerate",
+        help="which table/figure to regenerate (or 'all')",
     )
     parser.add_argument(
         "--benchmarks",
         nargs="+",
         default=list(REPRESENTATIVES),
-        choices=sorted(BENCHMARKS),
         help="benchmarks to simulate (default: the three representatives)",
     )
     parser.add_argument("--instructions", type=int, default=12_000)
@@ -155,14 +171,42 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=1)
     args = parser.parse_args(argv)
 
-    names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
-    for name in names:
-        start = time.time()
-        output = _run_one(name, args)
-        elapsed = time.time() - start
-        print(output)
-        print(f"[{name} regenerated in {elapsed:.1f}s]\n")
-    return 0
+    experiment = args.experiment.lower()
+    if experiment != "all" and experiment not in EXPERIMENTS:
+        parser.error(
+            f"unknown experiment {args.experiment!r}; choose from: "
+            + ", ".join(EXPERIMENTS + ("all",))
+        )
+    args.benchmarks = _validated_benchmarks(parser, args.benchmarks)
+
+    names = EXPERIMENTS if experiment == "all" else (experiment,)
+    broken: list[str] = []
+    with resilient_sweeps() as log:
+        for name in names:
+            start = time.time()
+            try:
+                output = _run_one(name, args)
+            except Exception as error:  # noqa: BLE001 - keep other figures alive
+                broken.append(name)
+                first_line = (str(error).splitlines() or [repr(error)])[0]
+                print(
+                    f"[{name} FAILED: {type(error).__name__}: {first_line}]\n",
+                    file=sys.stderr,
+                )
+                continue
+            elapsed = time.time() - start
+            print(output)
+            print(f"[{name} regenerated in {elapsed:.1f}s]\n")
+
+    summary = log.summary()
+    if summary:
+        print(summary, file=sys.stderr)
+    if broken:
+        print(
+            f"[{len(broken)} experiment(s) failed outright: {', '.join(broken)}]",
+            file=sys.stderr,
+        )
+    return 3 if (broken or log.records) else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -18,6 +18,7 @@ harness can trade time for fidelity without code changes.
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass, field, replace
 
 from repro.cpu.config import ProcessorConfig
@@ -26,17 +27,52 @@ from repro.cpu.result import SimulationResult
 from repro.memory.backside import BacksideConfig
 from repro.memory.hierarchy import MemorySystem
 from repro.core.organizations import CacheOrganization
+from repro.robustness.runner import FailureLog, FailureRecord, current_failure_log
 from repro.workloads.catalog import benchmark
 from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
 
+#: Accepted range for ``REPRO_SCALE``; values outside are clamped.
+SCALE_MIN, SCALE_MAX = 0.01, 1000.0
+
 
 def scale_factor() -> float:
-    """Global instruction-budget multiplier from ``REPRO_SCALE``."""
-    try:
-        value = float(os.environ.get("REPRO_SCALE", "1"))
-    except ValueError:
+    """Global instruction-budget multiplier from ``REPRO_SCALE``.
+
+    Accepts any number in ``[0.01, 1000]`` (e.g. ``0.25`` for a quick
+    look, ``4`` for higher fidelity).  Values outside that range are
+    clamped, and anything unparsable or non-positive falls back to 1 --
+    in every such case a :class:`RuntimeWarning` says so, instead of the
+    old behavior of silently ignoring the setting.
+    """
+    raw = os.environ.get("REPRO_SCALE")
+    if raw is None:
         return 1.0
-    return max(value, 0.01)
+    try:
+        value = float(raw)
+    except ValueError:
+        warnings.warn(
+            f"REPRO_SCALE={raw!r} is not a number; using 1.0",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return 1.0
+    if value <= 0:
+        warnings.warn(
+            f"REPRO_SCALE={raw!r} must be positive; using 1.0",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return 1.0
+    if not SCALE_MIN <= value <= SCALE_MAX:
+        clamped = min(max(value, SCALE_MIN), SCALE_MAX)
+        warnings.warn(
+            f"REPRO_SCALE={raw!r} outside [{SCALE_MIN}, {SCALE_MAX}]; "
+            f"clamped to {clamped}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return clamped
+    return value
 
 
 @dataclass(frozen=True)
@@ -67,7 +103,14 @@ def run_experiment(
     workload: str | WorkloadSpec,
     settings: ExperimentSettings | None = None,
 ) -> SimulationResult:
-    """Simulate one design point; results are memoized per process."""
+    """Simulate one design point; results are memoized per process.
+
+    Inside a :func:`~repro.robustness.runner.resilient_sweeps` context a
+    failing point is retried at a reduced instruction budget and, if it
+    still fails, returned as a ``failed`` sentinel result (IPC = NaN)
+    with the error recorded in the active failure log -- one bad point
+    never kills a whole sweep.  Outside the context errors propagate.
+    """
     settings = (settings or ExperimentSettings()).scaled()
     spec = workload if isinstance(workload, WorkloadSpec) else benchmark(workload)
     key = (organization, spec.name, settings)
@@ -75,6 +118,20 @@ def run_experiment(
     if cached is not None:
         return cached
 
+    log = current_failure_log()
+    if log is None:
+        result = _simulate(organization, spec, settings)
+        _CACHE[key] = result
+        return result
+    return _run_isolated(organization, spec, settings, log)
+
+
+def _simulate(
+    organization: CacheOrganization,
+    spec: WorkloadSpec,
+    settings: ExperimentSettings,
+) -> SimulationResult:
+    """One uncached, unguarded simulation of a design point."""
     generator = WorkloadGenerator(spec, settings.seed)
     memory = MemorySystem(organization.memory_config(settings.backside))
     if settings.functional_warmup > 0:
@@ -83,13 +140,76 @@ def run_experiment(
         memory.prefill_backside(generator.footprint_lines(memory.line_bytes))
         memory.warm(generator.memory_references(settings.functional_warmup))
     core = OutOfOrderCore(settings.cpu, memory)
-    result = core.run(
+    return core.run(
         generator.instructions(),
         settings.instructions,
         warmup_instructions=settings.timing_warmup,
     )
-    _CACHE[key] = result
-    return result
+
+
+def _failure_message(error: Exception, limit: int = 8) -> str:
+    """First lines of an error (structured dumps can run to pages)."""
+    lines = str(error).splitlines() or [repr(error)]
+    head = lines[:limit]
+    if len(lines) > limit:
+        head.append(f"... ({len(lines) - limit} more lines)")
+    return "\n".join(head)
+
+
+def _run_isolated(
+    organization: CacheOrganization,
+    spec: WorkloadSpec,
+    settings: ExperimentSettings,
+    log: FailureLog,
+) -> SimulationResult:
+    """Guarded design point: bounded retry, then a marked gap."""
+    try:
+        result = _simulate(organization, spec, settings)
+    except Exception as error:  # noqa: BLE001 - isolation is the point
+        first_error = error
+    else:
+        _CACHE[(organization, spec.name, settings)] = result
+        return result
+
+    attempts = 1
+    reduced = settings
+    for _ in range(log.retries):
+        reduced = replace(
+            reduced,
+            instructions=max(1_000, reduced.instructions // log.budget_divisor),
+            timing_warmup=reduced.timing_warmup // log.budget_divisor,
+            functional_warmup=reduced.functional_warmup // log.budget_divisor,
+        )
+        attempts += 1
+        try:
+            result = _simulate(organization, spec, reduced)
+        except Exception:  # noqa: BLE001
+            continue
+        # Recovered at lower fidelity: usable, but never memoized under
+        # the full-budget key and flagged in the summary.
+        log.record(
+            FailureRecord(
+                label=organization.label,
+                workload=spec.name,
+                error_type=type(first_error).__name__,
+                message=_failure_message(first_error),
+                attempts=attempts,
+                resolution="recovered",
+            )
+        )
+        return result
+
+    log.record(
+        FailureRecord(
+            label=organization.label,
+            workload=spec.name,
+            error_type=type(first_error).__name__,
+            message=_failure_message(first_error),
+            attempts=attempts,
+            resolution="gap",
+        )
+    )
+    return SimulationResult(instructions=0, cycles=0, failed=True)
 
 
 def average_ipc(

@@ -4,6 +4,11 @@ Each ``figureN``/``tableN`` function returns plain data (dicts/lists of
 rows or series) that :mod:`repro.core.reporting` renders as text and the
 bench harness prints.  See DESIGN.md's experiment index for the mapping
 and EXPERIMENTS.md for paper-vs-measured records.
+
+Figures inherit per-design-point isolation from
+:func:`repro.core.experiment.run_experiment` when generated inside a
+:func:`repro.robustness.runner.resilient_sweeps` context (as the CLI
+does): a failed point renders as NaN rather than aborting the figure.
 """
 
 from __future__ import annotations

@@ -2,7 +2,12 @@
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.core.exec_time import ExecutionTimePoint
+
+if TYPE_CHECKING:
+    from repro.robustness.runner import FailureRecord
 
 
 def _size_label(size_bytes: int) -> str:
@@ -179,6 +184,31 @@ def render_figure9(data: dict[str, list[ExecutionTimePoint]]) -> str:
             )
         )
     return "\n\n".join(blocks)
+
+
+def render_failure_summary(records: "list[FailureRecord]") -> str:
+    """Failure report for a resilient sweep run ('' when clean)."""
+    if not records:
+        return ""
+    table = format_table(
+        ["design point", "workload", "error", "attempts", "resolution"],
+        [
+            [r.label, r.workload, r.error_type, str(r.attempts), r.resolution]
+            for r in records
+        ],
+        f"Failure summary: {len(records)} design point(s) hit an error",
+    )
+    details = []
+    for r in records:
+        details.append(f"* {r.label} / {r.workload} ({r.resolution}):")
+        details.extend(f"    {line}" for line in r.message.splitlines())
+    gaps = sum(1 for r in records if r.resolution == "gap")
+    recovered = len(records) - gaps
+    tail = (
+        f"{recovered} point(s) recovered at reduced budget, "
+        f"{gaps} left as gaps (IPC reported as NaN)."
+    )
+    return "\n".join([table, "", *details, "", tail])
 
 
 def render_headlines(numbers: dict) -> str:

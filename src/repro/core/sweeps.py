@@ -16,6 +16,12 @@ expected directions:
 * ``bank_interleave_sweep`` -- line vs page interleaving conflicts.
 * ``write_policy_sweep`` -- write-back vs write-through(/no-allocate).
 * ``victim_vs_line_buffer`` -- the two small-buffer remedies compared.
+
+Every design point goes through
+:func:`repro.core.experiment.run_experiment`, so running a sweep inside
+a :func:`repro.robustness.runner.resilient_sweeps` context gives it
+per-point isolation: a failing point is retried at a reduced budget and
+then reported as a gap (IPC = NaN) instead of killing the whole sweep.
 """
 
 from __future__ import annotations

@@ -31,6 +31,12 @@ class ProcessorConfig:
     #: ``R10000_FU_LIMITS``.  None reproduces the paper's assumption of
     #: "no restrictions on the type of instructions issued each cycle".
     fu_limits: "tuple[tuple[str, int], ...] | None" = None
+    #: raise :class:`~repro.robustness.errors.DeadlockError` when no
+    #: instruction commits for this many cycles (0 disables the watchdog)
+    watchdog_stall_cycles: int = 100_000
+    #: run the memory system's structural audit every this many commits
+    #: (0 disables periodic audits; a final audit still runs at the end)
+    audit_interval_commits: int = 8192
 
     def validated(self) -> "ProcessorConfig":
         for name in ("fetch_width", "issue_width", "commit_width"):
@@ -42,6 +48,10 @@ class ProcessorConfig:
             raise ValueError("load/store buffer needs at least one entry")
         if self.mispredict_redirect_penalty < 0:
             raise ValueError("redirect penalty cannot be negative")
+        if self.watchdog_stall_cycles < 0:
+            raise ValueError("watchdog_stall_cycles cannot be negative")
+        if self.audit_interval_commits < 0:
+            raise ValueError("audit_interval_commits cannot be negative")
         if self.fu_limits is not None:
             valid = {"integer", "float", "memory", "branch"}
             for unit, count in self.fu_limits:

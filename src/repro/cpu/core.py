@@ -28,6 +28,9 @@ from repro.cpu.config import ProcessorConfig
 from repro.cpu.isa import ADDRESS_CALC_CYCLES, FU_CLASS, MAX_DEP_DISTANCE, MicroOp, Op
 from repro.cpu.result import PipelineStats, SimulationResult
 from repro.memory.hierarchy import MemorySystem
+from repro.robustness.dump import dump_window
+from repro.robustness.errors import SimulationInvariantError
+from repro.robustness.watchdog import CommitWatchdog
 
 _NOT_ISSUED = -1
 _RING = 1024
@@ -83,7 +86,14 @@ class OutOfOrderCore:
         cycle = 0
         fetched = 0
         committed = 0
+        expected_seq = 0
+        commits_since_audit = 0
         lsq_used = 0
+        watchdog = (
+            CommitWatchdog(cfg.watchdog_stall_cycles)
+            if cfg.watchdog_stall_cycles
+            else None
+        )
         held: MicroOp | None = None  # fetched but blocked on a full LSQ
         blocking_branch: _Slot | None = None
         trace_done = False
@@ -93,6 +103,12 @@ class OutOfOrderCore:
         target = warmup_instructions + max_instructions
 
         while committed < target and not (trace_done and not window):
+            # Check for deadlock *before* commit: a stuck completion at a
+            # far-future cycle would otherwise be reached by the
+            # time-jump below and "commit" via time travel.
+            if watchdog is not None and window:
+                watchdog.check(cycle, window, self.memory.mshrs)
+
             # ---------------- commit ----------------
             n_commit = 0
             while (
@@ -102,9 +118,22 @@ class OutOfOrderCore:
                 and window[0].complete <= cycle
             ):
                 slot = window.popleft()
+                if slot.seq != expected_seq:
+                    raise SimulationInvariantError(
+                        f"out-of-order commit: window head has seq {slot.seq}, "
+                        f"expected {expected_seq} at cycle {cycle}",
+                        {"instruction window": dump_window(window, cycle)},
+                    )
+                expected_seq += 1
                 mop = slot.mop
                 if mop.is_memory:
                     lsq_used -= 1
+                    if lsq_used < 0:
+                        raise SimulationInvariantError(
+                            f"load/store queue underflow committing seq "
+                            f"{slot.seq} at cycle {cycle}",
+                            {"instruction window": dump_window(window, cycle)},
+                        )
                     if mop.op is Op.STORE:
                         # Drain after commit, lowest priority (next cycle).
                         self.memory.store(mop.address, cycle + 1)
@@ -124,6 +153,16 @@ class OutOfOrderCore:
                     pipeline = PipelineStats()
                 if committed >= target:
                     break
+            if n_commit:
+                if watchdog is not None:
+                    watchdog.progress(cycle)
+                commits_since_audit += n_commit
+                if (
+                    cfg.audit_interval_commits
+                    and commits_since_audit >= cfg.audit_interval_commits
+                ):
+                    commits_since_audit = 0
+                    self.memory.audit(cycle)
 
             # ---------------- issue ----------------
             n_issue = 0
@@ -194,6 +233,13 @@ class OutOfOrderCore:
                     n_fetch += 1
                     if mop.is_memory:
                         lsq_used += 1
+                        if lsq_used > cfg.lsq_size:
+                            raise SimulationInvariantError(
+                                f"load/store queue overflow ({lsq_used} > "
+                                f"{cfg.lsq_size}) fetching seq {slot.seq} "
+                                f"at cycle {cycle}",
+                                {"instruction window": dump_window(window, cycle)},
+                            )
                     if mop.op is Op.BRANCH:
                         if not self.predictor.observe(mop.pc, mop.taken):
                             blocking_branch = slot
@@ -204,6 +250,10 @@ class OutOfOrderCore:
                 cycle += 1
             else:
                 cycle = self._skip_to_next_event(cycle, window, comp, blocking_branch)
+
+        # Final structural audit: catches corruption that accumulated
+        # after the last periodic check (or any at all on short runs).
+        self.memory.audit(cycle)
 
         result = SimulationResult(
             instructions=committed - measure_start_committed,

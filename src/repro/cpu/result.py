@@ -28,10 +28,16 @@ class SimulationResult:
     pipeline: PipelineStats = field(default_factory=PipelineStats)
     branches: BranchStats = field(default_factory=BranchStats)
     memory: MemoryStats = field(default_factory=MemoryStats)
+    #: the simulation failed and could not be recovered; metrics are
+    #: meaningless and :attr:`ipc` reports NaN so downstream figure math
+    #: shows a visible gap instead of a fabricated number
+    failed: bool = False
 
     @property
     def ipc(self) -> float:
         """Instructions committed per cycle -- the paper's Figure 4-8 metric."""
+        if self.failed:
+            return float("nan")
         return self.instructions / self.cycles if self.cycles else 0.0
 
     @property
@@ -53,6 +59,8 @@ class SimulationResult:
 
     def summary(self) -> str:
         """One-line human-readable digest."""
+        if self.failed:
+            return "simulation failed; no valid measurements"
         return (
             f"{self.instructions} instructions in {self.cycles} cycles, "
             f"IPC={self.ipc:.3f}, "

@@ -16,9 +16,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.memory.bus import Bus
+from repro.memory.bus import Bus, Transfer
 from repro.memory.common import ServedBy
 from repro.memory.sram import SetAssociativeCache
+from repro.robustness.invariants import check_causality
 
 
 @dataclass
@@ -73,6 +74,18 @@ class BacksideMemory:
     def _l2_line(self, l1_line: int) -> int:
         return l1_line >> self._line_shift
 
+    def _checked_transfer(self, bus: Bus, cycle: int, nbytes: int) -> Transfer:
+        """Schedule a transfer and verify its grant window is causal.
+
+        A dropped or mis-accounted bus grant surfaces here as data
+        "arriving" at or before the cycle it was requested.
+        """
+        transfer = bus.transfer(cycle, nbytes)
+        check_causality(
+            f"{bus.name} transfer", cycle, transfer.start_cycle, transfer.done_cycle
+        )
+        return transfer
+
     def fetch_line(self, l1_line: int, cycle: int) -> FillResponse:
         """Fetch an L1 line requested at ``cycle``; returns arrival timing."""
         self.stats.l1_line_requests += 1
@@ -80,18 +93,24 @@ class BacksideMemory:
         lookup_done = cycle + self.config.l2_hit_cycles
         if self.l2.lookup(l2_line):
             self.stats.l2_hits += 1
-            transfer = self.chip_bus.transfer(lookup_done, self.l1_line_bytes)
+            transfer = self._checked_transfer(
+                self.chip_bus, lookup_done, self.l1_line_bytes
+            )
             return FillResponse(transfer.done_cycle, ServedBy.L2)
         self.stats.l2_misses += 1
         # Miss determined after the L2 lookup; go to main memory.
         mem_ready = lookup_done + self.config.memory_cycles
-        mem_xfer = self.memory_bus.transfer(mem_ready, self.config.l2_line)
+        mem_xfer = self._checked_transfer(
+            self.memory_bus, mem_ready, self.config.l2_line
+        )
         victim = self.l2.fill(l2_line)
         if victim is not None and victim.dirty:
             self.stats.l2_writebacks += 1
             # Writeback occupies the memory bus but is off the critical path.
             self.memory_bus.transfer(mem_xfer.done_cycle, self.config.l2_line)
-        transfer = self.chip_bus.transfer(mem_xfer.done_cycle, self.l1_line_bytes)
+        transfer = self._checked_transfer(
+            self.chip_bus, mem_xfer.done_cycle, self.l1_line_bytes
+        )
         return FillResponse(transfer.done_cycle, ServedBy.MEMORY)
 
     def write_word_through(self, l1_line: int, cycle: int) -> int:
@@ -101,7 +120,7 @@ class BacksideMemory:
         is absent from the L2 it is allocated dirty (the fetch from
         memory is off the store's critical path and not modeled).
         """
-        transfer = self.chip_bus.transfer(cycle, 8)
+        transfer = self._checked_transfer(self.chip_bus, cycle, 8)
         l2_line = self._l2_line(l1_line)
         if self.l2.probe(l2_line):
             self.l2.lookup(l2_line, write=True)

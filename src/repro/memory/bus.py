@@ -12,6 +12,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.robustness.errors import SimulationInvariantError
+
 
 @dataclass
 class BusStats:
@@ -53,6 +55,15 @@ class Bus:
         self.stats.bytes_moved += nbytes
         self.stats.busy_cycles += busy
         self.stats.queue_cycles += start - cycle
+        # Bandwidth accounting: a serially reusable bus can never have
+        # spent more busy cycles than its occupancy rules allow for the
+        # bytes it moved.  Broken occupancy math surfaces here.
+        if self.stats.busy_cycles < self.stats.bytes_moved / self.bytes_per_cycle:
+            raise SimulationInvariantError(
+                f"{self.name}: {self.stats.busy_cycles} busy cycles cannot "
+                f"have moved {self.stats.bytes_moved} bytes at "
+                f"{self.bytes_per_cycle} bytes/cycle"
+            )
         return Transfer(start_cycle=start, done_cycle=start + busy)
 
     def utilization(self, total_cycles: int) -> float:

@@ -30,6 +30,8 @@ from repro.memory.ports import make_arbiter
 from repro.memory.sram import SetAssociativeCache
 from repro.memory.stats import MemoryStats
 from repro.memory.victim import VictimCache
+from repro.robustness.errors import SimulationInvariantError
+from repro.robustness.invariants import audit_memory
 
 PORT_POLICIES = ("ideal", "banked", "duplicate")
 WRITE_POLICIES = ("write-back", "write-through")
@@ -125,6 +127,16 @@ class MemorySystem:
 
     def line_of(self, address: int) -> int:
         return address >> self._line_shift
+
+    def audit(self, cycle: int) -> None:
+        """Structural self-check of every cross-structure invariant.
+
+        Cheap enough for the core to run periodically (it walks the
+        small buffers and the L1 set metadata, not the address space);
+        raises :class:`~repro.robustness.errors.SimulationInvariantError`
+        with a rendered state dump on any breach.
+        """
+        audit_memory(self, cycle)
 
     # ------------------------------------------------------------------
     # Functional warm-up
@@ -304,6 +316,11 @@ class MemorySystem:
                 self.l1.lookup(line, write=True)  # mark dirty once filled
             return AccessResult(max(grant.pending_ready, detect), served, port_start)
         response = self.backside.fetch_line(line, grant.start_cycle)
+        if response.ready_cycle < grant.start_cycle:
+            raise SimulationInvariantError(
+                f"fill for line {line:#x} ready at cycle {response.ready_cycle}, "
+                f"before its request at cycle {grant.start_cycle}"
+            )
         self.mshrs.complete(line, response.ready_cycle)
         self._pending_served[line] = response.served_by
         if len(self._pending_served) > 4 * self.config.mshrs:
@@ -322,6 +339,11 @@ class MemorySystem:
         fill arrives, via the normal MSHR bookkeeping.
         """
         if self.l1.probe(line) or self.mshrs.pending_ready(line, cycle):
+            return
+        if self.victim_cache is not None and self.victim_cache.probe(line):
+            # Prefetching a line the victim cache holds would leave the
+            # same line resident in both structures; a demand miss will
+            # recover it with a one-cycle swap anyway.
             return
         if self.mshrs.outstanding(cycle) >= self.mshrs.entries:
             return  # never steal the last MSHR from demand traffic

@@ -68,5 +68,13 @@ class LineBuffer:
         if self._cache.invalidate(line):
             self.stats.invalidations += 1
 
+    def resident_lines(self) -> list[int]:
+        """Lines currently buffered, MRU first (audit/inspection aid)."""
+        return self._cache.resident_lines()
+
+    def audit(self) -> list[str]:
+        """Structural self-check; returns a list of problem descriptions."""
+        return self._cache.audit("line buffer")
+
     def __len__(self) -> int:
         return len(self._cache)

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.robustness.invariants import GrantLedger
+
 
 @dataclass
 class PortStats:
@@ -31,10 +33,18 @@ class PortStats:
 
 
 class PortArbiter:
-    """Base interface: grant a start cycle for an access."""
+    """Base interface: grant a start cycle for an access.
 
-    def __init__(self) -> None:
+    Every arbiter carries a :class:`~repro.robustness.invariants.GrantLedger`
+    guarding the hardware contract that each port (or bank) starts at
+    most one access per cycle -- broken reservation bookkeeping (a lost
+    port release) surfaces as a structured invariant error instead of a
+    silently over-subscribed cache.
+    """
+
+    def __init__(self, name: str = "ports") -> None:
         self.stats = PortStats()
+        self._ledger = GrantLedger(1, name)
 
     def reserve(self, line: int, cycle: int) -> int:
         """Earliest cycle >= ``cycle`` at which the access may start."""
@@ -58,7 +68,7 @@ class IdealPorts(PortArbiter):
     def __init__(self, ports: int):
         if ports < 1:
             raise ValueError(f"need at least one port, got {ports}")
-        super().__init__()
+        super().__init__("ideal ports")
         self.ports = ports
         self._next_free = [0] * ports
 
@@ -66,6 +76,7 @@ class IdealPorts(PortArbiter):
         best = min(range(self.ports), key=self._next_free.__getitem__)
         start = max(cycle, self._next_free[best])
         self._next_free[best] = start + 1
+        self._ledger.record(start, best)
         return self._account(cycle, start)
 
 
@@ -86,7 +97,7 @@ class BankedPorts(PortArbiter):
             raise ValueError(f"need at least one bank, got {banks}")
         if interleave not in ("line", "page"):
             raise ValueError(f"unknown interleaving {interleave!r}")
-        super().__init__()
+        super().__init__("banked ports")
         self.banks = banks
         self.interleave = interleave
         self._next_free = [0] * banks
@@ -107,6 +118,7 @@ class BankedPorts(PortArbiter):
         if start > cycle:
             self.stats.bank_conflicts += 1
         self._next_free[bank] = start + 1
+        self._ledger.record(start, bank)
         return self._account(cycle, start)
 
 
@@ -114,7 +126,7 @@ class DuplicatePorts(PortArbiter):
     """Two mirrored copies of the cache: loads pick either, stores use both."""
 
     def __init__(self) -> None:
-        super().__init__()
+        super().__init__("duplicate ports")
         self._next_free = [0, 0]
 
     @property
@@ -125,6 +137,7 @@ class DuplicatePorts(PortArbiter):
         best = 0 if self._next_free[0] <= self._next_free[1] else 1
         start = max(cycle, self._next_free[best])
         self._next_free[best] = start + 1
+        self._ledger.record(start, best)
         return self._account(cycle, start)
 
     def reserve_store(self, line: int, cycle: int) -> int:
@@ -132,6 +145,8 @@ class DuplicatePorts(PortArbiter):
         start = max(cycle, *self._next_free)
         self._next_free[0] = start + 1
         self._next_free[1] = start + 1
+        self._ledger.record(start, 0)
+        self._ledger.record(start, 1)
         return self._account(cycle, start)
 
 

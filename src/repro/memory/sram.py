@@ -113,6 +113,29 @@ class SetAssociativeCache:
             for tag in ways
         ]
 
+    def audit(self, name: str = "cache") -> list[str]:
+        """Structural self-check; returns a list of problem descriptions.
+
+        Guards the replacement bookkeeping the timing model relies on:
+        no set may exceed its associativity, hold a duplicated way, or
+        carry dirty bits for tags that are not resident.
+        """
+        problems: list[str] = []
+        for index, ways in enumerate(self._ways):
+            if len(ways) > self.associativity:
+                problems.append(
+                    f"{name} set {index}: {len(ways)} ways exceed "
+                    f"associativity {self.associativity}"
+                )
+            if len(set(ways)) != len(ways):
+                problems.append(f"{name} set {index}: duplicate tag in LRU order")
+            phantom = self._dirty[index] - set(ways)
+            if phantom:
+                problems.append(
+                    f"{name} set {index}: dirty bits for absent tags {sorted(phantom)}"
+                )
+        return problems
+
     def __len__(self) -> int:
         return sum(len(ways) for ways in self._ways)
 
@@ -163,6 +186,21 @@ class FullyAssociativeCache:
 
     def clear(self) -> None:
         self._lines.clear()
+
+    def resident_lines(self) -> list[int]:
+        """All currently held line addresses, MRU first."""
+        return list(self._lines)
+
+    def audit(self, name: str = "buffer") -> list[str]:
+        """Structural self-check; returns a list of problem descriptions."""
+        problems: list[str] = []
+        if len(self._lines) > self.entries:
+            problems.append(
+                f"{name}: {len(self._lines)} lines exceed capacity {self.entries}"
+            )
+        if len(set(self._lines)) != len(self._lines):
+            problems.append(f"{name}: duplicate line in LRU order")
+        return problems
 
     def __len__(self) -> int:
         return len(self._lines)

@@ -68,5 +68,23 @@ class VictimCache:
         self._dirty.discard(displaced)
         return displaced, displaced_dirty
 
+    def probe(self, line: int) -> bool:
+        """Check presence without disturbing LRU or dirty state."""
+        return self._cache.probe(line)
+
+    def resident_lines(self) -> list[int]:
+        """Lines currently held, MRU first (audit/inspection aid)."""
+        return self._cache.resident_lines()
+
+    def audit(self) -> list[str]:
+        """Structural self-check; returns a list of problem descriptions."""
+        problems = self._cache.audit("victim cache")
+        phantom = self._dirty - set(self._cache.resident_lines())
+        if phantom:
+            problems.append(
+                f"victim cache: dirty bits for absent lines {sorted(phantom)[:4]}"
+            )
+        return problems
+
     def __len__(self) -> int:
         return len(self._cache)

@@ -1,0 +1,55 @@
+"""Simulation guard rails: invariants, watchdog, faults, resilient runs.
+
+The cycle-level simulator trusts a web of bookkeeping — MSHR occupancy,
+port grants, line-buffer/victim coherence, bus scheduling.  A single
+slip silently corrupts a whole figure sweep or hangs ``python -m repro
+all``.  This package makes the simulator defend itself:
+
+* :mod:`repro.robustness.errors` — structured, state-dumping exceptions;
+* :mod:`repro.robustness.invariants` — cheap always-on checks wired into
+  the core and memory system, plus a periodic structural audit;
+* :mod:`repro.robustness.watchdog` — commit-progress deadlock detection;
+* :mod:`repro.robustness.faults` — deterministic fault injection used to
+  prove the invariants and watchdog actually fire;
+* :mod:`repro.robustness.runner` — per-design-point isolation with
+  bounded retry so one failing point yields a marked gap, not a dead run.
+"""
+
+from repro.robustness.errors import (
+    DeadlockError,
+    RobustnessError,
+    SimulationInvariantError,
+)
+from repro.robustness.faults import (
+    FAULT_CLASSES,
+    inject_corrupt_lru,
+    inject_dropped_bus_grant,
+    inject_lost_port_release,
+    inject_stuck_mshr,
+)
+from repro.robustness.invariants import GrantLedger, audit_memory
+from repro.robustness.runner import (
+    FailureRecord,
+    FailureLog,
+    current_failure_log,
+    resilient_sweeps,
+)
+from repro.robustness.watchdog import CommitWatchdog
+
+__all__ = [
+    "DeadlockError",
+    "RobustnessError",
+    "SimulationInvariantError",
+    "FAULT_CLASSES",
+    "inject_corrupt_lru",
+    "inject_dropped_bus_grant",
+    "inject_lost_port_release",
+    "inject_stuck_mshr",
+    "GrantLedger",
+    "audit_memory",
+    "FailureRecord",
+    "FailureLog",
+    "current_failure_log",
+    "resilient_sweeps",
+    "CommitWatchdog",
+]

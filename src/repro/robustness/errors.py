@@ -1,0 +1,50 @@
+"""Structured simulator-fault exceptions carrying a diagnosable state dump.
+
+Every guard-rail failure raises one of these instead of a bare
+``AssertionError``: the message names the broken invariant, and
+``state`` holds named text blocks (pipeline window, MSHR file, cache
+audit findings, ...) rendered through :mod:`repro.core.reporting` so a
+failing sweep leaves behind something a human can debug from.
+"""
+
+from __future__ import annotations
+
+
+class RobustnessError(RuntimeError):
+    """Base class for simulator self-check failures.
+
+    ``state`` maps section titles to pre-rendered text blocks; ``str()``
+    of the exception includes every section so the dump survives into
+    logs, pytest output, and the resilient runner's failure reports.
+    """
+
+    def __init__(self, message: str, state: dict[str, str] | None = None):
+        self.message = message
+        self.state = dict(state or {})
+        super().__init__(message)
+
+    def __str__(self) -> str:
+        if not self.state:
+            return self.message
+        blocks = [self.message]
+        for title, text in self.state.items():
+            blocks.append(f"--- {title} ---\n{text}")
+        return "\n".join(blocks)
+
+
+class SimulationInvariantError(RobustnessError):
+    """An internal-consistency invariant of the simulator was violated.
+
+    Examples: over-subscribed cache port, MSHR file above capacity, a
+    line buffered without a backing L1 line, a bus transfer completing
+    before it was requested, corrupted LRU bookkeeping.
+    """
+
+
+class DeadlockError(RobustnessError):
+    """The pipeline stopped committing and cannot make progress.
+
+    Raised by :class:`repro.robustness.watchdog.CommitWatchdog` with the
+    stalled instruction window and the MSHR file attached, so the stuck
+    resource is visible directly in the error.
+    """

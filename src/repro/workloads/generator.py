@@ -17,6 +17,7 @@ gives them their large aggregate working sets.
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -97,7 +98,10 @@ class WorkloadGenerator:
 
     def __init__(self, spec: WorkloadSpec, seed: int = 0):
         self.spec = spec
-        self._rng = random.Random((hash(spec.name) & 0xFFFF_FFFF) ^ seed)
+        # crc32, not hash(): str hashing is randomized per process
+        # (PYTHONHASHSEED), which made "deterministic" streams differ
+        # between runs.
+        self._rng = random.Random(zlib.crc32(spec.name.encode()) ^ seed)
         self._user_spaces = [
             _Space(spec.user_regions, spec.branches, spec.ilp, self._rng, index)
             for index in range(spec.processes)

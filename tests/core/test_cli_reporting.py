@@ -111,10 +111,29 @@ class TestCli:
         assert code == 0
         assert "Figure 4" in capsys.readouterr().out
 
-    def test_rejects_unknown_experiment(self):
+    def test_rejects_unknown_experiment(self, capsys):
         with pytest.raises(SystemExit):
             main(["figure42"])
+        err = capsys.readouterr().err
+        assert "unknown experiment 'figure42'" in err
+        assert "figure1" in err and "headlines" in err  # lists valid names
+        assert "Traceback" not in err
 
-    def test_rejects_unknown_benchmark(self):
+    def test_rejects_unknown_benchmark(self, capsys):
         with pytest.raises(SystemExit):
             main(["figure4", "--benchmarks", "doom"])
+        err = capsys.readouterr().err
+        assert "unknown benchmark 'doom'" in err
+        assert "gcc" in err and "tomcatv" in err  # lists valid names
+        assert "Traceback" not in err
+
+    def test_benchmark_names_are_case_insensitive(self, capsys):
+        code = main(
+            [
+                "table2",
+                "--benchmarks",
+                "GCC",
+            ]
+        )
+        assert code == 0
+        assert "Table 2" in capsys.readouterr().out

@@ -61,7 +61,8 @@ class TestDriverMechanics:
         monkeypatch.setenv("REPRO_SCALE", "2")
         assert scale_factor() == 2.0
         monkeypatch.setenv("REPRO_SCALE", "bogus")
-        assert scale_factor() == 1.0
+        with pytest.warns(RuntimeWarning, match="not a number"):
+            assert scale_factor() == 1.0
 
     def test_scaled_settings(self, monkeypatch):
         monkeypatch.setenv("REPRO_SCALE", "2")

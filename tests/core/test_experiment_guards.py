@@ -1,0 +1,53 @@
+"""REPRO_SCALE validation: loud on nonsense, silent on valid settings."""
+
+import warnings
+
+import pytest
+
+from repro.core.experiment import SCALE_MAX, SCALE_MIN, scale_factor
+
+
+class TestScaleFactor:
+    def test_unset_is_one(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert scale_factor() == 1.0
+
+    def test_valid_value_passes_silently(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "2.5")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert scale_factor() == 2.5
+
+    def test_garbage_warns_and_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "lots")
+        with pytest.warns(RuntimeWarning, match="not a number"):
+            assert scale_factor() == 1.0
+
+    def test_zero_warns_and_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0")
+        with pytest.warns(RuntimeWarning, match="must be positive"):
+            assert scale_factor() == 1.0
+
+    def test_negative_warns_and_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "-3")
+        with pytest.warns(RuntimeWarning, match="must be positive"):
+            assert scale_factor() == 1.0
+
+    def test_huge_value_clamped_with_warning(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "1e9")
+        with pytest.warns(RuntimeWarning, match="clamped"):
+            assert scale_factor() == SCALE_MAX
+
+    def test_tiny_value_clamped_with_warning(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "1e-9")
+        with pytest.warns(RuntimeWarning, match="clamped"):
+            assert scale_factor() == SCALE_MIN
+
+    def test_range_endpoints_accepted(self, monkeypatch):
+        for value in (SCALE_MIN, SCALE_MAX):
+            monkeypatch.setenv("REPRO_SCALE", str(value))
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                assert scale_factor() == value

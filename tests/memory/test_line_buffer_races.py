@@ -1,0 +1,67 @@
+"""Line-buffer coherence races: eviction and hits while fills are pending."""
+
+import random
+
+from repro.memory import MemoryConfig, MemorySystem
+from repro.robustness import audit_memory
+
+
+def make_system(**overrides) -> MemorySystem:
+    defaults = dict(line_buffer=True)
+    defaults.update(overrides)
+    return MemorySystem(MemoryConfig(**defaults))
+
+
+class TestHitWhilePending:
+    def test_buffer_hit_on_inflight_line_waits_for_the_fill(self):
+        system = make_system()
+        miss = system.load(0, 0)
+        # The line is now in the buffer, but its data is still in flight:
+        # a buffer hit must forward at fill time, not pretend one cycle.
+        hit = system.load(8, 1)
+        assert hit.completion_cycle == miss.completion_cycle
+        assert hit.completion_cycle > 2
+
+    def test_buffer_hit_after_fill_is_one_cycle(self):
+        system = make_system()
+        miss = system.load(0, 0)
+        later = miss.completion_cycle + 10
+        hit = system.load(8, later)
+        assert hit.completion_cycle == later + 1
+
+
+class TestEvictionWhilePending:
+    def test_l1_eviction_invalidates_buffered_copy(self):
+        # Tiny direct-mapped L1: two lines one set apart conflict.
+        system = make_system(l1_size=1024, l1_assoc=1)
+        sets = 1024 // 32
+        system.load(0, 0)
+        assert system.line_of(0) in system.line_buffer.resident_lines()
+        system.load(sets * 32, 100)  # evicts line 0 from the L1
+        assert system.line_of(0) not in system.line_buffer.resident_lines()
+        audit_memory(system, 1000)
+
+    def test_eviction_of_still_pending_line_stays_coherent(self):
+        system = make_system(l1_size=1024, l1_assoc=1, mshrs=4)
+        sets = 1024 // 32
+        # Both misses land in the same set back to back: the second fill
+        # evicts the first line while the first fill is still in flight.
+        system.load(0, 0)
+        system.load(sets * 32, 1)
+        assert system.line_of(0) not in system.line_buffer.resident_lines()
+        audit_memory(system, 10_000)
+
+    def test_random_hammer_keeps_buffer_coherent(self):
+        system = make_system(l1_size=2048, l1_assoc=1, victim_entries=4)
+        rng = random.Random(7)
+        cycle = 0
+        for _ in range(3_000):
+            address = rng.randrange(64) * 32 + rng.randrange(32)
+            cycle += rng.randrange(3)
+            if rng.random() < 0.3:
+                system.store(address, cycle)
+            else:
+                system.load(address, cycle)
+        audit_memory(system, cycle + 10_000)
+        for line in system.line_buffer.resident_lines():
+            assert system.l1.probe(line)

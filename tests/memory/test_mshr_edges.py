@@ -1,0 +1,98 @@
+"""MSHR merge and overflow edge cases (lockup-free corner behavior)."""
+
+import pytest
+
+from repro.memory import MemoryConfig, MemorySystem
+from repro.memory.mshr import MshrFile
+
+
+def make_system(**overrides) -> MemorySystem:
+    return MemorySystem(MemoryConfig(**overrides))
+
+
+class TestMergeSemantics:
+    def test_second_miss_to_pending_line_merges(self):
+        mshrs = MshrFile(4)
+        first = mshrs.request(0x10, 100)
+        assert not first.merged
+        mshrs.complete(0x10, 250)
+        second = mshrs.request(0x10, 120)
+        assert second.merged
+        assert second.pending_ready == 250
+        assert mshrs.stats.primary_misses == 1
+        assert mshrs.stats.merged_misses == 1
+
+    def test_merge_window_closes_when_fill_lands(self):
+        mshrs = MshrFile(4)
+        mshrs.request(0x10, 100)
+        mshrs.complete(0x10, 250)
+        late = mshrs.request(0x10, 250)  # request at the fill cycle
+        assert not late.merged  # the register already retired
+
+    def test_pending_ready_boundary(self):
+        mshrs = MshrFile(4)
+        mshrs.complete(0x10, 200)
+        assert mshrs.pending_ready(0x10, 199) == 200
+        assert mshrs.pending_ready(0x10, 200) is None  # data has arrived
+
+    def test_repeated_merges_share_one_register(self):
+        mshrs = MshrFile(4)
+        mshrs.request(0x10, 100)
+        mshrs.complete(0x10, 400)
+        for cycle in (110, 120, 130):
+            grant = mshrs.request(0x10, cycle)
+            assert grant.merged
+        assert mshrs.outstanding(150) == 1
+        assert mshrs.stats.merged_misses == 3
+
+
+class TestOverflow:
+    def test_fifth_distinct_miss_waits_for_earliest_register(self):
+        mshrs = MshrFile(4)
+        for i, ready in enumerate((300, 500, 400, 600)):
+            mshrs.request(0x100 + i, 100)
+            mshrs.complete(0x100 + i, ready)
+        grant = mshrs.request(0x999, 150)
+        assert not grant.merged
+        assert grant.start_cycle == 300  # earliest fill frees its register
+        assert mshrs.stats.full_stall_cycles == 150
+        # The evicted register's line no longer merges.
+        assert not mshrs.request(0x100, 160).merged
+
+    def test_overflow_after_earliest_retired_is_free(self):
+        mshrs = MshrFile(4)
+        for i in range(4):
+            mshrs.request(0x100 + i, 100)
+            mshrs.complete(0x100 + i, 300 + i)
+        grant = mshrs.request(0x999, 350)  # line 0x100 retired at 300
+        assert grant.start_cycle == 350
+        assert mshrs.stats.full_stall_cycles == 0
+
+    def test_outstanding_never_exceeds_entries(self):
+        mshrs = MshrFile(2)
+        for i in range(10):
+            grant = mshrs.request(0x200 + i, i * 5)
+            mshrs.complete(0x200 + i, i * 5 + 100)
+            assert mshrs.outstanding(grant.start_cycle) <= mshrs.entries
+
+
+class TestDelayedHitsThroughTheHierarchy:
+    def test_load_behind_inflight_fill_waits_for_it(self):
+        system = make_system()
+        miss = system.load(0, 0)
+        chaser = system.load(8, 2)  # same line, fill still in flight
+        assert chaser.completion_cycle == miss.completion_cycle
+        assert system.stats.delayed_hits == 1
+
+    def test_single_mshr_serializes_distinct_misses(self):
+        wide = make_system(mshrs=4)
+        narrow = make_system(mshrs=1)
+        lines = [i * 0x1000 for i in range(4)]
+        wide_done = max(wide.load(a, 0).completion_cycle for a in lines)
+        narrow_done = max(narrow.load(a, 0).completion_cycle for a in lines)
+        assert narrow_done > wide_done
+        assert narrow.mshrs.stats.full_stall_cycles > 0
+
+    def test_mshr_file_rejects_zero_entries(self):
+        with pytest.raises(ValueError):
+            MshrFile(0)

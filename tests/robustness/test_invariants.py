@@ -1,0 +1,107 @@
+"""Unit tests for the incremental checks and the structural audit."""
+
+import pytest
+
+from repro.memory import MemoryConfig, MemorySystem
+from repro.robustness import (
+    GrantLedger,
+    SimulationInvariantError,
+    audit_memory,
+)
+from repro.robustness.invariants import _LEDGER_PRUNE_AT, check_causality
+
+
+def make_system(**overrides) -> MemorySystem:
+    return MemorySystem(MemoryConfig(**overrides))
+
+
+class TestGrantLedger:
+    def test_capacity_respected(self):
+        ledger = GrantLedger(2, "test ports")
+        ledger.record(10, 0)
+        ledger.record(10, 0)  # second grant at capacity 2: fine
+
+    def test_oversubscription_raises(self):
+        ledger = GrantLedger(1, "test ports")
+        ledger.record(10, 0)
+        with pytest.raises(SimulationInvariantError) as info:
+            ledger.record(10, 0)
+        assert "test ports" in str(info.value)
+        assert "grant ledger" in str(info.value)
+
+    def test_keys_are_independent(self):
+        ledger = GrantLedger(1, "banks")
+        ledger.record(10, 0)
+        ledger.record(10, 1)  # different bank, same cycle: fine
+        ledger.record(11, 0)  # same bank, different cycle: fine
+
+    def test_weight_counts_multiple_grants(self):
+        ledger = GrantLedger(2, "ports")
+        with pytest.raises(SimulationInvariantError):
+            ledger.record(5, 0, weight=3)
+
+    def test_pruning_bounds_memory(self):
+        ledger = GrantLedger(1, "ports")
+        for cycle in range(_LEDGER_PRUNE_AT + 10):
+            ledger.record(cycle)
+        assert len(ledger._counts) <= _LEDGER_PRUNE_AT
+
+    def test_rejects_silly_capacity(self):
+        with pytest.raises(ValueError):
+            GrantLedger(0, "ports")
+
+
+class TestCausality:
+    def test_legitimate_window_passes(self):
+        check_causality("bus", 10, 10, 12)
+        check_causality("bus", 10, 15, 16)
+
+    def test_start_before_request_raises(self):
+        with pytest.raises(SimulationInvariantError, match="acausal"):
+            check_causality("bus", 10, 9, 12)
+
+    def test_zero_occupancy_raises(self):
+        with pytest.raises(SimulationInvariantError, match="acausal"):
+            check_causality("bus", 10, 10, 10)
+
+
+class TestAuditMemory:
+    def test_clean_system_passes(self):
+        system = make_system(line_buffer=True, victim_entries=4)
+        for i in range(200):
+            system.load(i * 64, i)
+        audit_memory(system, 10_000)
+
+    def test_line_buffer_incoherence_caught(self):
+        system = make_system(line_buffer=True)
+        system.load(0, 0)
+        # Sneak a line into the buffer that the L1 never held.
+        system.line_buffer._cache.fill(0x9999)
+        with pytest.raises(SimulationInvariantError) as info:
+            audit_memory(system, 100)
+        assert "missed invalidation" in str(info.value)
+        assert "memory state" in str(info.value)
+
+    def test_victim_exclusivity_caught(self):
+        system = make_system(victim_entries=4)
+        system.load(0, 0)
+        line = system.line_of(0)
+        system.victim_cache._cache.fill(line)  # also resident in L1
+        with pytest.raises(SimulationInvariantError, match="exclusivity"):
+            audit_memory(system, 100)
+
+    def test_served_by_mismatch_caught(self):
+        system = make_system()
+        system.load(0, 0)
+        system.stats.loads += 1  # an access nothing served
+        with pytest.raises(SimulationInvariantError, match="served-by"):
+            audit_memory(system, 100)
+
+    def test_error_carries_state_dump(self):
+        system = make_system()
+        system.load(0, 0)
+        system.stats.loads += 1
+        with pytest.raises(SimulationInvariantError) as info:
+            audit_memory(system, 100)
+        assert info.value.state  # structured blocks, not just a message
+        assert "MSHR file" in info.value.state

@@ -1,0 +1,41 @@
+"""Unit tests for the commit-progress watchdog."""
+
+import pytest
+
+from repro.memory.mshr import MshrFile
+from repro.robustness import CommitWatchdog, DeadlockError
+
+
+class TestCommitWatchdog:
+    def test_quiet_within_bound(self):
+        dog = CommitWatchdog(stall_cycles=1000)
+        dog.check(1000, [], MshrFile(4))  # exactly at the bound: fine
+
+    def test_raises_past_bound(self):
+        dog = CommitWatchdog(stall_cycles=1000)
+        with pytest.raises(DeadlockError, match="deadlocked"):
+            dog.check(1001, [], MshrFile(4))
+
+    def test_progress_resets_the_clock(self):
+        dog = CommitWatchdog(stall_cycles=1000)
+        dog.progress(5000)
+        dog.check(5900, [], MshrFile(4))
+        with pytest.raises(DeadlockError):
+            dog.check(6001, [], MshrFile(4))
+
+    def test_error_includes_window_and_mshr_dumps(self):
+        dog = CommitWatchdog(stall_cycles=10)
+        mshrs = MshrFile(4)
+        mshrs.complete(0x40, 999_999)
+        with pytest.raises(DeadlockError) as info:
+            dog.check(50, [], mshrs)
+        error = info.value
+        assert "stalled window" in error.state
+        assert "MSHR file" in error.state
+        assert "0x40" in error.state["MSHR file"]
+        # __str__ renders the blocks for plain tracebacks/logs too.
+        assert "stalled window" in str(error)
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError):
+            CommitWatchdog(stall_cycles=0)
