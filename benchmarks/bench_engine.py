@@ -1,0 +1,103 @@
+"""Wall-clock benchmark of the execution engine: serial vs parallel vs warm.
+
+Runs ``python -m repro all`` three times as subprocesses --
+
+1. **serial** (``--jobs 1``) against an empty result store,
+2. **parallel** (``--jobs N``) against another empty store,
+3. **warm** (``--jobs 1``) reusing the parallel run's store --
+
+and writes ``BENCH_engine.json`` with the three wall times, the
+parallel speedup, and the warm-over-cold fraction.  Also diffs the
+three reports (timing footer lines stripped) to prove the engine keeps
+output byte-identical across execution strategies.
+
+Usage::
+
+    python benchmarks/bench_engine.py [--jobs N] [--scale S] [--out PATH]
+
+``--scale`` sets ``REPRO_SCALE`` for all runs (default 1).  Not a
+pytest file on purpose: it measures minutes of wall clock.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+def _strip_timing(output: str) -> str:
+    return "\n".join(
+        line for line in output.splitlines() if "regenerated in" not in line
+    )
+
+
+def _run(jobs: int, cache_dir: Path, scale: float) -> tuple[float, str]:
+    env = dict(
+        os.environ,
+        PYTHONPATH=str(REPO / "src"),
+        REPRO_CACHE_DIR=str(cache_dir),
+        REPRO_SCALE=str(scale),
+    )
+    start = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "all", "--jobs", str(jobs)],
+        env=env,
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+    )
+    elapsed = time.perf_counter() - start
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        raise SystemExit(f"repro all --jobs {jobs} exited {proc.returncode}")
+    return elapsed, _strip_timing(proc.stdout)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument(
+        "--out", type=Path, default=REPO / "BENCH_engine.json"
+    )
+    args = parser.parse_args()
+
+    with tempfile.TemporaryDirectory(prefix="bench-engine-") as tmp:
+        tmp_path = Path(tmp)
+        serial_seconds, serial_report = _run(1, tmp_path / "serial", args.scale)
+        parallel_seconds, parallel_report = _run(
+            args.jobs, tmp_path / "parallel", args.scale
+        )
+        warm_seconds, warm_report = _run(1, tmp_path / "parallel", args.scale)
+
+    if parallel_report != serial_report:
+        raise SystemExit("parallel report differs from serial report")
+    if warm_report != parallel_report:
+        raise SystemExit("warm report differs from cold report")
+
+    payload = {
+        "command": "python -m repro all",
+        "scale": args.scale,
+        "jobs": args.jobs,
+        "serial_seconds": round(serial_seconds, 2),
+        "parallel_seconds": round(parallel_seconds, 2),
+        "warm_seconds": round(warm_seconds, 2),
+        "speedup": round(serial_seconds / parallel_seconds, 2),
+        "warm_fraction": round(warm_seconds / parallel_seconds, 3),
+        "reports_identical": True,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,10 +5,15 @@ Usage::
     python -m repro figure1
     python -m repro figure4 --benchmarks gcc tomcatv
     python -m repro figure9 --instructions 20000
-    python -m repro headlines
+    python -m repro headlines --jobs 4
     python -m repro all
+    python -m repro cache info
+    python -m repro cache clear
 
 Instruction budgets can also be scaled globally with ``REPRO_SCALE``.
+Results persist in ``.repro-cache/`` (override with ``--cache-dir`` or
+``REPRO_CACHE_DIR``; disable with ``--no-cache``), so a second run of
+the same figures is nearly free.
 """
 
 from __future__ import annotations
@@ -19,6 +24,8 @@ import time
 
 from repro.core import ExperimentSettings, figures
 from repro.core import reporting
+from repro.engine.executor import configure_engine
+from repro.engine.store import ResultStore
 from repro.robustness.runner import resilient_sweeps
 from repro.workloads.catalog import BENCHMARKS, REPRESENTATIVES
 
@@ -147,6 +154,24 @@ def _validated_benchmarks(
     return resolved
 
 
+def _cache_command(action: str, cache_dir: str | None) -> int:
+    """``python -m repro cache {info,clear}`` against the result store."""
+    store = ResultStore(cache_dir)
+    if action == "info":
+        info = store.info()
+        print(f"cache root:      {info['root']}")
+        print(f"schema version:  {info['schema']}")
+        print(
+            f"entries:         {info['entries']} "
+            f"({info['current_schema_entries']} at the current schema)"
+        )
+        print(f"size:            {info['bytes']} bytes")
+        return 0
+    removed = store.clear()
+    print(f"removed {removed} cached result(s) from {store.root}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -157,7 +182,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="which table/figure to regenerate (or 'all')",
+        help="which table/figure to regenerate (or 'all', or 'cache')",
+    )
+    parser.add_argument(
+        "action",
+        nargs="?",
+        default=None,
+        help="subcommand action: 'cache' takes 'info' or 'clear'",
     )
     parser.add_argument(
         "--benchmarks",
@@ -169,34 +200,63 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--timing-warmup", type=int, default=2_000)
     parser.add_argument("--functional-warmup", type=int, default=300_000)
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for design points (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="skip the persistent result store for this run",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result store location (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
     args = parser.parse_args(argv)
 
     experiment = args.experiment.lower()
+    if experiment == "cache":
+        if args.action not in ("info", "clear"):
+            parser.error("'cache' takes an action: info or clear")
+        return _cache_command(args.action, args.cache_dir)
+    if args.action is not None:
+        parser.error(f"unexpected extra argument {args.action!r}")
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
     if experiment != "all" and experiment not in EXPERIMENTS:
         parser.error(
             f"unknown experiment {args.experiment!r}; choose from: "
-            + ", ".join(EXPERIMENTS + ("all",))
+            + ", ".join(EXPERIMENTS + ("all", "cache"))
         )
     args.benchmarks = _validated_benchmarks(parser, args.benchmarks)
 
+    store = None if args.no_cache else ResultStore(args.cache_dir)
+    previous = configure_engine(jobs=args.jobs, store=store)
     names = EXPERIMENTS if experiment == "all" else (experiment,)
     broken: list[str] = []
-    with resilient_sweeps() as log:
-        for name in names:
-            start = time.time()
-            try:
-                output = _run_one(name, args)
-            except Exception as error:  # noqa: BLE001 - keep other figures alive
-                broken.append(name)
-                first_line = (str(error).splitlines() or [repr(error)])[0]
-                print(
-                    f"[{name} FAILED: {type(error).__name__}: {first_line}]\n",
-                    file=sys.stderr,
-                )
-                continue
-            elapsed = time.time() - start
-            print(output)
-            print(f"[{name} regenerated in {elapsed:.1f}s]\n")
+    try:
+        with resilient_sweeps() as log:
+            for name in names:
+                start = time.time()
+                try:
+                    output = _run_one(name, args)
+                except Exception as error:  # noqa: BLE001 - keep figures alive
+                    broken.append(name)
+                    first_line = (str(error).splitlines() or [repr(error)])[0]
+                    print(
+                        f"[{name} FAILED: {type(error).__name__}: {first_line}]\n",
+                        file=sys.stderr,
+                    )
+                    continue
+                elapsed = time.time() - start
+                print(output)
+                print(f"[{name} regenerated in {elapsed:.1f}s]\n")
+    finally:
+        configure_engine(jobs=previous[0], store=previous[1])
 
     summary = log.summary()
     if summary:

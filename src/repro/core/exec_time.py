@@ -14,7 +14,9 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.core.experiment import ExperimentSettings, run_experiment
-from repro.core.organizations import CacheOrganization, duplicate
+from repro.core.organizations import duplicate
+from repro.engine.executor import ExecutionPlan
+from repro.engine.key import ExperimentKey
 from repro.memory.backside import BacksideConfig
 from repro.memory.bus import bytes_per_cycle
 from repro.timing import pipelining
@@ -67,18 +69,6 @@ def scaled_backside(cycle_time_fo4: float) -> BacksideConfig:
     )
 
 
-def _execution_time_fo4(
-    organization: CacheOrganization,
-    workload: str,
-    cycle_time_fo4: float,
-    settings: ExperimentSettings,
-) -> tuple[float, float]:
-    """(ipc, execution time in FO4) for one configuration and clock."""
-    scaled = replace(settings, backside=scaled_backside(cycle_time_fo4))
-    result = run_experiment(organization, workload, scaled)
-    return result.ipc, result.execution_time_fo4(cycle_time_fo4)
-
-
 def baseline_time_fo4(
     workload: str, settings: ExperimentSettings | None = None
 ) -> float:
@@ -87,10 +77,77 @@ def baseline_time_fo4(
     organization = duplicate(
         BASELINE_SIZE, hit_cycles=BASELINE_DEPTH, line_buffer=True
     )
-    _, time_fo4 = _execution_time_fo4(
-        organization, workload, BASELINE_CYCLE_TIME, settings
+    scaled = replace(settings, backside=scaled_backside(BASELINE_CYCLE_TIME))
+    result = run_experiment(organization, workload, scaled)
+    return result.execution_time_fo4(BASELINE_CYCLE_TIME)
+
+
+@dataclass(frozen=True)
+class PlannedCurves:
+    """Keys for one benchmark's Figure 9 grid, awaiting execution."""
+
+    workload: str
+    baseline_key: ExperimentKey
+    #: (cycle_time, depth, cache_size, key) per realizable point
+    point_keys: tuple[tuple[float, int, int, ExperimentKey], ...]
+
+
+def plan_execution_time_curves(
+    plan: ExecutionPlan,
+    workload: str,
+    cycle_times: tuple[float, ...] = FIGURE9_CYCLE_TIMES,
+    depths: tuple[int, ...] = (1, 2, 3),
+    settings: ExperimentSettings | None = None,
+) -> PlannedCurves:
+    """Declare every realizable Figure 9 point for one benchmark.
+
+    The backside latencies depend on the clock, so each cycle time is a
+    distinct design point even at the same cache geometry.
+    """
+    settings = settings or ExperimentSettings()
+    baseline_key = plan.add(
+        duplicate(BASELINE_SIZE, hit_cycles=BASELINE_DEPTH, line_buffer=True),
+        workload,
+        replace(settings, backside=scaled_backside(BASELINE_CYCLE_TIME)),
     )
-    return time_fo4
+    point_keys = []
+    for cycle_time in cycle_times:
+        for depth in depths:
+            fit = pipelining.max_cache_size(cycle_time, depth)
+            if fit is None:
+                continue
+            key = plan.add(
+                duplicate(fit.size_bytes, hit_cycles=depth, line_buffer=True),
+                workload,
+                replace(settings, backside=scaled_backside(cycle_time)),
+            )
+            point_keys.append((cycle_time, depth, fit.size_bytes, key))
+    return PlannedCurves(workload, baseline_key, tuple(point_keys))
+
+
+def resolve_execution_time_curves(
+    plan: ExecutionPlan, planned: PlannedCurves
+) -> list[ExecutionTimePoint]:
+    """Materialize Figure 9 points from an executed plan."""
+    baseline = plan.resolve(planned.baseline_key).execution_time_fo4(
+        BASELINE_CYCLE_TIME
+    )
+    points: list[ExecutionTimePoint] = []
+    for cycle_time, depth, cache_size, key in planned.point_keys:
+        result = plan.resolve(key)
+        time_fo4 = result.execution_time_fo4(cycle_time)
+        points.append(
+            ExecutionTimePoint(
+                benchmark=planned.workload,
+                cycle_time_fo4=cycle_time,
+                depth=depth,
+                cache_size=cache_size,
+                ipc=result.ipc,
+                execution_time_fo4=time_fo4,
+                normalized_time=time_fo4 / baseline,
+            )
+        )
+    return points
 
 
 def execution_time_curves(
@@ -104,32 +161,12 @@ def execution_time_curves(
     Uses duplicate caches with a line buffer throughout -- section 4.4
     concludes those dominate, and Figure 9 plots only them.
     """
-    settings = settings or ExperimentSettings()
-    baseline = baseline_time_fo4(workload, settings)
-    points: list[ExecutionTimePoint] = []
-    for cycle_time in cycle_times:
-        for depth in depths:
-            fit = pipelining.max_cache_size(cycle_time, depth)
-            if fit is None:
-                continue
-            organization = duplicate(
-                fit.size_bytes, hit_cycles=depth, line_buffer=True
-            )
-            ipc, time_fo4 = _execution_time_fo4(
-                organization, workload, cycle_time, settings
-            )
-            points.append(
-                ExecutionTimePoint(
-                    benchmark=workload,
-                    cycle_time_fo4=cycle_time,
-                    depth=depth,
-                    cache_size=fit.size_bytes,
-                    ipc=ipc,
-                    execution_time_fo4=time_fo4,
-                    normalized_time=time_fo4 / baseline,
-                )
-            )
-    return points
+    plan = ExecutionPlan()
+    planned = plan_execution_time_curves(
+        plan, workload, cycle_times, depths, settings
+    )
+    plan.execute()
+    return resolve_execution_time_curves(plan, planned)
 
 
 def best_point(points: list[ExecutionTimePoint]) -> ExecutionTimePoint:

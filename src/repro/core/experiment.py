@@ -27,7 +27,7 @@ from repro.cpu.result import SimulationResult
 from repro.memory.backside import BacksideConfig
 from repro.memory.hierarchy import MemorySystem
 from repro.core.organizations import CacheOrganization
-from repro.robustness.runner import FailureLog, FailureRecord, current_failure_log
+from repro.robustness.runner import FailureLog, FailureRecord
 from repro.workloads.catalog import benchmark
 from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
 
@@ -103,7 +103,15 @@ def run_experiment(
     workload: str | WorkloadSpec,
     settings: ExperimentSettings | None = None,
 ) -> SimulationResult:
-    """Simulate one design point; results are memoized per process.
+    """Simulate one design point through the execution engine.
+
+    Results are memoized per process and, when the engine is configured
+    with a :class:`~repro.engine.store.ResultStore` (as the CLI does),
+    persisted across processes.  Batched callers (figures, sweeps)
+    should declare their points through
+    :class:`~repro.engine.executor.ExecutionPlan` instead, which also
+    enables parallel execution; this entry point stays for single
+    points and executes in-process.
 
     Inside a :func:`~repro.robustness.runner.resilient_sweeps` context a
     failing point is retried at a reduced instruction budget and, if it
@@ -111,19 +119,17 @@ def run_experiment(
     with the error recorded in the active failure log -- one bad point
     never kills a whole sweep.  Outside the context errors propagate.
     """
+    from repro.engine.executor import get_engine
+    from repro.engine.key import ExperimentKey
+
     settings = (settings or ExperimentSettings()).scaled()
     spec = workload if isinstance(workload, WorkloadSpec) else benchmark(workload)
-    key = (organization, spec.name, settings)
-    cached = _CACHE.get(key)
+    key = ExperimentKey(organization, spec.name, settings)
+    engine = get_engine()
+    cached = engine.lookup(key, spec)
     if cached is not None:
         return cached
-
-    log = current_failure_log()
-    if log is None:
-        result = _simulate(organization, spec, settings)
-        _CACHE[key] = result
-        return result
-    return _run_isolated(organization, spec, settings, log)
+    return engine.run_point(key, spec)
 
 
 def _simulate(
@@ -156,21 +162,21 @@ def _failure_message(error: Exception, limit: int = 8) -> str:
     return "\n".join(head)
 
 
-def _run_isolated(
+def _retry_reduced(
     organization: CacheOrganization,
     spec: WorkloadSpec,
     settings: ExperimentSettings,
     log: FailureLog,
+    error_type: str,
+    message: str,
 ) -> SimulationResult:
-    """Guarded design point: bounded retry, then a marked gap."""
-    try:
-        result = _simulate(organization, spec, settings)
-    except Exception as error:  # noqa: BLE001 - isolation is the point
-        first_error = error
-    else:
-        _CACHE[(organization, spec.name, settings)] = result
-        return result
+    """Resilience tail after a failed first attempt: bounded retries at
+    a shrinking instruction budget, then a marked gap.
 
+    Shared by the serial path and the parallel engine (where the first
+    attempt happened inside a worker and arrives as ``error_type`` +
+    ``message`` strings); retries always run in the calling process.
+    """
     attempts = 1
     reduced = settings
     for _ in range(log.retries):
@@ -191,8 +197,8 @@ def _run_isolated(
             FailureRecord(
                 label=organization.label,
                 workload=spec.name,
-                error_type=type(first_error).__name__,
-                message=_failure_message(first_error),
+                error_type=error_type,
+                message=message,
                 attempts=attempts,
                 resolution="recovered",
             )
@@ -203,8 +209,8 @@ def _run_isolated(
         FailureRecord(
             label=organization.label,
             workload=spec.name,
-            error_type=type(first_error).__name__,
-            message=_failure_message(first_error),
+            error_type=error_type,
+            message=message,
             attempts=attempts,
             resolution="gap",
         )
@@ -218,16 +224,37 @@ def average_ipc(
     settings: ExperimentSettings | None = None,
 ) -> float:
     """Arithmetic mean IPC over a set of benchmarks (the paper's
-    "average of the nine benchmarks")."""
+    "average of the nine benchmarks").
+
+    Failed (NaN) gap sentinels are excluded from the mean -- one bad
+    point must not turn the whole average into NaN -- and the gap count
+    is surfaced as a :class:`RuntimeWarning`.  Only when *every* point
+    failed does the average itself report NaN.
+    """
+    from repro.engine.executor import ExecutionPlan
+
     if not workloads:
         raise ValueError("need at least one workload")
-    results = [run_experiment(organization, name, settings) for name in workloads]
-    return sum(r.ipc for r in results) / len(results)
-
-
-_CACHE: dict[tuple, SimulationResult] = {}
+    plan = ExecutionPlan()
+    keys = [plan.add(organization, name, settings) for name in workloads]
+    plan.execute()
+    results = [plan.resolve(key) for key in keys]
+    valid = [result.ipc for result in results if not result.failed]
+    gaps = len(results) - len(valid)
+    if gaps:
+        warnings.warn(
+            f"average_ipc: {gaps} of {len(results)} design points failed; "
+            f"averaging the remaining {len(valid)}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    if not valid:
+        return float("nan")
+    return sum(valid) / len(valid)
 
 
 def clear_cache() -> None:
     """Drop memoized experiment results (mainly for tests)."""
-    _CACHE.clear()
+    from repro.engine.executor import get_engine
+
+    get_engine().memo.clear()

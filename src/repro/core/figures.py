@@ -5,10 +5,16 @@ rows or series) that :mod:`repro.core.reporting` renders as text and the
 bench harness prints.  See DESIGN.md's experiment index for the mapping
 and EXPERIMENTS.md for paper-vs-measured records.
 
-Figures inherit per-design-point isolation from
-:func:`repro.core.experiment.run_experiment` when generated inside a
-:func:`repro.robustness.runner.resilient_sweeps` context (as the CLI
-does): a failed point renders as NaN rather than aborting the figure.
+Simulated figures declare their full design-point grid up front on an
+:class:`~repro.engine.executor.ExecutionPlan` and execute it as one
+batch, so the engine can deduplicate shared points, satisfy repeats
+from its memo and the persistent result store, and fan the rest out
+over worker processes when configured with ``--jobs N``.
+
+Figures inherit per-design-point isolation from the engine when
+generated inside a :func:`repro.robustness.runner.resilient_sweeps`
+context (as the CLI does): a failed point renders as NaN rather than
+aborting the figure.
 """
 
 from __future__ import annotations
@@ -18,9 +24,11 @@ import itertools
 from repro.core.exec_time import (
     FIGURE9_CYCLE_TIMES,
     ExecutionTimePoint,
-    execution_time_curves,
+    plan_execution_time_curves,
+    resolve_execution_time_curves,
 )
-from repro.core.experiment import ExperimentSettings, run_experiment
+from repro.core.experiment import ExperimentSettings
+from repro.engine.executor import ExecutionPlan
 from repro.core.organizations import banked, dram_cache, duplicate, ideal_ports
 from repro.memory.sram import SetAssociativeCache
 from repro.timing import cacti
@@ -188,15 +196,21 @@ def figure4(
     settings: ExperimentSettings | None = None,
 ) -> dict[str, dict[tuple[int, int], float]]:
     """IPC[benchmark][(ports, hit_cycles)] for ideal-ported 32 KB caches."""
-    results: dict[str, dict[tuple[int, int], float]] = {}
-    for name in benchmarks:
-        results[name] = {}
-        for n_ports in ports:
-            for hit in hit_times:
-                org = ideal_ports(32 * KB, ports=n_ports, hit_cycles=hit)
-                results[name][(n_ports, hit)] = run_experiment(
-                    org, name, settings
-                ).ipc
+    plan = ExecutionPlan()
+    keys = {
+        (name, n_ports, hit): plan.add(
+            ideal_ports(32 * KB, ports=n_ports, hit_cycles=hit), name, settings
+        )
+        for name in benchmarks
+        for n_ports in ports
+        for hit in hit_times
+    }
+    plan.execute()
+    results: dict[str, dict[tuple[int, int], float]] = {
+        name: {} for name in benchmarks
+    }
+    for (name, n_ports, hit), key in keys.items():
+        results[name][(n_ports, hit)] = plan.ipc(key)
     return results
 
 
@@ -212,15 +226,21 @@ def figure5(
     settings: ExperimentSettings | None = None,
 ) -> dict[str, dict[tuple[int, int], float]]:
     """IPC[benchmark][(banks, hit_cycles)] for banked 32 KB caches."""
-    results: dict[str, dict[tuple[int, int], float]] = {}
-    for name in benchmarks:
-        results[name] = {}
-        for banks_n in bank_counts:
-            for hit in hit_times:
-                org = banked(32 * KB, banks=banks_n, hit_cycles=hit)
-                results[name][(banks_n, hit)] = run_experiment(
-                    org, name, settings
-                ).ipc
+    plan = ExecutionPlan()
+    keys = {
+        (name, banks_n, hit): plan.add(
+            banked(32 * KB, banks=banks_n, hit_cycles=hit), name, settings
+        )
+        for name in benchmarks
+        for banks_n in bank_counts
+        for hit in hit_times
+    }
+    plan.execute()
+    results: dict[str, dict[tuple[int, int], float]] = {
+        name: {} for name in benchmarks
+    }
+    for (name, banks_n, hit), key in keys.items():
+        results[name][(banks_n, hit)] = plan.ipc(key)
     return results
 
 
@@ -239,19 +259,25 @@ def figure6(
     Organizations are the paper's two practical ones: eight-way banked
     and duplicate, each with and without a line buffer.
     """
-    results: dict[str, dict[tuple[str, bool, int], float]] = {}
-    for name in benchmarks:
-        results[name] = {}
-        for style in ("banked", "duplicate"):
-            for has_lb in (False, True):
-                for hit in hit_times:
-                    if style == "banked":
-                        org = banked(32 * KB, hit_cycles=hit, line_buffer=has_lb)
-                    else:
-                        org = duplicate(32 * KB, hit_cycles=hit, line_buffer=has_lb)
-                    results[name][(style, has_lb, hit)] = run_experiment(
-                        org, name, settings
-                    ).ipc
+    make = {"banked": banked, "duplicate": duplicate}
+    plan = ExecutionPlan()
+    keys = {
+        (name, style, has_lb, hit): plan.add(
+            make[style](32 * KB, hit_cycles=hit, line_buffer=has_lb),
+            name,
+            settings,
+        )
+        for name in benchmarks
+        for style in ("banked", "duplicate")
+        for has_lb in (False, True)
+        for hit in hit_times
+    }
+    plan.execute()
+    results: dict[str, dict[tuple[str, bool, int], float]] = {
+        name: {} for name in benchmarks
+    }
+    for (name, style, has_lb, hit), key in keys.items():
+        results[name][(style, has_lb, hit)] = plan.ipc(key)
     return results
 
 
@@ -267,15 +293,21 @@ def figure7(
 ) -> dict[str, dict[tuple[int, bool], float]]:
     """IPC[benchmark][(dram_hit_cycles, line_buffer)] for the 4 MB DRAM
     cache with its 16 KB row-buffer first level."""
-    results: dict[str, dict[tuple[int, bool], float]] = {}
-    for name in benchmarks:
-        results[name] = {}
-        for hit in dram_hit_times:
-            for has_lb in (True, False):
-                org = dram_cache(dram_hit_cycles=hit, line_buffer=has_lb)
-                results[name][(hit, has_lb)] = run_experiment(
-                    org, name, settings
-                ).ipc
+    plan = ExecutionPlan()
+    keys = {
+        (name, hit, has_lb): plan.add(
+            dram_cache(dram_hit_cycles=hit, line_buffer=has_lb), name, settings
+        )
+        for name in benchmarks
+        for hit in dram_hit_times
+        for has_lb in (True, False)
+    }
+    plan.execute()
+    results: dict[str, dict[tuple[int, bool], float]] = {
+        name: {} for name in benchmarks
+    }
+    for (name, hit, has_lb), key in keys.items():
+        results[name][(hit, has_lb)] = plan.ipc(key)
     return results
 
 
@@ -299,22 +331,31 @@ def figure8(
     pseudo-style ``("dram", 6)`` with the DRAM cache capacity as size.
     An ``"average"`` pseudo-benchmark is added when requested.
     """
+    make = {"duplicate": duplicate, "banked": banked}
+    dram_org = dram_cache(dram_hit_cycles=6, line_buffer=True)
+    plan = ExecutionPlan()
+    sram_keys = {
+        (name, style, hit, size): plan.add(
+            make[style](size, hit_cycles=hit, line_buffer=True), name, settings
+        )
+        for name in benchmarks
+        for style in ("duplicate", "banked")
+        for hit in hit_times
+        for size in sizes
+    }
+    dram_keys = {name: plan.add(dram_org, name, settings) for name in benchmarks}
+    plan.execute()
     results: dict[str, dict[tuple[str, int], list[tuple[int, float]]]] = {}
     for name in benchmarks:
         curves: dict[tuple[str, int], list[tuple[int, float]]] = {}
         for style in ("duplicate", "banked"):
             for hit in hit_times:
-                series = []
-                for size in sizes:
-                    if style == "duplicate":
-                        org = duplicate(size, hit_cycles=hit, line_buffer=True)
-                    else:
-                        org = banked(size, hit_cycles=hit, line_buffer=True)
-                    series.append((size, run_experiment(org, name, settings).ipc))
-                curves[(style, hit)] = series
-        dram_org = dram_cache(dram_hit_cycles=6, line_buffer=True)
+                curves[(style, hit)] = [
+                    (size, plan.ipc(sram_keys[(name, style, hit, size)]))
+                    for size in sizes
+                ]
         curves[("dram", 6)] = [
-            (dram_org.dram.dram_size, run_experiment(dram_org, name, settings).ipc)
+            (dram_org.dram.dram_size, plan.ipc(dram_keys[name]))
         ]
         results[name] = curves
     if include_average and len(results) > 1:
@@ -350,8 +391,14 @@ def figure9(
 ) -> dict[str, list[ExecutionTimePoint]]:
     """Normalized execution-time curves for duplicate caches with a
     line buffer at pipeline depths 1-3."""
+    plan = ExecutionPlan()
+    planned = {
+        name: plan_execution_time_curves(plan, name, cycle_times, settings=settings)
+        for name in benchmarks
+    }
+    plan.execute()
     return {
-        name: execution_time_curves(name, cycle_times, settings=settings)
+        name: resolve_execution_time_curves(plan, planned[name])
         for name in benchmarks
     }
 

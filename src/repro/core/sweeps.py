@@ -17,9 +17,11 @@ expected directions:
 * ``write_policy_sweep`` -- write-back vs write-through(/no-allocate).
 * ``victim_vs_line_buffer`` -- the two small-buffer remedies compared.
 
-Every design point goes through
-:func:`repro.core.experiment.run_experiment`, so running a sweep inside
-a :func:`repro.robustness.runner.resilient_sweeps` context gives it
+Every sweep declares its design points on an
+:class:`~repro.engine.executor.ExecutionPlan` and executes them as one
+batch, so the engine can deduplicate, reuse cached results, and run
+points in parallel under ``--jobs N``.  Running a sweep inside a
+:func:`repro.robustness.runner.resilient_sweeps` context gives it
 per-point isolation: a failing point is retried at a reduced budget and
 then reported as a gap (IPC = NaN) instead of killing the whole sweep.
 """
@@ -28,16 +30,23 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-from repro.core.experiment import ExperimentSettings, run_experiment
-from repro.core.organizations import CacheOrganization, banked, duplicate
+from repro.core.experiment import ExperimentSettings
+from repro.core.organizations import banked, duplicate
 from repro.cpu.config import ProcessorConfig
-from repro.cpu.result import SimulationResult
+from repro.engine.executor import ExecutionPlan
+from repro.memory.common import ServedBy
 
 KB = 1024
 
 
-def _ipc(org: CacheOrganization, workload: str, settings) -> SimulationResult:
-    return run_experiment(org, workload, settings)
+def _resolve_grid(variants, workload, settings):
+    """Plan ``{label: organization}``, execute, return ``{label: result}``."""
+    plan = ExecutionPlan()
+    keys = {
+        label: plan.add(org, workload, settings) for label, org in variants.items()
+    }
+    plan.execute()
+    return {label: plan.resolve(key) for label, key in keys.items()}
 
 
 def mshr_sweep(
@@ -47,10 +56,9 @@ def mshr_sweep(
 ) -> dict[int, float]:
     """IPC vs number of MSHRs for the reference 32 KB duplicate cache."""
     base = duplicate(32 * KB, line_buffer=True)
-    return {
-        count: _ipc(replace(base, mshrs=count), workload, settings).ipc
-        for count in mshr_counts
-    }
+    variants = {count: replace(base, mshrs=count) for count in mshr_counts}
+    results = _resolve_grid(variants, workload, settings)
+    return {count: result.ipc for count, result in results.items()}
 
 
 def line_buffer_size_sweep(
@@ -59,18 +67,18 @@ def line_buffer_size_sweep(
     settings: ExperimentSettings | None = None,
 ) -> dict[int, tuple[float, float]]:
     """(IPC, line-buffer hit rate) vs buffer entries."""
-    results: dict[int, tuple[float, float]] = {}
     base = duplicate(32 * KB, line_buffer=True)
-    for entries in entry_counts:
-        result = _ipc(
-            replace(base, line_buffer_entries=entries), workload, settings
-        )
-        from repro.memory.common import ServedBy
-
+    variants = {
+        entries: replace(base, line_buffer_entries=entries)
+        for entries in entry_counts
+    }
+    results = _resolve_grid(variants, workload, settings)
+    sized: dict[int, tuple[float, float]] = {}
+    for entries, result in results.items():
         lb_hits = result.memory.served_by[ServedBy.LINE_BUFFER]
         hit_rate = lb_hits / max(1, result.memory.loads)
-        results[entries] = (result.ipc, hit_rate)
-    return results
+        sized[entries] = (result.ipc, hit_rate)
+    return sized
 
 
 def associativity_sweep(
@@ -81,14 +89,13 @@ def associativity_sweep(
 ) -> dict[tuple[int, int], float]:
     """Miss rate for every (size, associativity) point (functional view
     folded through the timing run: reported from the measured window)."""
-    results: dict[tuple[int, int], float] = {}
-    for size in sizes:
-        for assoc in ways:
-            org = duplicate(size, line_buffer=False)
-            org = replace(org, associativity=assoc)
-            result = _ipc(org, workload, settings)
-            results[(size, assoc)] = result.memory.l1_miss_rate
-    return results
+    variants = {
+        (size, assoc): replace(duplicate(size, line_buffer=False), associativity=assoc)
+        for size in sizes
+        for assoc in ways
+    }
+    results = _resolve_grid(variants, workload, settings)
+    return {point: result.memory.l1_miss_rate for point, result in results.items()}
 
 
 def bank_interleave_sweep(
@@ -96,13 +103,18 @@ def bank_interleave_sweep(
     settings: ExperimentSettings | None = None,
 ) -> dict[str, tuple[float, float]]:
     """(IPC, avg load latency) for line- vs page-interleaved 8-bank caches."""
-    results: dict[str, tuple[float, float]] = {}
-    for interleave in ("line", "page"):
-        org = replace(banked(32 * KB, line_buffer=True), bank_interleave=interleave)
-        result = _ipc(org, workload, settings)
-        # Bank conflicts surface as longer average load latency.
-        results[interleave] = (result.ipc, result.memory.average_load_latency)
-    return results
+    variants = {
+        interleave: replace(
+            banked(32 * KB, line_buffer=True), bank_interleave=interleave
+        )
+        for interleave in ("line", "page")
+    }
+    results = _resolve_grid(variants, workload, settings)
+    # Bank conflicts surface as longer average load latency.
+    return {
+        interleave: (result.ipc, result.memory.average_load_latency)
+        for interleave, result in results.items()
+    }
 
 
 def write_policy_sweep(
@@ -118,9 +130,8 @@ def write_policy_sweep(
             base, write_policy="write-through", write_allocate=False
         ),
     }
-    return {
-        name: _ipc(org, workload, settings).ipc for name, org in variants.items()
-    }
+    results = _resolve_grid(variants, workload, settings)
+    return {name: result.ipc for name, result in results.items()}
 
 
 def victim_vs_line_buffer(
@@ -137,9 +148,8 @@ def victim_vs_line_buffer(
         "victim-cache": replace(base, victim_entries=8),
         "both": replace(base, line_buffer=True, victim_entries=8),
     }
-    return {
-        name: _ipc(org, workload, settings).ipc for name, org in variants.items()
-    }
+    results = _resolve_grid(variants, workload, settings)
+    return {name: result.ipc for name, result in results.items()}
 
 
 def direct_mapped_equivalence(
@@ -150,14 +160,13 @@ def direct_mapped_equivalence(
     """Section 4.4 / [Henn96]: a two-way cache of size S misses about
     like a direct-mapped cache of size 2S.  Returns the three miss
     rates so the bench can check the sandwich ordering."""
-    results = {}
-    for name, org in (
-        ("direct_S", replace(duplicate(size), associativity=1)),
-        ("twoway_S", duplicate(size)),
-        ("direct_2S", replace(duplicate(2 * size), associativity=1)),
-    ):
-        results[name] = _ipc(org, workload, settings).memory.l1_miss_rate
-    return results
+    variants = {
+        "direct_S": replace(duplicate(size), associativity=1),
+        "twoway_S": duplicate(size),
+        "direct_2S": replace(duplicate(2 * size), associativity=1),
+    }
+    results = _resolve_grid(variants, workload, settings)
+    return {name: result.memory.l1_miss_rate for name, result in results.items()}
 
 
 def prefetch_sweep(
@@ -169,16 +178,22 @@ def prefetch_sweep(
     Expectation: sequential codes (tomcatv) benefit; random-access codes
     (database) benefit little or lose to the wasted bus/MSHR traffic.
     """
-    results: dict[str, dict[str, float]] = {}
     base = duplicate(32 * KB, line_buffer=True)
-    for name in workloads:
-        results[name] = {
-            "off": _ipc(base, name, settings).ipc,
-            "on": _ipc(
-                replace(base, next_line_prefetch=True), name, settings
-            ).ipc,
+    prefetching = replace(base, next_line_prefetch=True)
+    plan = ExecutionPlan()
+    keys = {
+        (name, mode): plan.add(org, name, settings)
+        for name in workloads
+        for mode, org in (("off", base), ("on", prefetching))
+    }
+    plan.execute()
+    return {
+        name: {
+            "off": plan.ipc(keys[(name, "off")]),
+            "on": plan.ipc(keys[(name, "on")]),
         }
-    return results
+        for name in workloads
+    }
 
 
 def window_size_sweep(
@@ -194,13 +209,18 @@ def window_size_sweep(
     window hides more.  Sweeps the reorder window at a 3-cycle hit.
     """
     settings = settings or ExperimentSettings()
-    results: dict[int, float] = {}
-    for window in window_sizes:
-        cpu = ProcessorConfig(window_size=window)
-        varied = replace(settings, cpu=cpu)
-        org = duplicate(32 * KB, hit_cycles=hit_cycles, line_buffer=True)
-        results[window] = run_experiment(org, workload, varied).ipc
-    return results
+    org = duplicate(32 * KB, hit_cycles=hit_cycles, line_buffer=True)
+    plan = ExecutionPlan()
+    keys = {
+        window: plan.add(
+            org,
+            workload,
+            replace(settings, cpu=ProcessorConfig(window_size=window)),
+        )
+        for window in window_sizes
+    }
+    plan.execute()
+    return {window: plan.ipc(key) for window, key in keys.items()}
 
 
 def issue_width_sweep(
@@ -210,16 +230,23 @@ def issue_width_sweep(
 ) -> dict[int, float]:
     """IPC vs machine width (fetch = issue = commit), 32 KB duplicate+LB."""
     settings = settings or ExperimentSettings()
-    results: dict[int, float] = {}
-    for width in widths:
-        cpu = ProcessorConfig(
-            fetch_width=width, issue_width=width, commit_width=width
+    org = duplicate(32 * KB, line_buffer=True)
+    plan = ExecutionPlan()
+    keys = {
+        width: plan.add(
+            org,
+            workload,
+            replace(
+                settings,
+                cpu=ProcessorConfig(
+                    fetch_width=width, issue_width=width, commit_width=width
+                ),
+            ),
         )
-        varied = replace(settings, cpu=cpu)
-        results[width] = run_experiment(
-            duplicate(32 * KB, line_buffer=True), workload, varied
-        ).ipc
-    return results
+        for width in widths
+    }
+    plan.execute()
+    return {width: plan.ipc(key) for width, key in keys.items()}
 
 
 def line_size_sweep(
@@ -234,12 +261,15 @@ def line_size_sweep(
     but cost transfer bandwidth and, for sparse access patterns,
     waste capacity.  The L1 line must not exceed the 64 B L2 line.
     """
-    results: dict[int, tuple[float, float]] = {}
-    for line in line_sizes:
-        org = replace(duplicate(32 * KB, line_buffer=True), line_bytes=line)
-        result = _ipc(org, workload, settings)
-        results[line] = (result.ipc, result.memory.l1_miss_rate)
-    return results
+    variants = {
+        line: replace(duplicate(32 * KB, line_buffer=True), line_bytes=line)
+        for line in line_sizes
+    }
+    results = _resolve_grid(variants, workload, settings)
+    return {
+        line: (result.ipc, result.memory.l1_miss_rate)
+        for line, result in results.items()
+    }
 
 
 def fu_restriction_sweep(
@@ -257,14 +287,22 @@ def fu_restriction_sweep(
     from repro.cpu.config import R10000_FU_LIMITS
 
     settings = settings or ExperimentSettings()
-    results: dict[str, dict[str, float]] = {}
+    restricted = replace(settings, cpu=ProcessorConfig(fu_limits=R10000_FU_LIMITS))
     org = duplicate(32 * KB, line_buffer=True)
-    for name in workloads:
-        restricted = replace(
-            settings, cpu=ProcessorConfig(fu_limits=R10000_FU_LIMITS)
+    plan = ExecutionPlan()
+    keys = {
+        (name, mode): plan.add(org, name, varied)
+        for name in workloads
+        for mode, varied in (
+            ("unrestricted", settings),
+            ("r10000_units", restricted),
         )
-        results[name] = {
-            "unrestricted": run_experiment(org, name, settings).ipc,
-            "r10000_units": run_experiment(org, name, restricted).ipc,
+    }
+    plan.execute()
+    return {
+        name: {
+            "unrestricted": plan.ipc(keys[(name, "unrestricted")]),
+            "r10000_units": plan.ipc(keys[(name, "r10000_units")]),
         }
-    return results
+        for name in workloads
+    }

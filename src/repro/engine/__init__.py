@@ -1,0 +1,65 @@
+"""Design-point execution engine: batch scheduling, workers, result store.
+
+The paper's evaluation is a large design-space sweep; this package
+treats each (cache organization, workload, settings) point as a
+schedulable, cacheable unit of work instead of an inline function call:
+
+* :class:`~repro.engine.key.ExperimentKey` -- canonical, hashable,
+  JSON-serializable identity with a process-stable SHA-256 digest;
+* :class:`~repro.engine.executor.ExecutionPlan` -- the
+  plan -> execute -> resolve batch API figures and sweeps declare their
+  design points through;
+* :class:`~repro.engine.executor.Engine` /
+  :func:`~repro.engine.executor.configure_engine` -- process-wide
+  parallelism (``--jobs N``) and cache layering;
+* :class:`~repro.engine.store.ResultStore` -- the persistent
+  ``.repro-cache/`` content-addressed result store;
+* :mod:`repro.engine.serialize` -- exact to/from-dict round trips for
+  results and configurations.
+"""
+
+from repro.engine.executor import (
+    Engine,
+    ExecutionPlan,
+    WorkerFailureError,
+    configure_engine,
+    get_engine,
+    run_point_payload,
+)
+from repro.engine.key import ExperimentKey
+from repro.engine.serialize import (
+    SerializationError,
+    organization_from_dict,
+    organization_to_dict,
+    result_from_dict,
+    result_to_dict,
+    settings_from_dict,
+    settings_to_dict,
+)
+from repro.engine.store import (
+    CACHE_DIR_ENV,
+    SCHEMA_VERSION,
+    ResultStore,
+    default_cache_root,
+)
+
+__all__ = [
+    "Engine",
+    "ExecutionPlan",
+    "WorkerFailureError",
+    "configure_engine",
+    "get_engine",
+    "run_point_payload",
+    "ExperimentKey",
+    "SerializationError",
+    "organization_from_dict",
+    "organization_to_dict",
+    "result_from_dict",
+    "result_to_dict",
+    "settings_from_dict",
+    "settings_to_dict",
+    "CACHE_DIR_ENV",
+    "SCHEMA_VERSION",
+    "ResultStore",
+    "default_cache_root",
+]

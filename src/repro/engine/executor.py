@@ -1,0 +1,350 @@
+"""Batched, parallel, cached execution of design points.
+
+The engine turns "call ``run_experiment`` in a loop" into a scheduled
+workload:
+
+* **plan** -- an :class:`ExecutionPlan` collects design points up front
+  (:meth:`ExecutionPlan.add` returns the point's
+  :class:`~repro.engine.key.ExperimentKey` and deduplicates repeats);
+* **execute** -- :meth:`ExecutionPlan.execute` resolves every planned
+  point at once: first from the in-memory memo, then from the
+  persistent :class:`~repro.engine.store.ResultStore`, and only then by
+  simulating -- serially, or fanned out over a
+  :class:`~concurrent.futures.ProcessPoolExecutor` when the engine is
+  configured with ``jobs > 1``;
+* **resolve** -- :meth:`ExecutionPlan.resolve` hands back the
+  :class:`~repro.cpu.result.SimulationResult` for a key.
+
+Worker protocol: a worker receives the key's dict form, rebuilds the
+design point (the workload comes from the benchmark catalog by name),
+runs the bare simulation, and ships the result back as a dict -- or a
+``{"status": "error", ...}`` payload carrying the failure.  The parent
+then applies exactly the same resilience policy as a serial run: retry
+at a reduced instruction budget, record a
+:class:`~repro.robustness.runner.FailureRecord` in the active failure
+log, and fall back to a NaN gap sentinel.  Results are bit-identical to
+serial execution because the simulation itself is deterministic and the
+serialization round trip is exact.
+
+Points whose :class:`~repro.workloads.generator.WorkloadSpec` is not
+the catalog entry for its name (custom workloads) cannot be rebuilt in
+a worker and are evaluated in the parent; they are also kept out of the
+disk store, whose content address covers only the workload *name*.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.cpu.result import SimulationResult
+from repro.engine.key import ExperimentKey
+from repro.engine.serialize import result_from_dict, result_to_dict
+from repro.engine.store import ResultStore
+from repro.workloads.catalog import BENCHMARKS, benchmark
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.experiment import ExperimentSettings
+    from repro.workloads.generator import WorkloadSpec
+
+
+class WorkerFailureError(RuntimeError):
+    """A design point failed inside a worker with no failure log active."""
+
+    def __init__(self, key: ExperimentKey, error_type: str, message: str):
+        super().__init__(f"{key.label}: {error_type}: {message}")
+        self.key = key
+        self.error_type = error_type
+        self.message = message
+
+
+def _is_catalog_spec(spec: "WorkloadSpec") -> bool:
+    """True when a worker can rebuild ``spec`` from the catalog by name."""
+    return BENCHMARKS.get(spec.name) == spec
+
+
+def run_point_payload(key_dict: dict) -> dict:
+    """Worker entry point: simulate one design point from its dict form.
+
+    Must stay a module-level function so every multiprocessing start
+    method can import it.  Settings arrive already scaled -- workers
+    never re-apply ``REPRO_SCALE``.  Failures are captured and returned
+    as data; the parent owns retry/record policy.
+    """
+    from repro.core import experiment
+
+    key = ExperimentKey.from_dict(key_dict)
+    try:
+        spec = benchmark(key.workload)
+        result = experiment._simulate(key.organization, spec, key.settings)
+    except Exception as error:  # noqa: BLE001 - shipped back, not swallowed
+        return {
+            "status": "error",
+            "error_type": type(error).__name__,
+            "message": experiment._failure_message(error),
+        }
+    return {"status": "ok", "result": result_to_dict(result)}
+
+
+class Engine:
+    """Process-wide execution state: memo, store, and parallelism."""
+
+    def __init__(self, jobs: int = 1, store: ResultStore | None = None):
+        self.jobs = jobs
+        self.store = store
+        self.memo: dict[ExperimentKey, SimulationResult] = {}
+
+    # ------------------------------------------------------------------
+    # Cache layers
+    # ------------------------------------------------------------------
+
+    def lookup(
+        self, key: ExperimentKey, spec: "WorkloadSpec"
+    ) -> SimulationResult | None:
+        """Memo first, then the disk store (promoting hits to the memo)."""
+        cached = self.memo.get(key)
+        if cached is not None:
+            return cached
+        if self.store is not None and _is_catalog_spec(spec):
+            stored = self.store.load(key)
+            if stored is not None:
+                self.memo[key] = stored
+                return stored
+        return None
+
+    def remember(
+        self, key: ExperimentKey, spec: "WorkloadSpec", result: SimulationResult
+    ) -> None:
+        self.memo[key] = result
+        if self.store is not None and _is_catalog_spec(spec):
+            self.store.save(key, result)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run_point(
+        self, key: ExperimentKey, spec: "WorkloadSpec"
+    ) -> SimulationResult:
+        """One design point, serial, with the standard resilience policy.
+
+        Matches the historical ``run_experiment`` semantics: outside a
+        :func:`~repro.robustness.runner.resilient_sweeps` context errors
+        propagate; inside one, a failure is retried at reduced budget
+        and recorded.  Successful full-budget results are memoized (and
+        persisted); recovered/gap results are not, so the next run gets
+        a fresh attempt.
+        """
+        from repro.core import experiment
+        from repro.robustness.runner import current_failure_log
+
+        log = current_failure_log()
+        try:
+            result = experiment._simulate(key.organization, spec, key.settings)
+        except Exception as error:  # noqa: BLE001 - isolation is the point
+            if log is None:
+                raise
+            return experiment._retry_reduced(
+                key.organization,
+                spec,
+                key.settings,
+                log,
+                type(error).__name__,
+                experiment._failure_message(error),
+            )
+        self.remember(key, spec, result)
+        return result
+
+    def run_batch(
+        self, points: "dict[ExperimentKey, WorkloadSpec]"
+    ) -> dict[ExperimentKey, SimulationResult]:
+        """Resolve every planned point; simulate only what is missing."""
+        results: dict[ExperimentKey, SimulationResult] = {}
+        pending: list[tuple[ExperimentKey, WorkloadSpec]] = []
+        for key, spec in points.items():
+            cached = self.lookup(key, spec)
+            if cached is not None:
+                results[key] = cached
+            else:
+                pending.append((key, spec))
+        if not pending:
+            return results
+        if self.jobs > 1:
+            remote = [(k, s) for k, s in pending if _is_catalog_spec(s)]
+            local = [(k, s) for k, s in pending if not _is_catalog_spec(s)]
+            if len(remote) > 1:
+                results.update(self._run_parallel(remote))
+            else:
+                local = pending
+        else:
+            local = pending
+        for key, spec in local:
+            results[key] = self.run_point(key, spec)
+        return results
+
+    def _run_parallel(
+        self, points: "list[tuple[ExperimentKey, WorkloadSpec]]"
+    ) -> dict[ExperimentKey, SimulationResult]:
+        """Fan design points out over worker processes.
+
+        Futures are consumed in submission order so retries, failure
+        records, and results are ordered exactly as a serial run would
+        order them.  A broken pool (worker killed by the OS) degrades to
+        in-parent execution for the affected points instead of aborting
+        the sweep.
+        """
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
+
+        results: dict[ExperimentKey, SimulationResult] = {}
+        workers = min(self.jobs, len(points))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            submitted = [
+                (key, spec, pool.submit(run_point_payload, key.to_dict()))
+                for key, spec in points
+            ]
+            for key, spec, future in submitted:
+                try:
+                    payload = future.result()
+                except BrokenProcessPool:
+                    results[key] = self.run_point(key, spec)
+                    continue
+                results[key] = self._absorb(key, spec, payload)
+        return results
+
+    def _absorb(
+        self, key: ExperimentKey, spec: "WorkloadSpec", payload: dict
+    ) -> SimulationResult:
+        """Fold one worker response into the cache layers / failure log."""
+        from repro.core import experiment
+        from repro.robustness.runner import current_failure_log
+
+        if payload.get("status") == "ok":
+            result = result_from_dict(payload["result"])
+            self.remember(key, spec, result)
+            return result
+        error_type = payload.get("error_type", "UnknownError")
+        message = payload.get("message", "worker returned no detail")
+        log = current_failure_log()
+        if log is None:
+            raise WorkerFailureError(key, error_type, message)
+        return experiment._retry_reduced(
+            key.organization, spec, key.settings, log, error_type, message
+        )
+
+
+# ---------------------------------------------------------------------------
+# Process-wide engine configuration
+# ---------------------------------------------------------------------------
+
+_ENGINE: Engine | None = None
+
+#: Sentinel distinguishing "leave unchanged" from "set to None".
+_UNSET = object()
+
+
+def get_engine() -> Engine:
+    """The process-wide engine (serial, no disk store, until configured)."""
+    global _ENGINE
+    if _ENGINE is None:
+        _ENGINE = Engine()
+    return _ENGINE
+
+
+def configure_engine(jobs=_UNSET, store=_UNSET) -> tuple[int, ResultStore | None]:
+    """Set engine parallelism and/or disk store; returns prior values.
+
+    The return value lets a caller (the CLI) restore the previous
+    configuration afterward, keeping library defaults untouched::
+
+        previous = configure_engine(jobs=4, store=ResultStore())
+        try: ...
+        finally: configure_engine(*previous)
+    """
+    engine = get_engine()
+    previous = (engine.jobs, engine.store)
+    if jobs is not _UNSET:
+        if not isinstance(jobs, int) or jobs < 1:
+            raise ValueError(f"jobs must be a positive integer: {jobs!r}")
+        engine.jobs = jobs
+    if store is not _UNSET:
+        if store is not None and not isinstance(store, ResultStore):
+            raise TypeError(f"store must be a ResultStore or None: {store!r}")
+        engine.store = store
+    return previous
+
+
+# ---------------------------------------------------------------------------
+# The plan -> execute -> resolve API used by figures and sweeps
+# ---------------------------------------------------------------------------
+
+
+class ExecutionPlan:
+    """Declare design points up front, execute them as one batch.
+
+    Usage::
+
+        plan = ExecutionPlan()
+        keys = {p: plan.add(org_for(p), "gcc", settings) for p in points}
+        plan.execute()
+        ipcs = {p: plan.ipc(keys[p]) for p in points}
+
+    ``add`` is idempotent per key, so a figure may plan overlapping
+    grids freely; shared points are simulated once.
+    """
+
+    def __init__(self, engine: Engine | None = None):
+        self._engine = engine
+        self._points: dict[ExperimentKey, WorkloadSpec] = {}
+        self._results: dict[ExperimentKey, SimulationResult] = {}
+
+    @property
+    def engine(self) -> Engine:
+        return self._engine if self._engine is not None else get_engine()
+
+    def add(
+        self,
+        organization,
+        workload,
+        settings: "ExperimentSettings | None" = None,
+    ) -> ExperimentKey:
+        """Register one design point; returns its canonical key."""
+        from repro.core.experiment import ExperimentSettings
+        from repro.workloads.generator import WorkloadSpec
+
+        settings = (settings or ExperimentSettings()).scaled()
+        spec = workload if isinstance(workload, WorkloadSpec) else benchmark(workload)
+        key = ExperimentKey(organization, spec.name, settings)
+        self._points.setdefault(key, spec)
+        return key
+
+    def add_all(
+        self, points: Iterable[tuple], settings=None
+    ) -> list[ExperimentKey]:
+        """Plan many ``(organization, workload)`` pairs at once."""
+        return [self.add(org, workload, settings) for org, workload in points]
+
+    def execute(self) -> dict[ExperimentKey, SimulationResult]:
+        """Resolve every planned point (missing ones are simulated)."""
+        self._results.update(self.engine.run_batch(dict(self._points)))
+        return dict(self._results)
+
+    def resolve(self, key: ExperimentKey) -> SimulationResult:
+        """The result for a planned key (executing on demand if needed)."""
+        cached = self._results.get(key)
+        if cached is not None:
+            return cached
+        spec = self._points.get(key)
+        if spec is None:
+            raise KeyError(f"key was never planned: {key.label}")
+        result = self.engine.lookup(key, spec)
+        if result is None:
+            result = self.engine.run_point(key, spec)
+        self._results[key] = result
+        return result
+
+    def ipc(self, key: ExperimentKey) -> float:
+        """Shorthand for ``resolve(key).ipc`` (NaN for gap sentinels)."""
+        return self.resolve(key).ipc
+
+    def __len__(self) -> int:
+        return len(self._points)

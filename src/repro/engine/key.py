@@ -1,0 +1,66 @@
+"""Canonical identity of one design point: the :class:`ExperimentKey`.
+
+A key pins everything that determines a simulation's outcome -- the
+cache organization, the benchmark name, and the (already REPRO_SCALE-
+scaled) experiment settings.  It is hashable (the in-memory memo),
+JSON-serializable (parallel workers), and content-addressable: the
+digest is a SHA-256 over the canonical JSON form, so it is stable
+across processes and interpreter invocations -- no dependence on
+``PYTHONHASHSEED`` or dict iteration order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.core.experiment import ExperimentSettings
+from repro.core.organizations import CacheOrganization
+from repro.engine.serialize import (
+    organization_from_dict,
+    organization_to_dict,
+    settings_from_dict,
+    settings_to_dict,
+)
+
+
+@dataclass(frozen=True)
+class ExperimentKey:
+    """Identity of one (organization, workload, scaled settings) point."""
+
+    organization: CacheOrganization
+    workload: str  #: benchmark name (catalog key for dispatchable points)
+    settings: ExperimentSettings  #: REPRO_SCALE already applied
+
+    def to_dict(self) -> dict:
+        return {
+            "organization": organization_to_dict(self.organization),
+            "workload": self.workload,
+            "settings": settings_to_dict(self.settings),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentKey":
+        return cls(
+            organization=organization_from_dict(data["organization"]),
+            workload=data["workload"],
+            settings=settings_from_dict(data["settings"]),
+        )
+
+    def canonical_json(self) -> str:
+        """Deterministic JSON form: sorted keys, minimal separators."""
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":"), ensure_ascii=True
+        )
+
+    @cached_property
+    def digest(self) -> str:
+        """Content address: SHA-256 hex of the canonical JSON form."""
+        return hashlib.sha256(self.canonical_json().encode("ascii")).hexdigest()
+
+    @property
+    def label(self) -> str:
+        """Human-readable point name, e.g. ``1~ duplicate 32K +LB / gcc``."""
+        return f"{self.organization.label} / {self.workload}"

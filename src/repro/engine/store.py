@@ -1,0 +1,166 @@
+"""Persistent on-disk result store: ``.repro-cache/`` JSON files.
+
+Results are content-addressed by the :class:`ExperimentKey` digest and
+stamped with a schema version, so a second ``python -m repro all`` run
+resolves every already-simulated design point from disk instead of
+re-simulating it.  Layout::
+
+    <root>/v<SCHEMA>/<digest[:2]>/<digest>.json
+
+Each entry records the schema stamp, the digest, the *full* key dict
+(collision/corruption guard: a load verifies the stored key matches the
+requested one before trusting the result), and the serialized
+:class:`~repro.cpu.result.SimulationResult`.
+
+Robustness rules: unreadable/garbled/mis-versioned entries are treated
+as misses, never errors; writes are atomic (tempfile + rename) so
+concurrent runs sharing a cache directory cannot observe torn files;
+``failed`` sentinel results are never persisted -- a gap should be
+retried by the next run, not remembered forever.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.cpu.result import SimulationResult
+from repro.engine.key import ExperimentKey
+from repro.engine.serialize import SerializationError, result_from_dict, result_to_dict
+
+#: Bump whenever key or result serialization changes shape (or whenever
+#: a simulator change invalidates previously stored numbers).
+SCHEMA_VERSION = 1
+
+#: Environment override for the store location used by the CLI.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Default store directory (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def default_cache_root() -> Path:
+    """Store root from ``REPRO_CACHE_DIR``, else ``./.repro-cache``."""
+    return Path(os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR)
+
+
+class ResultStore:
+    """Content-addressed JSON store for simulation results."""
+
+    def __init__(self, root: Path | str | None = None):
+        self.root = Path(root) if root is not None else default_cache_root()
+
+    @property
+    def version_dir(self) -> Path:
+        return self.root / f"v{SCHEMA_VERSION}"
+
+    def path_for(self, key: ExperimentKey) -> Path:
+        digest = key.digest
+        return self.version_dir / digest[:2] / f"{digest}.json"
+
+    # ------------------------------------------------------------------
+    # Load / save
+    # ------------------------------------------------------------------
+
+    def load(self, key: ExperimentKey) -> SimulationResult | None:
+        """The stored result for ``key``, or None on any kind of miss."""
+        path = self.path_for(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(entry, dict) or entry.get("schema") != SCHEMA_VERSION:
+            return None
+        if entry.get("key") != key.to_dict():
+            return None  # digest collision or stale/foreign entry
+        try:
+            return result_from_dict(entry["result"])
+        except (KeyError, TypeError, SerializationError):
+            return None
+
+    def save(self, key: ExperimentKey, result: SimulationResult) -> bool:
+        """Persist ``result`` under ``key``; returns False when skipped.
+
+        Failed sentinel results are skipped on purpose, and any I/O
+        problem turns into a skip rather than an error -- the store is
+        an accelerator, never a correctness dependency.
+        """
+        if result.failed:
+            return False
+        path = self.path_for(key)
+        entry = {
+            "schema": SCHEMA_VERSION,
+            "digest": key.digest,
+            "key": key.to_dict(),
+            "result": result_to_dict(result),
+        }
+        try:
+            payload = json.dumps(entry, allow_nan=False, separators=(",", ":"))
+        except ValueError:
+            return False  # non-finite number crept in; refuse to persist
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(payload, encoding="utf-8")
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Maintenance: python -m repro cache {info,clear}
+    # ------------------------------------------------------------------
+
+    def _entry_paths(self) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("v*/??/*.json"))
+
+    def info(self) -> dict:
+        """Summary of what is on disk (all schema versions)."""
+        entries = self._entry_paths()
+        current = [p for p in entries if p.is_relative_to(self.version_dir)]
+        total_bytes = 0
+        for path in entries:
+            try:
+                total_bytes += path.stat().st_size
+            except OSError:
+                continue
+        return {
+            "root": str(self.root),
+            "schema": SCHEMA_VERSION,
+            "entries": len(entries),
+            "current_schema_entries": len(current),
+            "bytes": total_bytes,
+        }
+
+    def clear(self) -> int:
+        """Delete every stored entry (all schema versions); returns count."""
+        entries = self._entry_paths()
+        removed = 0
+        for path in entries:
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+        # Prune now-empty shard/version directories, then the root if bare.
+        for directory in sorted(
+            (p for p in self.root.glob("v*/*") if p.is_dir()), reverse=True
+        ):
+            try:
+                directory.rmdir()
+            except OSError:
+                pass
+        for directory in self.root.glob("v*"):
+            try:
+                directory.rmdir()
+            except OSError:
+                pass
+        return removed

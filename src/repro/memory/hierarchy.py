@@ -368,6 +368,22 @@ class MemorySystem:
             self.backside.writeback_line(victim.line, ready_cycle)
 
     def _trim_pending(self) -> None:
-        """Bound the merged-miss bookkeeping map (keep most recent entries)."""
-        keep = list(self._pending_served.items())[-2 * self.config.mshrs :]
-        self._pending_served = dict(keep)
+        """Bound the merged-miss bookkeeping map (keep most recent entries).
+
+        Lines the MSHR file still tracks are exempt: a delayed hit on an
+        in-flight line reads its entry, and evicting it would fall back
+        to the ``ServedBy.L2`` default even for a fill coming from DRAM.
+        """
+        in_flight = self.mshrs.tracked_lines()
+        evictable = [
+            line for line in self._pending_served if line not in in_flight
+        ]
+        surplus = len(evictable) - 2 * self.config.mshrs
+        if surplus <= 0:
+            return
+        drop = set(evictable[:surplus])
+        self._pending_served = {
+            line: served
+            for line, served in self._pending_served.items()
+            if line not in drop
+        }

@@ -77,6 +77,10 @@ class MshrFile:
         """Record when the fill for ``line`` will arrive (frees the MSHR)."""
         self._pending[line] = fill_cycle
 
+    def tracked_lines(self) -> frozenset[int]:
+        """Lines whose fills this file still tracks (possibly in flight)."""
+        return frozenset(self._pending)
+
     def _expire(self, cycle: int) -> None:
         done = [line for line, ready in self._pending.items() if ready <= cycle]
         for line in done:

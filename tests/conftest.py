@@ -1,0 +1,21 @@
+"""Shared test fixtures: keep the suite hermetic.
+
+Every test gets a throwaway result-store location so no test can read
+stale results from (or leak results into) a developer's real
+``.repro-cache/`` -- cross-run persistence is exactly what the store is
+for, and exactly what hermetic tests must not see.
+"""
+
+import pytest
+
+from repro.engine.executor import get_engine
+from repro.engine.store import CACHE_DIR_ENV
+
+
+@pytest.fixture(autouse=True)
+def _isolated_result_store(tmp_path, monkeypatch):
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "repro-cache"))
+    engine = get_engine()
+    previous = (engine.jobs, engine.store)
+    yield
+    engine.jobs, engine.store = previous

@@ -1,0 +1,93 @@
+"""CLI integration: --jobs, the result store, and `repro cache`."""
+
+import pytest
+
+from repro.cli import main
+from repro.core import experiment
+from repro.engine.store import ResultStore
+from repro.robustness import SimulationInvariantError
+
+FIGURE_ARGS = [
+    "figure4",
+    "--benchmarks",
+    "gcc",
+    "--instructions",
+    "1200",
+    "--timing-warmup",
+    "200",
+    "--functional-warmup",
+    "5000",
+]
+
+
+def _boom(org, spec, settings):
+    raise SimulationInvariantError("injected")
+
+
+def _figure_lines(captured: str) -> list[str]:
+    """Report lines, minus the wall-time footer that varies per run."""
+    return [
+        line for line in captured.splitlines() if "regenerated in" not in line
+    ]
+
+
+@pytest.fixture(autouse=True)
+def fresh_memo():
+    experiment.clear_cache()
+    yield
+    experiment.clear_cache()
+
+
+class TestStoreIntegration:
+    def test_run_persists_then_replays_from_disk(self, monkeypatch, capsys):
+        assert main(FIGURE_ARGS) == 0
+        cold = _figure_lines(capsys.readouterr().out)
+        assert ResultStore().info()["entries"] > 0
+
+        # Second run: new memo, simulator booby-trapped -- every point
+        # must come from the store, and the report must be identical.
+        experiment.clear_cache()
+        monkeypatch.setattr(experiment, "_simulate", _boom)
+        assert main(FIGURE_ARGS) == 0
+        warm = _figure_lines(capsys.readouterr().out)
+        assert warm == cold
+
+    def test_no_cache_leaves_disk_untouched(self, capsys):
+        assert main(FIGURE_ARGS + ["--no-cache"]) == 0
+        capsys.readouterr()
+        assert ResultStore().info()["entries"] == 0
+
+    def test_parallel_output_identical_to_serial(self, capsys):
+        assert main(FIGURE_ARGS + ["--no-cache"]) == 0
+        serial = _figure_lines(capsys.readouterr().out)
+        experiment.clear_cache()
+        assert main(FIGURE_ARGS + ["--no-cache", "--jobs", "2"]) == 0
+        parallel = _figure_lines(capsys.readouterr().out)
+        assert parallel == serial
+
+
+class TestCacheCommand:
+    def test_info_on_empty_store(self, capsys):
+        assert main(["cache", "info"]) == 0
+        out = capsys.readouterr().out
+        assert "entries:         0" in out
+
+    def test_clear_removes_what_a_run_wrote(self, capsys):
+        assert main(FIGURE_ARGS) == 0
+        capsys.readouterr()
+        entries = ResultStore().info()["entries"]
+        assert entries > 0
+        assert main(["cache", "clear"]) == 0
+        assert f"removed {entries} cached result(s)" in capsys.readouterr().out
+        assert ResultStore().info()["entries"] == 0
+
+    def test_bad_invocations_exit_with_usage_error(self):
+        for argv in (
+            ["cache"],
+            ["cache", "purge"],
+            ["figure1", "extra"],
+            ["headlines", "--jobs", "0"],
+        ):
+            with pytest.raises(SystemExit) as excinfo:
+                main(argv)
+            assert excinfo.value.code == 2

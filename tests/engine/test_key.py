@@ -1,0 +1,85 @@
+"""ExperimentKey: canonical identity, round trips, stable digests."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.core.experiment import ExperimentSettings
+from repro.core.organizations import duplicate, ideal_ports
+from repro.engine.key import ExperimentKey
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def _key() -> ExperimentKey:
+    return ExperimentKey(
+        duplicate(32 * 1024, line_buffer=True), "gcc", ExperimentSettings()
+    )
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_is_exact(self):
+        key = _key()
+        rebuilt = ExperimentKey.from_dict(key.to_dict())
+        assert rebuilt == key
+        assert rebuilt.to_dict() == key.to_dict()
+        assert rebuilt.digest == key.digest
+
+    def test_json_round_trip_is_exact(self):
+        key = _key()
+        rebuilt = ExperimentKey.from_dict(json.loads(json.dumps(key.to_dict())))
+        assert rebuilt == key
+        assert rebuilt.canonical_json() == key.canonical_json()
+
+    def test_keys_are_hashable_and_deduplicate(self):
+        assert len({_key(), _key()}) == 1
+
+
+class TestDigest:
+    def test_sensitive_to_every_component(self):
+        base = _key()
+        variants = [
+            ExperimentKey(
+                ideal_ports(32 * 1024), base.workload, base.settings
+            ),
+            ExperimentKey(base.organization, "tomcatv", base.settings),
+            ExperimentKey(
+                base.organization,
+                base.workload,
+                ExperimentSettings(instructions=99_999),
+            ),
+        ]
+        digests = {base.digest} | {v.digest for v in variants}
+        assert len(digests) == 4
+
+    def test_canonical_json_is_deterministic_ascii(self):
+        key = _key()
+        assert key.canonical_json() == key.canonical_json()
+        key.canonical_json().encode("ascii")  # must not raise
+
+    def test_stable_across_processes_and_hash_seeds(self):
+        """The content address must not depend on PYTHONHASHSEED."""
+        snippet = (
+            "from repro.core.experiment import ExperimentSettings\n"
+            "from repro.core.organizations import duplicate\n"
+            "from repro.engine.key import ExperimentKey\n"
+            "key = ExperimentKey(duplicate(32 * 1024, line_buffer=True),"
+            " 'gcc', ExperimentSettings())\n"
+            "print(key.digest)\n"
+        )
+        digests = set()
+        for seed in ("0", "12345"):
+            env = dict(os.environ, PYTHONPATH=str(SRC), PYTHONHASHSEED=seed)
+            env.pop("REPRO_SCALE", None)
+            output = subprocess.run(
+                [sys.executable, "-c", snippet],
+                env=env,
+                capture_output=True,
+                text=True,
+                check=True,
+            ).stdout.strip()
+            digests.add(output)
+        digests.add(_key().digest)
+        assert len(digests) == 1

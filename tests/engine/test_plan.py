@@ -1,0 +1,209 @@
+"""Plan -> execute -> resolve, cache layering, and parallel execution."""
+
+import math
+import multiprocessing
+from dataclasses import replace
+
+import pytest
+
+from repro.core import experiment
+from repro.core.experiment import ExperimentSettings, average_ipc
+from repro.core.organizations import duplicate
+from repro.engine.executor import Engine, ExecutionPlan, WorkerFailureError
+from repro.engine.serialize import result_to_dict
+from repro.engine.store import ResultStore
+from repro.robustness import SimulationInvariantError, resilient_sweeps
+from repro.workloads.catalog import benchmark
+
+FAST = ExperimentSettings(
+    instructions=1_500, timing_warmup=300, functional_warmup=20_000
+)
+
+FORK_ONLY = pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="monkeypatched failures reach workers only under fork",
+)
+
+
+def _boom(org, spec, settings):
+    raise SimulationInvariantError("injected")
+
+
+class TestPlanning:
+    def test_add_deduplicates_identical_points(self):
+        plan = ExecutionPlan(Engine())
+        first = plan.add(duplicate(), "gcc", FAST)
+        second = plan.add(duplicate(), "gcc", FAST)
+        assert first == second
+        assert len(plan) == 1
+
+    def test_resolve_requires_planning(self):
+        plan = ExecutionPlan(Engine())
+        other = ExecutionPlan(Engine())
+        key = other.add(duplicate(), "gcc", FAST)
+        with pytest.raises(KeyError, match="never planned"):
+            plan.resolve(key)
+
+    def test_execute_resolves_every_point(self):
+        plan = ExecutionPlan(Engine())
+        keys = [plan.add(duplicate(), name, FAST) for name in ("gcc", "tomcatv")]
+        results = plan.execute()
+        assert set(results) == set(keys)
+        for key in keys:
+            assert plan.resolve(key) is results[key]
+
+    def test_shared_points_simulate_once(self, monkeypatch):
+        calls = []
+        real = experiment._simulate
+
+        def counting(org, spec, settings):
+            calls.append(spec.name)
+            return real(org, spec, settings)
+
+        monkeypatch.setattr(experiment, "_simulate", counting)
+        engine = Engine()
+        plan = ExecutionPlan(engine)
+        plan.add(duplicate(), "gcc", FAST)
+        plan.add(duplicate(), "gcc", FAST)
+        plan.execute()
+        again = ExecutionPlan(engine)
+        key = again.add(duplicate(), "gcc", FAST)
+        again.execute()
+        assert calls == ["gcc"]
+        assert again.resolve(key) is plan.resolve(key)
+
+
+class TestStoreLayering:
+    def test_results_persist_and_reload_without_resimulating(
+        self, tmp_path, monkeypatch
+    ):
+        store = ResultStore(tmp_path / "cache")
+        warm = Engine(store=store)
+        plan = ExecutionPlan(warm)
+        key = plan.add(duplicate(), "gcc", FAST)
+        plan.execute()
+        expected = plan.resolve(key)
+        assert store.info()["entries"] == 1
+
+        # A fresh engine (new process, conceptually) must be served from
+        # disk: simulating again would blow up.
+        monkeypatch.setattr(experiment, "_simulate", _boom)
+        cold = Engine(store=ResultStore(tmp_path / "cache"))
+        replay = ExecutionPlan(cold)
+        replay_key = replay.add(duplicate(), "gcc", FAST)
+        replay.execute()
+        assert replay_key == key
+        assert replay.resolve(replay_key) == expected
+
+    def test_custom_workloads_never_touch_the_store(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        engine = Engine(jobs=2, store=store)
+        custom = replace(benchmark("gcc"), name="custom-variant")
+        plan = ExecutionPlan(engine)
+        key = plan.add(duplicate(), custom, FAST)
+        plan.execute()
+        assert not math.isnan(plan.ipc(key))
+        assert store.info()["entries"] == 0
+
+
+class TestParallel:
+    def test_parallel_results_identical_to_serial(self, tmp_path):
+        points = [("gcc", duplicate()), ("tomcatv", duplicate()),
+                  ("database", duplicate(line_buffer=True))]
+
+        serial = ExecutionPlan(Engine(jobs=1))
+        serial_keys = [serial.add(org, name, FAST) for name, org in points]
+        serial.execute()
+
+        store = ResultStore(tmp_path / "cache")
+        parallel = ExecutionPlan(Engine(jobs=2, store=store))
+        parallel_keys = [parallel.add(org, name, FAST) for name, org in points]
+        parallel.execute()
+
+        assert serial_keys == parallel_keys
+        for key in serial_keys:
+            assert result_to_dict(parallel.resolve(key)) == result_to_dict(
+                serial.resolve(key)
+            )
+
+        # What the parallel run persisted must satisfy a serial reader.
+        reader = ExecutionPlan(Engine(jobs=1, store=ResultStore(tmp_path / "cache")))
+        reader_keys = [reader.add(org, name, FAST) for name, org in points]
+        reader.execute()
+        for key in reader_keys:
+            assert result_to_dict(reader.resolve(key)) == result_to_dict(
+                serial.resolve(key)
+            )
+
+    @FORK_ONLY
+    def test_worker_failure_becomes_logged_gap(self, monkeypatch):
+        monkeypatch.setattr(experiment, "_simulate", _boom)
+        plan = ExecutionPlan(Engine(jobs=2))
+        keys = [plan.add(duplicate(), name, FAST) for name in ("gcc", "tomcatv")]
+        with resilient_sweeps() as log:
+            plan.execute()
+        for key in keys:
+            assert plan.resolve(key).failed
+            assert math.isnan(plan.ipc(key))
+        assert len(log.records) == 2
+        assert all(r.resolution == "gap" for r in log.records)
+        assert all(r.error_type == "SimulationInvariantError" for r in log.records)
+
+    @FORK_ONLY
+    def test_worker_failure_raises_outside_resilient_context(self, monkeypatch):
+        monkeypatch.setattr(experiment, "_simulate", _boom)
+        plan = ExecutionPlan(Engine(jobs=2))
+        plan.add(duplicate(), "gcc", FAST)
+        plan.add(duplicate(), "tomcatv", FAST)
+        with pytest.raises(WorkerFailureError):
+            plan.execute()
+
+    @FORK_ONLY
+    def test_worker_failure_can_recover_at_reduced_budget(self, monkeypatch):
+        """First (full-budget) attempt fails in the worker; the parent's
+        reduced-budget retry succeeds and is recorded as recovered."""
+        real = experiment._simulate
+
+        def flaky(org, spec, settings):
+            if settings.instructions >= FAST.instructions:
+                raise SimulationInvariantError("injected at full budget")
+            return real(org, spec, settings)
+
+        monkeypatch.setattr(experiment, "_simulate", flaky)
+        plan = ExecutionPlan(Engine(jobs=2))
+        keys = [plan.add(duplicate(), name, FAST) for name in ("gcc", "tomcatv")]
+        with resilient_sweeps() as log:
+            plan.execute()
+        for key in keys:
+            assert not plan.resolve(key).failed
+        assert all(r.resolution == "recovered" for r in log.records)
+
+
+class TestAverageIpc:
+    @pytest.fixture(autouse=True)
+    def fresh_cache(self):
+        experiment.clear_cache()
+        yield
+        experiment.clear_cache()
+
+    def test_excludes_gaps_and_warns(self, monkeypatch):
+        real = experiment._simulate
+
+        def fails_for_tomcatv(org, spec, settings):
+            if spec.name == "tomcatv":
+                raise SimulationInvariantError("injected")
+            return real(org, spec, settings)
+
+        monkeypatch.setattr(experiment, "_simulate", fails_for_tomcatv)
+        with resilient_sweeps():
+            with pytest.warns(RuntimeWarning, match="1 of 2 design points"):
+                mean = average_ipc(duplicate(), ("gcc", "tomcatv"), FAST)
+        assert not math.isnan(mean)
+        assert mean > 0
+
+    def test_all_gaps_is_nan(self, monkeypatch):
+        monkeypatch.setattr(experiment, "_simulate", _boom)
+        with resilient_sweeps():
+            with pytest.warns(RuntimeWarning, match="2 of 2"):
+                mean = average_ipc(duplicate(), ("gcc", "tomcatv"), FAST)
+        assert math.isnan(mean)

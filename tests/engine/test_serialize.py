@@ -1,0 +1,90 @@
+"""Exact to/from-dict round trips for configurations and results."""
+
+import json
+
+import pytest
+
+from repro.core.experiment import ExperimentSettings, _simulate
+from repro.core.organizations import duplicate
+from repro.cpu.config import R10000_FU_LIMITS, ProcessorConfig
+from repro.engine.serialize import (
+    SerializationError,
+    memory_stats_from_dict,
+    memory_stats_to_dict,
+    organization_from_dict,
+    organization_to_dict,
+    result_from_dict,
+    result_to_dict,
+    settings_from_dict,
+    settings_to_dict,
+)
+from repro.workloads.catalog import benchmark
+
+FAST = ExperimentSettings(
+    instructions=1_500, timing_warmup=300, functional_warmup=20_000
+)
+
+
+@pytest.fixture(scope="module")
+def real_result():
+    return _simulate(duplicate(32 * 1024, line_buffer=True), benchmark("gcc"), FAST)
+
+
+class TestResultRoundTrip:
+    def test_bit_identical_through_json(self, real_result):
+        wire = json.loads(json.dumps(result_to_dict(real_result)))
+        rebuilt = result_from_dict(wire)
+        assert rebuilt == real_result
+        assert result_to_dict(rebuilt) == result_to_dict(real_result)
+        assert json.dumps(result_to_dict(rebuilt), sort_keys=True) == json.dumps(
+            result_to_dict(real_result), sort_keys=True
+        )
+
+    def test_served_by_preserves_enum_order(self, real_result):
+        rebuilt = result_from_dict(result_to_dict(real_result))
+        assert list(rebuilt.memory.served_by) == list(real_result.memory.served_by)
+
+    def test_ipc_identical(self, real_result):
+        rebuilt = result_from_dict(result_to_dict(real_result))
+        assert rebuilt.ipc == real_result.ipc
+
+    def test_failed_flag_survives(self):
+        from repro.cpu.result import SimulationResult
+
+        sentinel = SimulationResult(instructions=0, cycles=0, failed=True)
+        assert result_from_dict(result_to_dict(sentinel)).failed
+
+
+class TestConfigRoundTrip:
+    def test_organization_with_dram(self):
+        from repro.core.organizations import dram_cache
+
+        org = dram_cache()
+        assert organization_from_dict(organization_to_dict(org)) == org
+
+    def test_organization_plain(self):
+        org = duplicate(16 * 1024, hit_cycles=2, line_buffer=True)
+        assert organization_from_dict(organization_to_dict(org)) == org
+
+    def test_settings_with_fu_limits_tuple(self):
+        settings = ExperimentSettings(
+            cpu=ProcessorConfig(fu_limits=R10000_FU_LIMITS)
+        )
+        rebuilt = settings_from_dict(json.loads(json.dumps(settings_to_dict(settings))))
+        assert rebuilt == settings
+        assert isinstance(rebuilt.cpu.fu_limits, tuple)
+        assert isinstance(rebuilt.cpu.fu_limits[0], tuple)
+
+
+class TestSchemaGuards:
+    def test_unknown_served_by_level_rejected(self, real_result):
+        data = memory_stats_to_dict(real_result.memory)
+        data["served_by"]["WARP_DRIVE"] = 1
+        with pytest.raises(SerializationError):
+            memory_stats_from_dict(data)
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(SerializationError):
+            result_from_dict({"instructions": 1})
+        with pytest.raises(SerializationError):
+            settings_from_dict({"instructions": 1})

@@ -1,0 +1,70 @@
+"""Regression: trimming merged-miss bookkeeping must not lose live fills.
+
+``MemorySystem._pending_served`` remembers which level is filling each
+outstanding miss so that *delayed hits* (a later reference to a line
+whose fill is still in flight) report the right ``served_by``.  The map
+is bounded by ``_trim_pending``; the old implementation kept only the
+most recent entries by insertion order, so a long-latency fill could be
+evicted while still in flight and a delayed hit on it would fall back
+to the ``ServedBy.L2`` default, misattributing the traffic.
+
+The DRAM-cache organization (section 2.4) exposes this: its banks are
+independent, so one row's main-memory fill stays in flight for
+thousands of cycles while other banks complete fast DRAM hits -- each a
+primary miss that grows the bookkeeping map past its trim threshold.
+"""
+
+from repro.memory.common import ServedBy
+from repro.memory.dram_cache import DramCacheConfig
+from repro.memory.hierarchy import MemoryConfig, MemorySystem
+
+
+def _dram_system(memory_cycles: int = 10_000) -> MemorySystem:
+    return MemorySystem(
+        MemoryConfig(mshrs=4, dram=DramCacheConfig(memory_cycles=memory_cycles))
+    )
+
+
+def test_delayed_hit_keeps_memory_attribution_across_trims():
+    memory = _dram_system()
+    row_bytes = memory.line_bytes  # 512 B: a row-buffer line is a DRAM row
+
+    # Row 0 misses the row-buffer cache AND the DRAM array: its fill
+    # comes from main memory and stays in flight for ~10k cycles.
+    first = memory.load(0, 0)
+    assert first.served_by is ServedBy.MEMORY
+
+    # Meanwhile 18 rows on *other* DRAM banks miss the row-buffer cache
+    # and fill from the (prefilled) DRAM array in a few cycles each,
+    # overflowing the bookkeeping bound of 4 * mshrs = 16 entries and
+    # forcing trims while row 0's fill is still outstanding.  Rows avoid
+    # bank 0 (busy with row 0's fill) and row 0's cache set stays 2-way
+    # so row 0 remains resident.
+    rows = [row for row in range(1, 22) if row % memory.config.dram.dram_banks]
+    rows = rows[:18]
+    memory.prefill_backside(rows)
+    cycle = 100
+    for row in rows:
+        result = memory.load(row * row_bytes, cycle)
+        assert result.served_by is ServedBy.DRAM_CACHE
+        cycle += 12
+
+    # A delayed hit on row 0 must still blame main memory -- not the
+    # ``ServedBy.L2`` default (there is no L2 in DRAM mode at all).
+    again = memory.load(0, cycle)
+    assert again.served_by is ServedBy.MEMORY
+    assert again.completion_cycle == first.completion_cycle
+
+
+def test_trim_still_bounds_the_map():
+    memory = _dram_system()
+    row_bytes = memory.line_bytes
+    rows = [row for row in range(1, 90) if row % memory.config.dram.dram_banks]
+    memory.prefill_backside(rows)
+    memory.load(0, 0)  # one long-latency in-flight fill
+    cycle = 100
+    for row in rows:
+        memory.load(row * row_bytes, cycle)
+        cycle += 12
+    # Bounded: the trim threshold (4 * mshrs) plus in-flight exemptions.
+    assert len(memory._pending_served) <= 5 * memory.config.mshrs
