@@ -11,6 +11,13 @@ parallel speedup, and the warm-over-cold fraction.  Also diffs the
 three reports (timing footer lines stripped) to prove the engine keeps
 output byte-identical across execution strategies.
 
+A fourth pair of runs measures the observability layer: ``headlines``
+with tracing disabled vs with a full JSONL event trace (``REPRO_TRACE``),
+each against an empty store so both actually simulate.  The disabled
+run IS the production path -- its wall time backs the "tracing adds
+nothing when off" claim -- and the enabled ratio shows what a full
+event stream costs when you ask for one.
+
 Usage::
 
     python benchmarks/bench_engine.py [--jobs N] [--scale S] [--out PATH]
@@ -61,6 +68,38 @@ def _run(jobs: int, cache_dir: Path, scale: float) -> tuple[float, str]:
     return elapsed, _strip_timing(proc.stdout)
 
 
+def _run_headlines(
+    cache_dir: Path, scale: float, trace_path: Path | None = None
+) -> tuple[float, int]:
+    """Time ``repro headlines`` against an empty store; returns wall
+    seconds and the number of events traced (0 when tracing is off)."""
+    env = dict(
+        os.environ,
+        PYTHONPATH=str(REPO / "src"),
+        REPRO_CACHE_DIR=str(cache_dir),
+        REPRO_SCALE=str(scale),
+    )
+    if trace_path is not None:
+        env["REPRO_TRACE"] = str(trace_path)
+    start = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "headlines", "--jobs", "1"],
+        env=env,
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+    )
+    elapsed = time.perf_counter() - start
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        raise SystemExit(f"repro headlines exited {proc.returncode}")
+    events = 0
+    if trace_path is not None:
+        with trace_path.open(encoding="utf-8") as lines:
+            events = sum(1 for _ in lines)
+    return elapsed, events
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
@@ -77,6 +116,10 @@ def main() -> int:
             args.jobs, tmp_path / "parallel", args.scale
         )
         warm_seconds, warm_report = _run(1, tmp_path / "parallel", args.scale)
+        untraced_seconds, _ = _run_headlines(tmp_path / "untraced", args.scale)
+        traced_seconds, traced_events = _run_headlines(
+            tmp_path / "traced", args.scale, trace_path=tmp_path / "events.jsonl"
+        )
 
     if parallel_report != serial_report:
         raise SystemExit("parallel report differs from serial report")
@@ -93,6 +136,15 @@ def main() -> int:
         "speedup": round(serial_seconds / parallel_seconds, 2),
         "warm_fraction": round(warm_seconds / parallel_seconds, 3),
         "reports_identical": True,
+        "tracing": {
+            "command": "python -m repro headlines --jobs 1",
+            "disabled_seconds": round(untraced_seconds, 2),
+            "enabled_seconds": round(traced_seconds, 2),
+            "enabled_overhead": round(
+                traced_seconds / untraced_seconds - 1.0, 3
+            ),
+            "events_traced": traced_events,
+        },
     }
     args.out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     print(json.dumps(payload, indent=2))

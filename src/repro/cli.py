@@ -9,16 +9,28 @@ Usage::
     python -m repro all
     python -m repro cache info
     python -m repro cache clear
+    python -m repro trace gcc --trace-out gcc.jsonl
+    python -m repro metrics gcc
+    python -m repro figure4 --profile
 
 Instruction budgets can also be scaled globally with ``REPRO_SCALE``.
 Results persist in ``.repro-cache/`` (override with ``--cache-dir`` or
 ``REPRO_CACHE_DIR``; disable with ``--no-cache``), so a second run of
 the same figures is nearly free.
+
+Observability: ``trace <benchmark>`` records the full event stream of
+one simulation of the paper's recommended organization; ``metrics
+[benchmark]`` prints every named counter of that design point (served
+from the result store when warm); ``--profile`` reports per-phase wall
+clock and events/second for any experiment run.  Setting
+``REPRO_TRACE=<path>`` streams every event of any command to ``<path>``
+as JSON lines.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -26,6 +38,7 @@ from repro.core import ExperimentSettings, figures
 from repro.core import reporting
 from repro.engine.executor import configure_engine
 from repro.engine.store import ResultStore
+from repro.observability import trace as obs_trace
 from repro.robustness.runner import resilient_sweeps
 from repro.workloads.catalog import BENCHMARKS, REPRESENTATIVES
 
@@ -154,6 +167,81 @@ def _validated_benchmarks(
     return resolved
 
 
+def _recommended_organization():
+    """The paper's recommended design point (section 4): a dual-copy
+    32 KB cache with a line buffer."""
+    from repro.core.organizations import KB, duplicate
+
+    return duplicate(32 * KB, line_buffer=True)
+
+
+def _trace_command(args: argparse.Namespace) -> int:
+    """``python -m repro trace <benchmark>``: one fully traced simulation."""
+    from repro.core.experiment import run_experiment
+    from repro.observability import tracing, utilization_summary
+
+    organization = _recommended_organization()
+    benchmark = args.benchmarks[0]
+    sink = None
+    try:
+        if args.trace_out is not None:
+            sink = open(args.trace_out, "w", encoding="utf-8")
+        with tracing(capacity=args.trace_limit, sink=sink) as tracer:
+            result = run_experiment(organization, benchmark, _settings(args))
+    finally:
+        if sink is not None:
+            sink.close()
+    print(f"traced {organization.label} on {benchmark}: {result.summary()}")
+    print()
+    rows = [
+        [kind, f"{count}"] for kind, count in sorted(tracer.by_kind.items())
+    ]
+    rows.append(["total", f"{tracer.emitted}"])
+    print(reporting.format_table(["event kind", "count"], rows, "Event stream"))
+    print(
+        f"\n{len(tracer)} of {tracer.emitted} events retained "
+        f"({tracer.dropped} dropped from the ring)"
+    )
+    if args.trace_out is not None:
+        print(f"full stream written to {args.trace_out}")
+    tail = tracer.events()[-args.trace_tail:]
+    if tail:
+        print(f"\nlast {len(tail)} events:")
+        for event in tail:
+            print(f"  {event.to_json()}")
+    print()
+    print(utilization_summary(result, f"Pipeline utilization: {benchmark}"))
+    return 0
+
+
+def _metrics_command(args: argparse.Namespace) -> int:
+    """``python -m repro metrics [benchmark]``: every named counter."""
+    from repro.core.experiment import run_experiment
+    from repro.observability import utilization_summary
+
+    organization = _recommended_organization()
+    benchmark = args.benchmarks[0]
+    result = run_experiment(organization, benchmark, _settings(args))
+    if not result.metrics:
+        print(
+            "no metrics on this result (stale cache entry?); "
+            "run 'python -m repro cache clear' and retry",
+            file=sys.stderr,
+        )
+        return 3
+    rows = [[name, f"{value}"] for name, value in result.metrics.items()]
+    print(
+        reporting.format_table(
+            ["metric", "value"],
+            rows,
+            f"Metrics: {organization.label} on {benchmark}",
+        )
+    )
+    print()
+    print(utilization_summary(result, f"Pipeline utilization: {benchmark}"))
+    return 0
+
+
 def _cache_command(action: str, cache_dir: str | None) -> int:
     """``python -m repro cache {info,clear}`` against the result store."""
     store = ResultStore(cache_dir)
@@ -173,6 +261,21 @@ def _cache_command(action: str, cache_dir: str | None) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; honors ``REPRO_TRACE=<path>`` for any command."""
+    trace_path = os.environ.get("REPRO_TRACE")
+    if not trace_path:
+        return _main(argv)
+    with open(trace_path, "w", encoding="utf-8") as sink:
+        with obs_trace.tracing(sink=sink) as tracer:
+            code = _main(argv)
+        print(
+            f"[REPRO_TRACE: {tracer.emitted} event(s) -> {trace_path}]",
+            file=sys.stderr,
+        )
+    return code
+
+
+def _main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
@@ -182,13 +285,19 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="which table/figure to regenerate (or 'all', or 'cache')",
+        help=(
+            "which table/figure to regenerate "
+            "(or 'all', 'cache', 'trace', 'metrics')"
+        ),
     )
     parser.add_argument(
         "action",
         nargs="?",
         default=None,
-        help="subcommand action: 'cache' takes 'info' or 'clear'",
+        help=(
+            "subcommand argument: 'cache' takes 'info' or 'clear'; "
+            "'trace' and 'metrics' take a benchmark name"
+        ),
     )
     parser.add_argument(
         "--benchmarks",
@@ -216,6 +325,29 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="result store location (default: $REPRO_CACHE_DIR or .repro-cache)",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="report per-phase wall clock and event throughput",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        help="('trace' only) also write every event to this JSONL file",
+    )
+    parser.add_argument(
+        "--trace-limit",
+        type=int,
+        default=obs_trace.DEFAULT_CAPACITY,
+        help="('trace' only) ring-buffer capacity "
+        f"(default {obs_trace.DEFAULT_CAPACITY})",
+    )
+    parser.add_argument(
+        "--trace-tail",
+        type=int,
+        default=10,
+        help="('trace' only) how many trailing events to print (default 10)",
+    )
     args = parser.parse_args(argv)
 
     experiment = args.experiment.lower()
@@ -223,6 +355,28 @@ def main(argv: list[str] | None = None) -> int:
         if args.action not in ("info", "clear"):
             parser.error("'cache' takes an action: info or clear")
         return _cache_command(args.action, args.cache_dir)
+    if experiment in ("trace", "metrics"):
+        if args.action is not None:
+            args.benchmarks = _validated_benchmarks(parser, [args.action])
+        elif experiment == "trace":
+            parser.error("'trace' takes a benchmark name")
+        else:
+            args.benchmarks = [REPRESENTATIVES[0]]
+        if experiment == "trace":
+            if args.trace_limit < 0:
+                parser.error("--trace-limit cannot be negative")
+            # No store: the point of 'trace' is watching a live run.
+            previous = configure_engine(jobs=1, store=None)
+            try:
+                return _trace_command(args)
+            finally:
+                configure_engine(jobs=previous[0], store=previous[1])
+        store = None if args.no_cache else ResultStore(args.cache_dir)
+        previous = configure_engine(jobs=1, store=store)
+        try:
+            return _metrics_command(args)
+        finally:
+            configure_engine(jobs=previous[0], store=previous[1])
     if args.action is not None:
         parser.error(f"unexpected extra argument {args.action!r}")
     if args.jobs < 1:
@@ -230,9 +384,20 @@ def main(argv: list[str] | None = None) -> int:
     if experiment != "all" and experiment not in EXPERIMENTS:
         parser.error(
             f"unknown experiment {args.experiment!r}; choose from: "
-            + ", ".join(EXPERIMENTS + ("all", "cache"))
+            + ", ".join(EXPERIMENTS + ("all", "cache", "trace", "metrics"))
         )
     args.benchmarks = _validated_benchmarks(parser, args.benchmarks)
+
+    profiler = None
+    counting_tracer = None
+    if args.profile:
+        from repro.observability import PhaseProfiler, Tracer
+
+        profiler = PhaseProfiler()
+        if obs_trace.active() is None:
+            # Counting-only tracer: per-kind totals, no ring retention.
+            counting_tracer = Tracer(capacity=0)
+            obs_trace.activate(counting_tracer)
 
     store = None if args.no_cache else ResultStore(args.cache_dir)
     previous = configure_engine(jobs=args.jobs, store=store)
@@ -243,7 +408,11 @@ def main(argv: list[str] | None = None) -> int:
             for name in names:
                 start = time.time()
                 try:
-                    output = _run_one(name, args)
+                    if profiler is not None:
+                        with profiler.phase(name):
+                            output = _run_one(name, args)
+                    else:
+                        output = _run_one(name, args)
                 except Exception as error:  # noqa: BLE001 - keep figures alive
                     broken.append(name)
                     first_line = (str(error).splitlines() or [repr(error)])[0]
@@ -257,6 +426,13 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"[{name} regenerated in {elapsed:.1f}s]\n")
     finally:
         configure_engine(jobs=previous[0], store=previous[1])
+        if counting_tracer is not None:
+            obs_trace.deactivate()
+
+    if profiler is not None:
+        summary = profiler.summary()
+        if summary:
+            print(summary)
 
     summary = log.summary()
     if summary:

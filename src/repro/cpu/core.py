@@ -28,6 +28,9 @@ from repro.cpu.config import ProcessorConfig
 from repro.cpu.isa import ADDRESS_CALC_CYCLES, FU_CLASS, MAX_DEP_DISTANCE, MicroOp, Op
 from repro.cpu.result import PipelineStats, SimulationResult
 from repro.memory.hierarchy import MemorySystem
+from repro.observability import events as obs
+from repro.observability import trace as obs_trace
+from repro.observability.metrics import snapshot_simulation
 from repro.robustness.dump import dump_window
 from repro.robustness.errors import SimulationInvariantError
 from repro.robustness.watchdog import CommitWatchdog
@@ -101,6 +104,9 @@ class OutOfOrderCore:
         measure_start_cycle = 0
         measure_start_committed = 0
         target = warmup_instructions + max_instructions
+        # Hoisted once per run: tracing cannot toggle mid-simulation, so
+        # the hot loops below pay a single local ``is None`` test.
+        tracer = obs_trace._ACTIVE
 
         while committed < target and not (trace_done and not window):
             # Check for deadlock *before* commit: a stuck completion at a
@@ -126,6 +132,10 @@ class OutOfOrderCore:
                     )
                 expected_seq += 1
                 mop = slot.mop
+                if tracer is not None:
+                    tracer.capture(
+                        obs.CPU_COMMIT, cycle, {"seq": slot.seq, "op": mop.op.name}
+                    )
                 if mop.is_memory:
                     lsq_used -= 1
                     if lsq_used < 0:
@@ -191,7 +201,7 @@ class OutOfOrderCore:
                             ready = when
                 if not ok or ready > cycle:
                     continue
-                self._issue(slot, cycle, store_lines, pipeline)
+                self._issue(slot, cycle, store_lines, pipeline, tracer)
                 comp[seq & _RING_MASK] = slot.complete
                 n_issue += 1
                 if fu_free is not None:
@@ -205,6 +215,12 @@ class OutOfOrderCore:
                         blocking_branch.complete + cfg.mispredict_redirect_penalty
                     )
                     if cycle >= resume:
+                        if tracer is not None:
+                            tracer.capture(
+                                obs.CPU_FLUSH,
+                                cycle,
+                                {"seq": blocking_branch.seq, "resume": resume},
+                            )
                         blocking_branch = None
                 if blocking_branch is not None and measuring:
                     pipeline.mispredict_stall_cycles += 1
@@ -231,6 +247,10 @@ class OutOfOrderCore:
                     window.append(slot)
                     fetched += 1
                     n_fetch += 1
+                    if tracer is not None:
+                        tracer.capture(
+                            obs.CPU_FETCH, cycle, {"seq": slot.seq, "op": mop.op.name}
+                        )
                     if mop.is_memory:
                         lsq_used += 1
                         if lsq_used > cfg.lsq_size:
@@ -263,6 +283,7 @@ class OutOfOrderCore:
             branches=self.predictor.stats,
             memory=self.memory.stats,
         )
+        result.metrics = snapshot_simulation(result, self.memory)
         return result
 
     # ------------------------------------------------------------------
@@ -273,6 +294,7 @@ class OutOfOrderCore:
         cycle: int,
         store_lines: dict[int, tuple[int, int]],
         pipeline: PipelineStats,
+        tracer: "obs_trace.Tracer | None" = None,
     ) -> None:
         mop = slot.mop
         op = mop.op
@@ -285,6 +307,17 @@ class OutOfOrderCore:
                     pipeline.store_forwards += 1
                     slot.complete = max(address_ready + 1, entry[1] + 1)
                     slot.issued = True
+                    if tracer is not None:
+                        tracer.capture(
+                            obs.CPU_ISSUE,
+                            cycle,
+                            {
+                                "seq": slot.seq,
+                                "op": op.name,
+                                "complete": slot.complete,
+                                "fwd": True,
+                            },
+                        )
                     return
             result = self.memory.load(mop.address, address_ready)
             slot.complete = result.completion_cycle
@@ -296,6 +329,12 @@ class OutOfOrderCore:
         else:
             slot.complete = cycle + mop.latency
         slot.issued = True
+        if tracer is not None:
+            tracer.capture(
+                obs.CPU_ISSUE,
+                cycle,
+                {"seq": slot.seq, "op": op.name, "complete": slot.complete},
+            )
 
     def _skip_to_next_event(
         self,

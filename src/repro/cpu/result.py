@@ -28,6 +28,10 @@ class SimulationResult:
     pipeline: PipelineStats = field(default_factory=PipelineStats)
     branches: BranchStats = field(default_factory=BranchStats)
     memory: MemoryStats = field(default_factory=MemoryStats)
+    #: flat export of every named counter the simulation maintained
+    #: (see :mod:`repro.observability.metrics`); deterministic ints, so
+    #: it round-trips the store and worker boundaries bit-identically
+    metrics: dict[str, int | float] = field(default_factory=dict)
     #: the simulation failed and could not be recovered; metrics are
     #: meaningless and :attr:`ipc` reports NaN so downstream figure math
     #: shows a visible gap instead of a fabricated number

@@ -40,6 +40,8 @@ from repro.cpu.result import SimulationResult
 from repro.engine.key import ExperimentKey
 from repro.engine.serialize import result_from_dict, result_to_dict
 from repro.engine.store import ResultStore
+from repro.observability import trace as obs_trace
+from repro.observability.events import ENGINE_CACHE_HIT, ENGINE_EXECUTE, ENGINE_PLAN
 from repro.workloads.catalog import BENCHMARKS, benchmark
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -103,11 +105,13 @@ class Engine:
         """Memo first, then the disk store (promoting hits to the memo)."""
         cached = self.memo.get(key)
         if cached is not None:
+            obs_trace.emit(ENGINE_CACHE_HIT, 0, key=key.label, layer="memo")
             return cached
         if self.store is not None and _is_catalog_spec(spec):
             stored = self.store.load(key)
             if stored is not None:
                 self.memo[key] = stored
+                obs_trace.emit(ENGINE_CACHE_HIT, 0, key=key.label, layer="store")
                 return stored
         return None
 
@@ -166,6 +170,14 @@ class Engine:
                 results[key] = cached
             else:
                 pending.append((key, spec))
+        obs_trace.emit(
+            ENGINE_EXECUTE,
+            0,
+            planned=len(points),
+            cached=len(results),
+            simulated=len(pending),
+            jobs=self.jobs,
+        )
         if not pending:
             return results
         if self.jobs > 1:
@@ -314,6 +326,8 @@ class ExecutionPlan:
         settings = (settings or ExperimentSettings()).scaled()
         spec = workload if isinstance(workload, WorkloadSpec) else benchmark(workload)
         key = ExperimentKey(organization, spec.name, settings)
+        if key not in self._points:
+            obs_trace.emit(ENGINE_PLAN, 0, key=key.label)
         self._points.setdefault(key, spec)
         return key
 

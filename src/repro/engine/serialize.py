@@ -241,6 +241,7 @@ def result_to_dict(result: SimulationResult) -> dict:
             "mispredictions": result.branches.mispredictions,
         },
         "memory": memory_stats_to_dict(result.memory),
+        "metrics": dict(result.metrics),
         "failed": result.failed,
     }
 
@@ -254,5 +255,6 @@ def result_from_dict(data: dict) -> SimulationResult:
         pipeline=PipelineStats(**data["pipeline"]),
         branches=BranchStats(**data["branches"]),
         memory=memory_stats_from_dict(data["memory"]),
+        metrics=dict(data.get("metrics") or {}),
         failed=data["failed"],
     )

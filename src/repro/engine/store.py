@@ -31,7 +31,7 @@ from repro.engine.serialize import SerializationError, result_from_dict, result_
 
 #: Bump whenever key or result serialization changes shape (or whenever
 #: a simulator change invalidates previously stored numbers).
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: Environment override for the store location used by the CLI.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"

@@ -19,7 +19,8 @@ from dataclasses import dataclass
 from repro.memory.bus import Bus, Transfer
 from repro.memory.common import ServedBy
 from repro.memory.sram import SetAssociativeCache
-from repro.robustness.invariants import check_causality
+from repro.observability.events import MEM_BUS_TRANSFER, EventChannel
+from repro.robustness.invariants import bus_causality_tap
 
 
 @dataclass
@@ -68,6 +69,7 @@ class BacksideMemory:
         self.l2 = SetAssociativeCache(config.l2_size, config.l2_assoc, config.l2_line)
         self.chip_bus = Bus(config.chip_bus_bytes_per_cycle, "chip<->L2")
         self.memory_bus = Bus(config.memory_bus_bytes_per_cycle, "L2<->memory")
+        self.bus_events = EventChannel(MEM_BUS_TRANSFER, (bus_causality_tap,))
         self.stats = BacksideStats()
         self._line_shift = (config.l2_line // l1_line_bytes).bit_length() - 1
 
@@ -75,14 +77,19 @@ class BacksideMemory:
         return l1_line >> self._line_shift
 
     def _checked_transfer(self, bus: Bus, cycle: int, nbytes: int) -> Transfer:
-        """Schedule a transfer and verify its grant window is causal.
+        """Schedule a transfer and emit it on the bus-event channel.
 
-        A dropped or mis-accounted bus grant surfaces here as data
-        "arriving" at or before the cycle it was requested.
+        The channel's causality tap verifies the grant window: a dropped
+        or mis-accounted bus grant surfaces here as data "arriving" at
+        or before the cycle it was requested.
         """
         transfer = bus.transfer(cycle, nbytes)
-        check_causality(
-            f"{bus.name} transfer", cycle, transfer.start_cycle, transfer.done_cycle
+        self.bus_events.emit(
+            cycle,
+            bus=bus.name,
+            start=transfer.start_cycle,
+            done=transfer.done_cycle,
+            bytes=nbytes,
         )
         return transfer
 

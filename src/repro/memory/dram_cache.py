@@ -22,6 +22,8 @@ from dataclasses import dataclass
 from repro.memory.bus import Bus
 from repro.memory.common import ServedBy
 from repro.memory.sram import SetAssociativeCache
+from repro.observability.events import MEM_BUS_TRANSFER, EventChannel
+from repro.robustness.invariants import bus_causality_tap
 
 
 @dataclass(frozen=True)
@@ -71,6 +73,7 @@ class DramCacheBackside:
             config.dram_size, config.dram_assoc, config.row_bytes
         )
         self.memory_bus = Bus(config.memory_bus_bytes_per_cycle, "DRAM<->memory")
+        self.bus_events = EventChannel(MEM_BUS_TRANSFER, (bus_causality_tap,))
         self.stats = DramStats()
         self._bank_free = [0] * config.dram_banks
 
@@ -87,6 +90,13 @@ class DramCacheBackside:
         self.stats.dram_misses += 1
         mem_ready = done + self.config.memory_cycles
         transfer = self.memory_bus.transfer(mem_ready, self.config.row_bytes)
+        self.bus_events.emit(
+            mem_ready,
+            bus=self.memory_bus.name,
+            start=transfer.start_cycle,
+            done=transfer.done_cycle,
+            bytes=self.config.row_bytes,
+        )
         victim = self.dram.fill(row_line)
         if victim is not None and victim.dirty:
             self.memory_bus.transfer(transfer.done_cycle, self.config.row_bytes)

@@ -30,6 +30,7 @@ from repro.memory.ports import make_arbiter
 from repro.memory.sram import SetAssociativeCache
 from repro.memory.stats import MemoryStats
 from repro.memory.victim import VictimCache
+from repro.observability import events, trace
 from repro.robustness.errors import SimulationInvariantError
 from repro.robustness.invariants import audit_memory
 
@@ -199,12 +200,16 @@ class MemorySystem:
         """A load whose address is ready at ``cycle``."""
         self.stats.loads += 1
         line = self.line_of(address)
+        tracer = trace._ACTIVE
         if self.line_buffer is not None and self.line_buffer.load_lookup(line):
             # If the line's fill is still in flight the buffered copy is
             # not valid yet; data is forwarded when the fill arrives.
             done = self.mshrs.pending_ready(line, cycle + 1) or cycle + 1
             result = AccessResult(done, ServedBy.LINE_BUFFER, cycle)
             self._finish_load(result, cycle)
+            if tracer is not None:
+                tracer.capture(events.MEM_LB_HIT, cycle, {"line": line})
+                self._capture_access(tracer, events.MEM_LOAD, cycle, line, "lb_hit", result)
             return result
         start = self.arbiter.reserve(line, cycle)
         if self.l1.lookup(line):
@@ -218,16 +223,33 @@ class MemorySystem:
                 self.mshrs.stats.merged_misses += 1
                 served = self._pending_served.get(line, ServedBy.L2)
                 result = AccessResult(in_flight, served, start)
+                outcome = "delayed_hit"
             else:
                 self.stats.l1_load_hits += 1
                 result = AccessResult(done, self._l1_served, start)
+                outcome = "l1_hit"
         else:
             self.stats.l1_load_misses += 1
-            result = self._miss(line, start, dirty=False)
+            result, outcome = self._miss(line, start, dirty=False)
         if self.line_buffer is not None:
             self.line_buffer.fill(line)
         self._finish_load(result, cycle)
+        if tracer is not None:
+            self._capture_access(tracer, events.MEM_LOAD, cycle, line, outcome, result)
         return result
+
+    @staticmethod
+    def _capture_access(tracer, kind, cycle, line, outcome, result) -> None:
+        tracer.capture(
+            kind,
+            cycle,
+            {
+                "line": line,
+                "outcome": outcome,
+                "served": result.served_by.name.lower(),
+                "done": result.completion_cycle,
+            },
+        )
 
     def _finish_load(self, result: AccessResult, issue_cycle: int) -> None:
         self.stats.served_by[result.served_by] += 1
@@ -245,6 +267,7 @@ class MemorySystem:
         """
         self.stats.stores += 1
         line = self.line_of(address)
+        tracer = trace._ACTIVE
         if self.line_buffer is not None:
             self.line_buffer.store_update(line)
         start = self.arbiter.reserve_store(line, cycle)
@@ -259,13 +282,17 @@ class MemorySystem:
                 self.mshrs.stats.merged_misses += 1
                 served = self._pending_served.get(line, ServedBy.L2)
                 result = AccessResult(in_flight, served, start)
+                outcome = "delayed_hit"
             else:
                 self.stats.l1_store_hits += 1
                 result = AccessResult(done, self._l1_served, start)
+                outcome = "l1_hit"
         else:
             self.stats.l1_store_misses += 1
-            result = self._miss(line, start, dirty=True)
+            result, outcome = self._miss(line, start, dirty=True)
         self.stats.served_by[result.served_by] += 1
+        if tracer is not None:
+            self._capture_access(tracer, events.MEM_STORE, cycle, line, outcome, result)
         return result
 
     def _store_through(self, line: int, start: int) -> AccessResult:
@@ -293,28 +320,40 @@ class MemorySystem:
         transfer = self.backside.write_word_through(line, done)
         result = AccessResult(max(done, transfer), served, start)
         self.stats.served_by[result.served_by] += 1
+        tracer = trace._ACTIVE
+        if tracer is not None:
+            outcome = "wt_hit" if served is self._l1_served else "wt_miss"
+            self._capture_access(tracer, events.MEM_STORE, start, line, outcome, result)
         return result
 
     # ------------------------------------------------------------------
     # Miss handling
     # ------------------------------------------------------------------
 
-    def _miss(self, line: int, port_start: int, *, dirty: bool) -> AccessResult:
-        """Common lockup-free miss path for loads and stores."""
+    def _miss(
+        self, line: int, port_start: int, *, dirty: bool
+    ) -> tuple[AccessResult, str]:
+        """Common lockup-free miss path for loads and stores.
+
+        Returns the access result plus the miss outcome tag
+        (``victim_hit`` / ``miss_merged`` / ``miss_alloc``) the caller's
+        trace emission carries.
+        """
         detect = port_start + self.config.l1_hit_cycles
         if self.victim_cache is not None:
             swap_hit, was_dirty = self.victim_cache.probe_and_take(line)
             if swap_hit:
                 done = detect + VictimCache.SWAP_PENALTY_CYCLES
                 self._install(line, done, dirty=dirty or was_dirty)
-                return AccessResult(done, ServedBy.VICTIM_CACHE, port_start)
+                return AccessResult(done, ServedBy.VICTIM_CACHE, port_start), "victim_hit"
         grant = self.mshrs.request(line, detect)
         if grant.merged:
             assert grant.pending_ready is not None
             served = self._pending_served.get(line, ServedBy.L2)
             if dirty:
                 self.l1.lookup(line, write=True)  # mark dirty once filled
-            return AccessResult(max(grant.pending_ready, detect), served, port_start)
+            result = AccessResult(max(grant.pending_ready, detect), served, port_start)
+            return result, "miss_merged"
         response = self.backside.fetch_line(line, grant.start_cycle)
         if response.ready_cycle < grant.start_cycle:
             raise SimulationInvariantError(
@@ -328,7 +367,7 @@ class MemorySystem:
         self._install(line, response.ready_cycle, dirty=dirty)
         if self.config.next_line_prefetch:
             self._prefetch(line + 1, response.ready_cycle)
-        return AccessResult(response.ready_cycle, response.served_by, port_start)
+        return AccessResult(response.ready_cycle, response.served_by, port_start), "miss_alloc"
 
     def _prefetch(self, line: int, cycle: int) -> None:
         """Next-line prefetch into the L1, if a free MSHR allows it.

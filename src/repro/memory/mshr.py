@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.observability import events, trace
+
 
 @dataclass
 class MshrStats:
@@ -46,9 +48,12 @@ class MshrFile:
     def request(self, line: int, cycle: int) -> MshrGrant:
         """Ask to track a miss on ``line`` observed at ``cycle``."""
         self._expire(cycle)
+        tracer = trace._ACTIVE
         ready = self._pending.get(line)
         if ready is not None:
             self.stats.merged_misses += 1
+            if tracer is not None:
+                tracer.capture(events.MEM_MSHR_MERGE, cycle, {"line": line})
             return MshrGrant(start_cycle=cycle, merged=True, pending_ready=ready)
         self.stats.primary_misses += 1
         start = cycle
@@ -58,6 +63,8 @@ class MshrFile:
             start = max(cycle, self._pending[earliest_line])
             del self._pending[earliest_line]
             self.stats.full_stall_cycles += start - cycle
+        if tracer is not None:
+            tracer.capture(events.MEM_MSHR_ALLOC, cycle, {"line": line, "start": start})
         return MshrGrant(start_cycle=start, merged=False, pending_ready=None)
 
     def pending_ready(self, line: int, cycle: int) -> int | None:
@@ -76,6 +83,11 @@ class MshrFile:
     def complete(self, line: int, fill_cycle: int) -> None:
         """Record when the fill for ``line`` will arrive (frees the MSHR)."""
         self._pending[line] = fill_cycle
+        tracer = trace._ACTIVE
+        if tracer is not None:
+            tracer.capture(
+                events.MEM_MSHR_FILL, fill_cycle, {"line": line, "ready": fill_cycle}
+            )
 
     def tracked_lines(self) -> frozenset[int]:
         """Lines whose fills this file still tracks (possibly in flight)."""

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.observability.events import MEM_BANK_CONFLICT, MEM_PORT_GRANT, EventChannel
 from repro.robustness.invariants import GrantLedger
 
 
@@ -35,16 +36,18 @@ class PortStats:
 class PortArbiter:
     """Base interface: grant a start cycle for an access.
 
-    Every arbiter carries a :class:`~repro.robustness.invariants.GrantLedger`
-    guarding the hardware contract that each port (or bank) starts at
-    most one access per cycle -- broken reservation bookkeeping (a lost
-    port release) surfaces as a structured invariant error instead of a
-    silently over-subscribed cache.
+    Every grant is emitted on the shared ``mem.port.grant`` event
+    channel.  A :class:`~repro.robustness.invariants.GrantLedger` taps
+    that channel (always on, tracing or not) to guard the hardware
+    contract that each port (or bank) starts at most one access per
+    cycle -- broken reservation bookkeeping (a lost port release)
+    surfaces as a structured invariant error instead of a silently
+    over-subscribed cache.
     """
 
     def __init__(self, name: str = "ports") -> None:
         self.stats = PortStats()
-        self._ledger = GrantLedger(1, name)
+        self.events = EventChannel(MEM_PORT_GRANT, (GrantLedger(1, name).tap,))
 
     def reserve(self, line: int, cycle: int) -> int:
         """Earliest cycle >= ``cycle`` at which the access may start."""
@@ -76,7 +79,7 @@ class IdealPorts(PortArbiter):
         best = min(range(self.ports), key=self._next_free.__getitem__)
         start = max(cycle, self._next_free[best])
         self._next_free[best] = start + 1
-        self._ledger.record(start, best)
+        self.events.emit(start, key=best)
         return self._account(cycle, start)
 
 
@@ -100,6 +103,7 @@ class BankedPorts(PortArbiter):
         super().__init__("banked ports")
         self.banks = banks
         self.interleave = interleave
+        self.conflicts = EventChannel(MEM_BANK_CONFLICT)
         self._next_free = [0] * banks
 
     def bank_of(self, line: int) -> int:
@@ -117,8 +121,9 @@ class BankedPorts(PortArbiter):
         start = max(cycle, self._next_free[bank])
         if start > cycle:
             self.stats.bank_conflicts += 1
+            self.conflicts.emit(cycle, bank=bank, wait=start - cycle)
         self._next_free[bank] = start + 1
-        self._ledger.record(start, bank)
+        self.events.emit(start, key=bank)
         return self._account(cycle, start)
 
 
@@ -137,7 +142,7 @@ class DuplicatePorts(PortArbiter):
         best = 0 if self._next_free[0] <= self._next_free[1] else 1
         start = max(cycle, self._next_free[best])
         self._next_free[best] = start + 1
-        self._ledger.record(start, best)
+        self.events.emit(start, key=best)
         return self._account(cycle, start)
 
     def reserve_store(self, line: int, cycle: int) -> int:
@@ -145,8 +150,8 @@ class DuplicatePorts(PortArbiter):
         start = max(cycle, *self._next_free)
         self._next_free[0] = start + 1
         self._next_free[1] = start + 1
-        self._ledger.record(start, 0)
-        self._ledger.record(start, 1)
+        self.events.emit(start, key=0)
+        self.events.emit(start, key=1)
         return self._account(cycle, start)
 
 

@@ -1,0 +1,59 @@
+"""Observability: event tracing, metrics registry, profiling, breakdowns.
+
+Public surface:
+
+* :mod:`repro.observability.trace` -- the zero-overhead-when-disabled
+  event trace (``tracing()`` scope, bounded ring, JSONL sink);
+* :mod:`repro.observability.events` -- the event-kind taxonomy and the
+  :class:`EventChannel` that feeds both invariant taps and the tracer;
+* :mod:`repro.observability.metrics` -- hierarchical named counters and
+  the per-simulation metrics snapshot riding ``SimulationResult``;
+* :mod:`repro.observability.profile` -- per-phase wall-clock/event
+  throughput behind the CLI ``--profile`` flag;
+* :mod:`repro.observability.utilization` -- the per-design-point
+  pipeline-utilization breakdown table.
+"""
+
+from repro.observability import events, trace
+from repro.observability.events import ALL_KINDS, EventChannel
+from repro.observability.metrics import (
+    Counter,
+    MetricsRegistry,
+    Timer,
+    snapshot_memory_system,
+    snapshot_simulation,
+)
+from repro.observability.profile import PhaseProfiler, PhaseRecord
+from repro.observability.trace import (
+    DEFAULT_CAPACITY,
+    TraceEvent,
+    Tracer,
+    activate,
+    active,
+    deactivate,
+    tracing,
+)
+from repro.observability.utilization import utilization_rows, utilization_summary
+
+__all__ = [
+    "ALL_KINDS",
+    "Counter",
+    "DEFAULT_CAPACITY",
+    "EventChannel",
+    "MetricsRegistry",
+    "PhaseProfiler",
+    "PhaseRecord",
+    "TraceEvent",
+    "Tracer",
+    "Timer",
+    "activate",
+    "active",
+    "deactivate",
+    "events",
+    "snapshot_memory_system",
+    "snapshot_simulation",
+    "trace",
+    "tracing",
+    "utilization_rows",
+    "utilization_summary",
+]

@@ -1,0 +1,280 @@
+"""Hierarchical counter/timer registry and the simulation snapshot.
+
+The simulator's components keep their statistics in small dataclasses
+(:class:`~repro.memory.stats.MemoryStats`, ``PortStats``, ``MshrStats``,
+``BusStats``, ...).  Historically most of those never left the live
+objects -- port contention, MSHR pressure, and bus occupancy were
+discarded when the :class:`~repro.memory.hierarchy.MemorySystem` was
+garbage collected, and only the ``MemoryStats`` aggregate rode the
+:class:`~repro.cpu.result.SimulationResult`.
+
+This module gives every counter a stable dotted name and exports the
+whole hierarchy into ``SimulationResult.metrics``, which serializes
+through :mod:`repro.engine.serialize` and therefore rides the result
+store, crosses worker-process boundaries bit-identically, and is
+queryable after the fact with ``python -m repro metrics``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cpu.result import SimulationResult
+    from repro.memory.hierarchy import MemorySystem
+
+
+class Counter:
+    """A named monotonic counter: it can only ever grow."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name!r} cannot go backwards (add {amount})"
+            )
+        self.value += amount
+
+    def set(self, value: int) -> None:
+        """Snapshot-style assignment; still rejects negative values."""
+        if value < 0:
+            raise ValueError(f"counter {self.name!r} cannot be negative: {value}")
+        self.value = value
+
+
+class Timer:
+    """A named wall-clock accumulator (``with timer: ...``)."""
+
+    __slots__ = ("name", "seconds", "entries", "_started")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.seconds = 0.0
+        self.entries = 0
+        self._started: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        assert self._started is not None, "timer exited without entering"
+        self.seconds += time.perf_counter() - self._started
+        self.entries += 1
+        self._started = None
+
+
+class MetricsRegistry:
+    """Named counters and timers under one hierarchical namespace.
+
+    Names are dot-separated paths (``memory.mshr.merged_misses``); the
+    hierarchy is purely lexical, so exporting, filtering by prefix, and
+    merging are all plain dict operations.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._timers: dict[str, Timer] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter at ``name``."""
+        found = self._counters.get(name)
+        if found is None:
+            _validate_name(name)
+            found = self._counters[name] = Counter(name)
+        return found
+
+    def timer(self, name: str) -> Timer:
+        """Get or create the timer at ``name``."""
+        found = self._timers.get(name)
+        if found is None:
+            _validate_name(name)
+            found = self._timers[name] = Timer(name)
+        return found
+
+    def to_dict(self) -> dict[str, int | float]:
+        """Flat ``{name: value}`` export, sorted by name.
+
+        Counters export their integer value; timers export accumulated
+        seconds under ``<name>.seconds`` (and entry counts under
+        ``<name>.calls`` when nonzero), so the export is pure JSON
+        scalars.
+        """
+        out: dict[str, int | float] = {
+            name: counter.value for name, counter in self._counters.items()
+        }
+        for name, timer in self._timers.items():
+            out[f"{name}.seconds"] = timer.seconds
+            if timer.entries:
+                out[f"{name}.calls"] = timer.entries
+        return dict(sorted(out.items()))
+
+    def subtree(self, prefix: str) -> dict[str, int | float]:
+        """Exported metrics under ``prefix.`` (or the exact name)."""
+        dotted = prefix + "."
+        return {
+            name: value
+            for name, value in self.to_dict().items()
+            if name == prefix or name.startswith(dotted)
+        }
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._timers)
+
+
+def _validate_name(name: str) -> None:
+    if not name or name.startswith(".") or name.endswith(".") or ".." in name:
+        raise ValueError(f"bad metric name {name!r}: use dotted non-empty parts")
+
+
+# ---------------------------------------------------------------------------
+# Snapshot: component stat dataclasses -> one named hierarchy
+# ---------------------------------------------------------------------------
+
+
+def _snap(registry: MetricsRegistry, prefix: str, **values: int) -> None:
+    for leaf, value in values.items():
+        registry.counter(f"{prefix}.{leaf}").set(value)
+
+
+def snapshot_memory_system(
+    memory: "MemorySystem", registry: MetricsRegistry, prefix: str = "memory"
+) -> None:
+    """Export every live counter of a memory system into ``registry``."""
+    from repro.memory.dram_cache import DramCacheBackside
+
+    stats = memory.stats
+    _snap(
+        registry,
+        prefix,
+        loads=stats.loads,
+        stores=stats.stores,
+        delayed_hits=stats.delayed_hits,
+        prefetches_issued=stats.prefetches_issued,
+        load_latency_total=stats.load_latency_total,
+    )
+    _snap(
+        registry,
+        f"{prefix}.l1",
+        load_hits=stats.l1_load_hits,
+        load_misses=stats.l1_load_misses,
+        store_hits=stats.l1_store_hits,
+        store_misses=stats.l1_store_misses,
+    )
+    for level, count in stats.served_by.items():
+        registry.counter(f"{prefix}.served_by.{level.name.lower()}").set(count)
+
+    ports = memory.arbiter.stats
+    _snap(
+        registry,
+        f"{prefix}.ports",
+        requests=ports.requests,
+        delayed=ports.delayed,
+        wait_cycles=ports.wait_cycles,
+        bank_conflicts=ports.bank_conflicts,
+    )
+    mshr = memory.mshrs.stats
+    _snap(
+        registry,
+        f"{prefix}.mshr",
+        primary_misses=mshr.primary_misses,
+        merged_misses=mshr.merged_misses,
+        full_stall_cycles=mshr.full_stall_cycles,
+    )
+    if memory.line_buffer is not None:
+        lb = memory.line_buffer.stats
+        _snap(
+            registry,
+            f"{prefix}.line_buffer",
+            load_lookups=lb.load_lookups,
+            load_hits=lb.load_hits,
+            fills=lb.fills,
+            store_updates=lb.store_updates,
+            invalidations=lb.invalidations,
+        )
+    if memory.victim_cache is not None:
+        victim = memory.victim_cache.stats
+        _snap(
+            registry,
+            f"{prefix}.victim",
+            probes=victim.probes,
+            swap_hits=victim.swap_hits,
+            fills=victim.fills,
+        )
+
+    backside = memory.backside
+    if isinstance(backside, DramCacheBackside):
+        dram = backside.stats
+        _snap(
+            registry,
+            f"{prefix}.dram",
+            hits=dram.dram_hits,
+            misses=dram.dram_misses,
+            bank_wait_cycles=dram.bank_wait_cycles,
+        )
+        _snap_bus(registry, f"{prefix}.bus.memory", backside.memory_bus)
+    else:
+        l2 = backside.stats
+        _snap(
+            registry,
+            f"{prefix}.l2",
+            line_requests=l2.l1_line_requests,
+            hits=l2.l2_hits,
+            misses=l2.l2_misses,
+            writebacks_in=l2.writebacks,
+            writebacks_out=l2.l2_writebacks,
+        )
+        _snap_bus(registry, f"{prefix}.bus.chip", backside.chip_bus)
+        _snap_bus(registry, f"{prefix}.bus.memory", backside.memory_bus)
+
+
+def _snap_bus(registry: MetricsRegistry, prefix: str, bus) -> None:
+    _snap(
+        registry,
+        prefix,
+        transfers=bus.stats.transfers,
+        bytes_moved=bus.stats.bytes_moved,
+        busy_cycles=bus.stats.busy_cycles,
+        queue_cycles=bus.stats.queue_cycles,
+    )
+
+
+def snapshot_simulation(
+    result: "SimulationResult", memory: "MemorySystem"
+) -> dict[str, int | float]:
+    """The full metrics export for one finished simulation.
+
+    Called by the core at the end of ``run``; the returned flat dict is
+    what lands in ``SimulationResult.metrics`` and is serialized by
+    :func:`repro.engine.serialize.result_to_dict`.
+    """
+    registry = MetricsRegistry()
+    _snap(
+        registry,
+        "cpu",
+        instructions=result.instructions,
+        cycles=result.cycles,
+    )
+    pipeline = result.pipeline
+    _snap(
+        registry,
+        "cpu.pipeline",
+        window_full_stalls=pipeline.window_full_stalls,
+        lsq_full_stalls=pipeline.lsq_full_stalls,
+        mispredict_stall_cycles=pipeline.mispredict_stall_cycles,
+        store_forwards=pipeline.store_forwards,
+    )
+    _snap(
+        registry,
+        "cpu.branch",
+        branches=result.branches.branches,
+        mispredictions=result.branches.mispredictions,
+    )
+    snapshot_memory_system(memory, registry)
+    return registry.to_dict()

@@ -1,0 +1,96 @@
+"""Profiling hooks: per-phase wall clock and event throughput.
+
+The CLI's ``--profile`` flag wraps each experiment in a
+:class:`PhaseProfiler` phase and prints the table at the end of the
+run.  When tracing is active (``--profile`` installs a counting-only
+tracer if none is), each phase also reports how many simulator events
+it emitted and the resulting events/second -- a direct measure of where
+simulated work is concentrated.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.observability import trace
+
+
+class PhaseRecord:
+    """Wall clock and event throughput for one named phase."""
+
+    __slots__ = ("name", "seconds", "events")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.seconds = 0.0
+        self.events = 0
+
+    @property
+    def events_per_second(self) -> float:
+        return self.events / self.seconds if self.seconds > 0 else 0.0
+
+
+class PhaseProfiler:
+    """Accumulates named phases; render with :meth:`summary`."""
+
+    def __init__(self) -> None:
+        self._phases: dict[str, PhaseRecord] = {}
+        self._order: list[str] = []
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[PhaseRecord]:
+        record = self._phases.get(name)
+        if record is None:
+            record = self._phases[name] = PhaseRecord(name)
+            self._order.append(name)
+        tracer = trace.active()
+        emitted_before = tracer.emitted if tracer is not None else 0
+        started = time.perf_counter()
+        try:
+            yield record
+        finally:
+            record.seconds += time.perf_counter() - started
+            if tracer is not None:
+                record.events += tracer.emitted - emitted_before
+
+    def records(self) -> list[PhaseRecord]:
+        return [self._phases[name] for name in self._order]
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(record.seconds for record in self.records())
+
+    def summary(self) -> str:
+        """Fixed-width profile table (empty string when nothing ran)."""
+        from repro.core.reporting import format_table
+
+        records = self.records()
+        if not records:
+            return ""
+        total = self.total_seconds or 1.0
+        rows = [
+            [
+                record.name,
+                f"{record.seconds:.2f}",
+                f"{100 * record.seconds / total:.1f}%",
+                f"{record.events}" if record.events else "-",
+                f"{record.events_per_second:,.0f}" if record.events else "-",
+            ]
+            for record in records
+        ]
+        rows.append(
+            [
+                "total",
+                f"{self.total_seconds:.2f}",
+                "100.0%",
+                f"{sum(r.events for r in records)}",
+                "-",
+            ]
+        )
+        return format_table(
+            ["phase", "seconds", "share", "events", "events/s"],
+            rows,
+            "Profile: per-phase wall clock and event throughput",
+        )

@@ -1,0 +1,142 @@
+"""Cycle-level event tracing: bounded ring buffer + optional JSONL sink.
+
+One :class:`Tracer` at a time may be *active* process-wide; the emit
+points scattered through the CPU core, memory system, and execution
+engine consult the module-level active tracer and do nothing when none
+is installed.  The disabled path is a single ``is None`` check (in the
+hottest loops the check is hoisted out of the loop entirely), so
+simulations with tracing off pay effectively nothing -- the overhead
+guarantee DESIGN.md section 9 states and ``bench_engine.py`` measures.
+
+Captured events land in a bounded ring buffer (a ``deque`` with
+``maxlen``), so an arbitrarily long simulation traces in O(capacity)
+memory: once full, the oldest events fall off and ``dropped`` counts
+them.  A ``capacity`` of 0 keeps only the per-kind counts -- the cheap
+"counting" mode the ``--profile`` flag uses.  An optional sink receives
+every event as one JSON line, for offline analysis of full streams.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from contextlib import contextmanager
+from typing import IO, Iterator, NamedTuple
+
+#: Default ring capacity: enough for the tail of any short run while
+#: bounding a full-length simulation to a few MB of event tuples.
+DEFAULT_CAPACITY = 65_536
+
+
+class TraceEvent(NamedTuple):
+    """One captured event: when, what, and the emit point's fields."""
+
+    cycle: int
+    kind: str
+    fields: dict
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {"cycle": self.cycle, "kind": self.kind, **self.fields},
+            separators=(",", ":"),
+            sort_keys=True,
+        )
+
+
+class Tracer:
+    """Bounded capture of the simulator's event stream."""
+
+    __slots__ = ("capacity", "emitted", "by_kind", "_ring", "_sink")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, sink: IO[str] | None = None):
+        if capacity < 0:
+            raise ValueError(f"ring capacity cannot be negative: {capacity}")
+        self.capacity = capacity
+        self.emitted = 0
+        self.by_kind: dict[str, int] = {}
+        self._ring: deque[TraceEvent] = deque(maxlen=capacity)
+        self._sink = sink
+
+    def capture(self, kind: str, cycle: int, fields: dict) -> None:
+        """Record one event (ring + per-kind count + optional sink)."""
+        self.emitted += 1
+        self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
+        event = TraceEvent(cycle, kind, fields)
+        self._ring.append(event)
+        if self._sink is not None:
+            self._sink.write(event.to_json() + "\n")
+
+    @property
+    def dropped(self) -> int:
+        """Events that fell off the ring (still counted in ``by_kind``)."""
+        return self.emitted - len(self._ring)
+
+    def events(self, kind: str | None = None) -> list[TraceEvent]:
+        """Retained events, oldest first, optionally filtered by kind."""
+        if kind is None:
+            return list(self._ring)
+        return [event for event in self._ring if event.kind == kind]
+
+    def count(self, kind: str) -> int:
+        """Total emissions of ``kind`` (independent of ring retention)."""
+        return self.by_kind.get(kind, 0)
+
+    def clear(self) -> None:
+        self._ring.clear()
+        self.by_kind.clear()
+        self.emitted = 0
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+
+#: The process-wide active tracer; ``None`` means tracing is disabled.
+_ACTIVE: Tracer | None = None
+
+
+def active() -> Tracer | None:
+    """The currently installed tracer, or ``None`` when disabled."""
+    return _ACTIVE
+
+
+def activate(tracer: Tracer) -> None:
+    """Install ``tracer`` as the process-wide event consumer."""
+    global _ACTIVE
+    _ACTIVE = tracer
+
+
+def deactivate() -> None:
+    """Disable tracing (the zero-overhead default)."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+@contextmanager
+def tracing(
+    capacity: int = DEFAULT_CAPACITY, sink: IO[str] | None = None
+) -> Iterator[Tracer]:
+    """Scope with tracing enabled; restores the prior state on exit::
+
+        with tracing(capacity=10_000) as tracer:
+            run_experiment(...)
+        loads = tracer.count(events.MEM_LOAD)
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    tracer = Tracer(capacity, sink)
+    _ACTIVE = tracer
+    try:
+        yield tracer
+    finally:
+        _ACTIVE = previous
+
+
+def emit(kind: str, cycle: int, /, **fields) -> None:
+    """Convenience emit for cold paths (engine lifecycle, CLI phases).
+
+    Hot paths read :data:`_ACTIVE` once and call ``capture`` directly;
+    this helper keeps occasional emit points to one line.
+    """
+    tracer = _ACTIVE
+    if tracer is not None:
+        tracer.capture(kind, cycle, fields)

@@ -1,0 +1,124 @@
+"""Per-design-point pipeline-utilization breakdown (Figure 5/6 flavor).
+
+The paper's Figure 5/6 discussions attribute IPC differences to where
+cycles went: port and bank conflicts, cache pipelining, line-buffer
+hits, MSHR pressure, and bus occupancy.  This module renders exactly
+that breakdown for one simulated design point, from the named metrics
+snapshot riding its :class:`~repro.cpu.result.SimulationResult` -- so
+it works equally on a fresh simulation or on a result resolved from the
+persistent store.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cpu.result import SimulationResult
+
+
+def _pct(part: float, whole: float) -> str:
+    return f"{100 * part / whole:.1f}%" if whole else "-"
+
+
+def _rate(part: float, whole: float) -> str:
+    return f"{part / whole:.2f}" if whole else "-"
+
+
+def utilization_rows(metrics: dict[str, int | float]) -> list[list[str]]:
+    """The breakdown as ``[section, quantity, value]`` table rows."""
+    get = metrics.get
+    cycles = get("cpu.cycles", 0)
+    instructions = get("cpu.instructions", 0)
+    accesses = get("memory.loads", 0) + get("memory.stores", 0)
+    rows: list[list[str]] = [
+        ["pipeline", "instructions", f"{instructions}"],
+        ["pipeline", "cycles", f"{cycles}"],
+        ["pipeline", "IPC", _rate(instructions, cycles)],
+        [
+            "fetch stalls",
+            "window full",
+            _pct(get("cpu.pipeline.window_full_stalls", 0), cycles),
+        ],
+        [
+            "fetch stalls",
+            "load/store buffer full",
+            _pct(get("cpu.pipeline.lsq_full_stalls", 0), cycles),
+        ],
+        [
+            "fetch stalls",
+            "branch mispredict",
+            _pct(get("cpu.pipeline.mispredict_stall_cycles", 0), cycles),
+        ],
+    ]
+    for level in (
+        "line_buffer",
+        "l1",
+        "row_buffer",
+        "victim_cache",
+        "l2",
+        "dram_cache",
+        "memory",
+    ):
+        count = get(f"memory.served_by.{level}", 0)
+        if count:
+            rows.append(["data served by", level.replace("_", " "), _pct(count, accesses)])
+    requests = get("memory.ports.requests", 0)
+    rows += [
+        ["cache ports", "accesses granted", f"{requests}"],
+        ["cache ports", "delayed", _pct(get("memory.ports.delayed", 0), requests)],
+        [
+            "cache ports",
+            "avg wait (cycles)",
+            _rate(get("memory.ports.wait_cycles", 0), requests),
+        ],
+    ]
+    conflicts = get("memory.ports.bank_conflicts", 0)
+    if conflicts:
+        rows.append(["cache ports", "bank conflicts", _pct(conflicts, requests)])
+    primary = get("memory.mshr.primary_misses", 0)
+    rows += [
+        ["MSHRs", "primary misses", f"{primary}"],
+        ["MSHRs", "merged (secondary)", f"{get('memory.mshr.merged_misses', 0)}"],
+        [
+            "MSHRs",
+            "full-stall cycles",
+            f"{get('memory.mshr.full_stall_cycles', 0)}",
+        ],
+    ]
+    lookups = get("memory.line_buffer.load_lookups", 0)
+    if lookups:
+        rows.append(
+            [
+                "line buffer",
+                "load hit rate",
+                _pct(get("memory.line_buffer.load_hits", 0), lookups),
+            ]
+        )
+    for bus, label in (("chip", "chip<->L2"), ("memory", "L2<->memory")):
+        busy = get(f"memory.bus.{bus}.busy_cycles", 0)
+        if f"memory.bus.{bus}.busy_cycles" in metrics:
+            rows.append([f"bus {label}", "busy", _pct(busy, cycles)])
+            rows.append(
+                [
+                    f"bus {label}",
+                    "queue cycles",
+                    f"{get(f'memory.bus.{bus}.queue_cycles', 0)}",
+                ]
+            )
+    return rows
+
+
+def utilization_summary(
+    result: "SimulationResult", title: str = "Pipeline utilization"
+) -> str:
+    """Render the utilization table for one simulation result."""
+    from repro.core.reporting import format_table
+
+    if result.failed:
+        return f"{title}\n  simulation failed; no utilization data"
+    if not result.metrics:
+        return f"{title}\n  no metrics snapshot on this result (pre-observability run)"
+    return format_table(
+        ["section", "quantity", "value"], utilization_rows(result.metrics), title
+    )

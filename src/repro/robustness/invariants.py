@@ -60,6 +60,15 @@ class GrantLedger:
         if len(self._counts) > _LEDGER_PRUNE_AT:
             self._prune()
 
+    def tap(self, cycle: int, fields: dict) -> None:
+        """``EventChannel`` tap: book the grant an emission describes.
+
+        The arbiters emit ``mem.port.grant`` events through a channel
+        this ledger taps, so the oversubscription guard observes exactly
+        the stream a tracer would capture.
+        """
+        self.record(cycle, fields.get("key", 0), fields.get("weight", 1))
+
     def _prune(self) -> None:
         """Drop the oldest half of the counters to bound memory."""
         cutoff = sorted(slot[0] for slot in self._counts)[len(self._counts) // 2]
@@ -89,6 +98,19 @@ def check_causality(
             f"{what}: acausal schedule (requested cycle {requested_cycle}, "
             f"granted [{start_cycle}, {done_cycle}))"
         )
+
+
+def bus_causality_tap(cycle: int, fields: dict) -> None:
+    """``EventChannel`` tap enforcing :func:`check_causality` on buses.
+
+    Installed on the backside ``mem.bus.transfer`` channel; the tap
+    runs at the *call site* of ``bus.transfer`` (not inside the bus
+    model), so fault injections that replace the transfer method are
+    still observed -- see ``inject_dropped_bus_grant``.
+    """
+    check_causality(
+        f"{fields['bus']} transfer", cycle, fields["start"], fields["done"]
+    )
 
 
 def audit_memory(memory: "MemorySystem", cycle: int) -> None:

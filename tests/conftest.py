@@ -3,13 +3,25 @@
 Every test gets a throwaway result-store location so no test can read
 stale results from (or leak results into) a developer's real
 ``.repro-cache/`` -- cross-run persistence is exactly what the store is
-for, and exactly what hermetic tests must not see.
+for, and exactly what hermetic tests must not see.  Likewise every test
+starts with tracing disabled: a test that activates a tracer and fails
+before restoring it must not leak event capture into its neighbors.
 """
 
 import pytest
 
 from repro.engine.executor import get_engine
 from repro.engine.store import CACHE_DIR_ENV
+from repro.observability import trace
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/*.json snapshots from current behavior",
+    )
 
 
 @pytest.fixture(autouse=True)
@@ -19,3 +31,10 @@ def _isolated_result_store(tmp_path, monkeypatch):
     previous = (engine.jobs, engine.store)
     yield
     engine.jobs, engine.store = previous
+
+
+@pytest.fixture(autouse=True)
+def _tracing_disabled():
+    trace.deactivate()
+    yield
+    trace.deactivate()

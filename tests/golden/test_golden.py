@@ -1,0 +1,162 @@
+"""Golden-reference regression tests for the paper's figures.
+
+Each test simulates a figure's full design grid at the fast test
+budget and compares the numbers against a committed snapshot in
+``tests/golden/*.json``.  The simulator is deterministic (seeded
+workloads, hash-stable addresses), so the comparison is **exact** by
+default; the comparator takes a relative tolerance for the day a
+legitimate accuracy/perf trade is introduced deliberately.
+
+When a simulator change intentionally shifts the numbers, regenerate
+the snapshots and commit the diff::
+
+    python -m pytest tests/golden --update-golden
+    git diff tests/golden/   # review the drift, then commit
+
+An unexplained diff here is the bug the suite exists to catch: some
+refactor changed simulated timing.
+"""
+
+import dataclasses
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.core import figures
+from repro.core.experiment import ExperimentSettings
+
+GOLDEN_DIR = Path(__file__).parent
+
+#: The budget every snapshot was recorded at.  Changing it invalidates
+#: every golden file (regenerate with --update-golden).
+SETTINGS = ExperimentSettings(
+    instructions=1_500, timing_warmup=300, functional_warmup=20_000
+)
+
+BENCHMARKS = ("gcc", "tomcatv", "database")
+
+pytestmark = pytest.mark.golden
+
+
+# ---------------------------------------------------------------------------
+# Snapshot plumbing
+# ---------------------------------------------------------------------------
+
+
+def _jsonify(value):
+    """Figures return dicts with tuple keys and dataclass leaves; fold
+    everything to plain JSON with deterministic string keys."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _jsonify(dataclasses.asdict(value))
+    if isinstance(value, dict):
+        return {str(key): _jsonify(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(item) for item in value]
+    if isinstance(value, float) and math.isnan(value):
+        return "NaN"  # JSON-safe, still comparable
+    return value
+
+
+def _compare(path, expected, actual, rel_tol, problems):
+    """Recursive comparison; collects dotted-path mismatch descriptions."""
+    if type(expected) is not type(actual):
+        problems.append(
+            f"{path}: type changed {type(expected).__name__} -> "
+            f"{type(actual).__name__}"
+        )
+        return
+    if isinstance(expected, dict):
+        for key in expected.keys() | actual.keys():
+            if key not in actual:
+                problems.append(f"{path}.{key}: missing from current output")
+            elif key not in expected:
+                problems.append(f"{path}.{key}: not in golden snapshot")
+            else:
+                _compare(f"{path}.{key}", expected[key], actual[key], rel_tol, problems)
+    elif isinstance(expected, list):
+        if len(expected) != len(actual):
+            problems.append(
+                f"{path}: length {len(expected)} -> {len(actual)}"
+            )
+            return
+        for i, (e, a) in enumerate(zip(expected, actual)):
+            _compare(f"{path}[{i}]", e, a, rel_tol, problems)
+    elif isinstance(expected, float):
+        if not math.isclose(expected, actual, rel_tol=rel_tol, abs_tol=0.0):
+            problems.append(f"{path}: {expected!r} -> {actual!r}")
+    elif expected != actual:
+        problems.append(f"{path}: {expected!r} -> {actual!r}")
+
+
+def check_golden(request, name: str, data, rel_tol: float = 0.0) -> None:
+    """Compare ``data`` against ``tests/golden/<name>.json`` (or rewrite it)."""
+    actual = _jsonify(data)
+    golden_path = GOLDEN_DIR / f"{name}.json"
+    if request.config.getoption("--update-golden"):
+        golden_path.write_text(
+            json.dumps(actual, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        pytest.skip(f"golden snapshot {name}.json rewritten")
+    if not golden_path.exists():
+        pytest.fail(
+            f"no golden snapshot {name}.json; record one with "
+            "'python -m pytest tests/golden --update-golden'"
+        )
+    expected = json.loads(golden_path.read_text(encoding="utf-8"))
+    problems: list[str] = []
+    _compare(name, expected, actual, rel_tol, problems)
+    if problems:
+        shown = "\n  ".join(problems[:20])
+        more = f"\n  ... and {len(problems) - 20} more" if len(problems) > 20 else ""
+        pytest.fail(
+            f"golden drift in {name}.json ({len(problems)} mismatches):\n"
+            f"  {shown}{more}\n"
+            "If this change is intentional, regenerate with --update-golden "
+            "and commit the reviewed diff."
+        )
+
+
+# ---------------------------------------------------------------------------
+# The snapshots: Figures 4-9 and the headline claims
+# ---------------------------------------------------------------------------
+
+
+class TestFigureGoldens:
+    def test_figure4_ideal_ports(self, request):
+        check_golden(
+            request, "figure4", figures.figure4(BENCHMARKS, settings=SETTINGS)
+        )
+
+    def test_figure5_banked(self, request):
+        check_golden(
+            request, "figure5", figures.figure5(BENCHMARKS, settings=SETTINGS)
+        )
+
+    def test_figure6_line_buffer(self, request):
+        check_golden(
+            request, "figure6", figures.figure6(BENCHMARKS, settings=SETTINGS)
+        )
+
+    def test_figure7_dram_cache(self, request):
+        check_golden(
+            request, "figure7", figures.figure7(BENCHMARKS, settings=SETTINGS)
+        )
+
+    def test_figure8_size_sweeps(self, request):
+        check_golden(
+            request, "figure8", figures.figure8(BENCHMARKS, settings=SETTINGS)
+        )
+
+    def test_figure9_execution_time(self, request):
+        check_golden(
+            request, "figure9", figures.figure9(BENCHMARKS, settings=SETTINGS)
+        )
+
+    def test_headline_numbers(self, request):
+        check_golden(
+            request,
+            "headlines",
+            figures.headline_numbers(BENCHMARKS, settings=SETTINGS),
+        )

@@ -1,0 +1,122 @@
+"""Conservation invariants checked from the event stream itself.
+
+Every load the core issues must be accounted for exactly once: it is
+either forwarded from an in-flight store, satisfied by the line buffer,
+an L1 hit (possibly delayed behind an outstanding fill), swapped back
+from the victim cache, merged into a pending MSHR, or allocated a fresh
+MSHR.  The trace facility sees each of these as a distinct event, so
+the identity is testable end-to-end against a real simulation -- a
+mis-counted path would break the partition.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.experiment import ExperimentSettings, run_experiment
+from repro.core.organizations import banked, duplicate, ideal_ports
+from repro.engine.executor import get_engine
+from repro.observability import events, tracing
+
+FAST = ExperimentSettings(
+    instructions=1_500, timing_warmup=300, functional_warmup=20_000
+)
+
+ORGANIZATIONS = [
+    pytest.param(duplicate(line_buffer=True), id="duplicate+LB"),
+    pytest.param(banked(banks=4), id="banked4"),
+    pytest.param(ideal_ports(ports=2, hit_cycles=2), id="ideal-2c"),
+]
+
+
+def _traced_run(organization, benchmark="gcc"):
+    get_engine().memo.clear()
+    with tracing() as tracer:
+        result = run_experiment(organization, benchmark, FAST)
+    assert tracer.dropped == 0, "ring too small for this test"
+    return tracer, result
+
+
+class TestLoadConservation:
+    @pytest.mark.parametrize("organization", ORGANIZATIONS)
+    def test_issued_loads_partition_exactly(self, organization):
+        tracer, _ = _traced_run(organization)
+        issued_loads = [
+            e for e in tracer.events(events.CPU_ISSUE) if e.fields["op"] == "LOAD"
+        ]
+        forwarded = sum(1 for e in issued_loads if e.fields.get("fwd"))
+        mem_loads = tracer.count(events.MEM_LOAD)
+        # every issued load either forwarded from a store or reached memory
+        assert len(issued_loads) == forwarded + mem_loads
+
+        outcomes = Counter(
+            e.fields["outcome"] for e in tracer.events(events.MEM_LOAD)
+        )
+        # the outcome partition covers every memory load exactly once
+        assert sum(outcomes.values()) == mem_loads
+        known = {
+            "lb_hit",
+            "l1_hit",
+            "delayed_hit",
+            "victim_hit",
+            "miss_merged",
+            "miss_alloc",
+        }
+        assert set(outcomes) <= known
+
+    @pytest.mark.parametrize("organization", ORGANIZATIONS)
+    def test_line_buffer_hits_match(self, organization):
+        tracer, _ = _traced_run(organization)
+        lb_hits = sum(
+            1
+            for e in tracer.events(events.MEM_LOAD)
+            if e.fields["outcome"] == "lb_hit"
+        )
+        assert tracer.count(events.MEM_LB_HIT) == lb_hits
+
+    @pytest.mark.parametrize("organization", ORGANIZATIONS)
+    def test_mshr_events_match_access_outcomes(self, organization):
+        tracer, _ = _traced_run(organization)
+        accesses = tracer.events(events.MEM_LOAD) + tracer.events(events.MEM_STORE)
+        outcomes = Counter(e.fields["outcome"] for e in accesses)
+        assert tracer.count(events.MEM_MSHR_ALLOC) == outcomes["miss_alloc"]
+        assert tracer.count(events.MEM_MSHR_MERGE) == outcomes["miss_merged"]
+        # no prefetching in these organizations: every fill had an alloc
+        assert tracer.count(events.MEM_MSHR_FILL) == outcomes["miss_alloc"]
+
+
+class TestPipelineConservation:
+    def test_fetched_equals_committed_plus_in_flight(self):
+        tracer, _ = _traced_run(duplicate(line_buffer=True))
+        fetched = tracer.count(events.CPU_FETCH)
+        committed = tracer.count(events.CPU_COMMIT)
+        issued = tracer.count(events.CPU_ISSUE)
+        # the run stops at the commit target: fetched >= issued >= committed
+        assert fetched >= issued >= committed > 0
+
+    def test_commits_are_totally_ordered(self):
+        tracer, _ = _traced_run(duplicate(line_buffer=True))
+        seqs = [e.fields["seq"] for e in tracer.events(events.CPU_COMMIT)]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+
+    def test_every_commit_was_issued_and_fetched(self):
+        tracer, _ = _traced_run(banked(banks=4))
+        fetched = {e.fields["seq"] for e in tracer.events(events.CPU_FETCH)}
+        issued = {e.fields["seq"] for e in tracer.events(events.CPU_ISSUE)}
+        committed = {e.fields["seq"] for e in tracer.events(events.CPU_COMMIT)}
+        assert committed <= issued <= fetched
+
+
+class TestMetricsAgreeWithEvents:
+    def test_measured_region_counts_are_a_subset_of_the_stream(self):
+        """Metrics cover the measured region; the trace covers warmup too,
+        so every metric count is bounded by its event count."""
+        tracer, result = _traced_run(duplicate(line_buffer=True))
+        metrics = result.metrics
+        assert metrics["memory.loads"] <= tracer.count(events.MEM_LOAD)
+        assert metrics["memory.stores"] <= tracer.count(events.MEM_STORE)
+        assert metrics["cpu.instructions"] <= tracer.count(events.CPU_COMMIT)
+        assert metrics["memory.mshr.primary_misses"] <= tracer.count(
+            events.MEM_MSHR_ALLOC
+        )

@@ -1,0 +1,136 @@
+"""Counters, timers, the registry, and the simulation snapshot."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.experiment import ExperimentSettings, run_experiment
+from repro.core.organizations import banked, dram_cache, duplicate
+from repro.observability.metrics import Counter, MetricsRegistry, Timer
+
+FAST = ExperimentSettings(
+    instructions=1_500, timing_warmup=300, functional_warmup=20_000
+)
+
+
+class TestCounter:
+    def test_add_accumulates(self):
+        counter = Counter("x")
+        counter.add()
+        counter.add(4)
+        assert counter.value == 5
+
+    def test_negative_add_rejected(self):
+        counter = Counter("x")
+        with pytest.raises(ValueError, match="backwards"):
+            counter.add(-1)
+
+    def test_negative_set_rejected(self):
+        counter = Counter("x")
+        with pytest.raises(ValueError, match="negative"):
+            counter.set(-3)
+
+    @given(amounts=st.lists(st.integers(min_value=0, max_value=10_000)))
+    @settings(max_examples=50, deadline=None)
+    def test_never_negative(self, amounts):
+        counter = Counter("x")
+        for amount in amounts:
+            counter.add(amount)
+            assert counter.value >= 0
+        assert counter.value == sum(amounts)
+
+
+class TestTimer:
+    def test_accumulates_entries(self):
+        timer = Timer("t")
+        with timer:
+            pass
+        with timer:
+            pass
+        assert timer.entries == 2
+        assert timer.seconds >= 0.0
+
+
+class TestRegistry:
+    def test_counter_is_get_or_create(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a.b") is registry.counter("a.b")
+        assert len(registry) == 1
+
+    def test_bad_names_rejected(self):
+        registry = MetricsRegistry()
+        for bad in ("", ".x", "x.", "a..b"):
+            with pytest.raises(ValueError, match="bad metric name"):
+                registry.counter(bad)
+
+    def test_to_dict_is_sorted_and_flat(self):
+        registry = MetricsRegistry()
+        registry.counter("b.two").set(2)
+        registry.counter("a.one").set(1)
+        exported = registry.to_dict()
+        assert list(exported) == ["a.one", "b.two"]
+        assert exported == {"a.one": 1, "b.two": 2}
+
+    def test_timers_export_seconds_and_calls(self):
+        registry = MetricsRegistry()
+        with registry.timer("phase.run"):
+            pass
+        exported = registry.to_dict()
+        assert "phase.run.seconds" in exported
+        assert exported["phase.run.calls"] == 1
+
+    def test_subtree_filters_by_prefix(self):
+        registry = MetricsRegistry()
+        registry.counter("mem.l1.hits").set(1)
+        registry.counter("mem.l2.hits").set(2)
+        registry.counter("cpu.cycles").set(3)
+        assert registry.subtree("mem") == {"mem.l1.hits": 1, "mem.l2.hits": 2}
+        assert registry.subtree("mem.l1") == {"mem.l1.hits": 1}
+        assert registry.subtree("cpu.cycles") == {"cpu.cycles": 3}
+
+
+class TestSimulationSnapshot:
+    def test_core_populates_metrics(self):
+        result = run_experiment(duplicate(line_buffer=True), "gcc", FAST)
+        metrics = result.metrics
+        assert metrics  # populated by the core at end of run
+        # headline identities against the legacy stats objects
+        assert metrics["cpu.instructions"] == result.instructions
+        assert metrics["cpu.cycles"] == result.cycles
+        assert metrics["memory.loads"] == result.memory.loads
+        assert metrics["memory.l1.load_hits"] == result.memory.l1_load_hits
+        assert (
+            metrics["cpu.pipeline.window_full_stalls"]
+            == result.pipeline.window_full_stalls
+        )
+        # previously-discarded component counters are now exported
+        assert metrics["memory.ports.requests"] > 0
+        assert "memory.mshr.primary_misses" in metrics
+        assert "memory.line_buffer.load_hits" in metrics
+        assert "memory.bus.chip.transfers" in metrics
+        # every exported value is a deterministic, JSON-exact int
+        assert all(isinstance(v, int) for v in metrics.values())
+        assert all(v >= 0 for v in metrics.values())
+
+    def test_served_by_sums_to_accesses(self):
+        result = run_experiment(banked(), "tomcatv", FAST)
+        served = sum(
+            value
+            for name, value in result.metrics.items()
+            if name.startswith("memory.served_by.")
+        )
+        assert served == result.metrics["memory.loads"] + result.metrics[
+            "memory.stores"
+        ]
+
+    def test_dram_mode_exports_dram_tree(self):
+        result = run_experiment(dram_cache(), "gcc", FAST)
+        metrics = result.metrics
+        assert "memory.dram.hits" in metrics
+        assert "memory.bus.memory.transfers" in metrics
+        assert "memory.l2.hits" not in metrics  # no off-chip L2 in DRAM mode
+
+    def test_sram_mode_has_no_dram_tree(self):
+        result = run_experiment(duplicate(), "gcc", FAST)
+        assert "memory.dram.hits" not in result.metrics
+        assert "memory.l2.hits" in result.metrics

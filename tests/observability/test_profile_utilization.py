@@ -1,0 +1,74 @@
+"""The profiler and the pipeline-utilization breakdown table."""
+
+from repro.core.experiment import ExperimentSettings, run_experiment
+from repro.core.organizations import banked, duplicate
+from repro.cpu.result import SimulationResult
+from repro.observability import PhaseProfiler, tracing
+from repro.observability.utilization import utilization_rows, utilization_summary
+
+FAST = ExperimentSettings(
+    instructions=1_500, timing_warmup=300, functional_warmup=20_000
+)
+
+
+class TestPhaseProfiler:
+    def test_records_phases_in_order(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("alpha"):
+            pass
+        with profiler.phase("beta"):
+            pass
+        assert [r.name for r in profiler.records()] == ["alpha", "beta"]
+        assert profiler.total_seconds >= 0.0
+
+    def test_reentering_a_phase_accumulates(self):
+        profiler = PhaseProfiler()
+        for _ in range(3):
+            with profiler.phase("alpha"):
+                pass
+        assert len(profiler.records()) == 1
+
+    def test_counts_events_when_tracing(self):
+        profiler = PhaseProfiler()
+        with tracing(capacity=0) as tracer:
+            with profiler.phase("sim"):
+                tracer.capture("k", 0, {})
+                tracer.capture("k", 1, {})
+        assert profiler.records()[0].events == 2
+
+    def test_summary_renders_table(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("alpha"):
+            pass
+        summary = profiler.summary()
+        assert "alpha" in summary
+        assert "events/s" in summary
+        assert "total" in summary
+
+    def test_empty_summary_is_empty(self):
+        assert PhaseProfiler().summary() == ""
+
+
+class TestUtilization:
+    def test_rows_cover_the_paper_breakdown(self):
+        result = run_experiment(duplicate(line_buffer=True), "gcc", FAST)
+        rows = utilization_rows(result.metrics)
+        sections = {row[0] for row in rows}
+        assert {"pipeline", "fetch stalls", "data served by", "cache ports", "MSHRs"} <= sections
+        assert ["pipeline", "IPC", f"{result.ipc:.2f}"] in rows
+
+    def test_bank_conflicts_only_for_banked_caches(self):
+        banked_rows = utilization_rows(
+            run_experiment(banked(banks=2), "tomcatv", FAST).metrics
+        )
+        assert any(row[1] == "bank conflicts" for row in banked_rows)
+
+    def test_summary_renders_and_handles_edge_results(self):
+        result = run_experiment(duplicate(line_buffer=True), "gcc", FAST)
+        text = utilization_summary(result, "Utilization: gcc")
+        assert "Utilization: gcc" in text
+        assert "line buffer" in text
+        failed = SimulationResult(instructions=0, cycles=1, failed=True)
+        assert "simulation failed" in utilization_summary(failed)
+        bare = SimulationResult(instructions=1, cycles=1)
+        assert "no metrics snapshot" in utilization_summary(bare)
