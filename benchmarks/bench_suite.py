@@ -1,0 +1,291 @@
+"""Perf-regression suite: wall-clock benchmarks with a committed baseline.
+
+Successor to ``bench_engine.py``; one file now measures everything and
+emits ``BENCH_repro.json`` at the repo root:
+
+* **engine** -- ``python -m repro all`` serial vs parallel vs warm
+  (each once; the speedup and warm fraction are the interesting
+  numbers, and the three reports are diffed to prove the engine keeps
+  output byte-identical across execution strategies);
+* **headline** -- ``python -m repro headlines --jobs 1`` against an
+  empty store, repeated ``--repeats`` times (>= 3): the production
+  path's wall clock, mean +- stddev;
+* **tracing** -- the same run with a full JSONL event trace
+  (``REPRO_TRACE``), quantifying what the event stream costs when on;
+* **attribution** -- tracing plus ``REPRO_ATTRIBUTION=1``: the
+  per-load critical-path accounting must stay within a few percent of
+  tracing alone (the <5% acceptance gate).
+
+``--check [BASELINE]`` re-measures and compares against the committed
+baseline (default: the repo-root ``BENCH_repro.json``), failing with
+exit 1 on a >15% wall-clock regression (``--tolerance``) or on
+attribution overhead above 5% -- the CI perf job's gate.
+
+Usage::
+
+    python benchmarks/bench_suite.py [--jobs N] [--scale S]
+        [--repeats K] [--out PATH] [--check [BASELINE]]
+        [--tolerance F]
+
+``--scale`` sets ``REPRO_SCALE`` for every run; a baseline only
+compares against measurements taken at the same scale and command.
+Not a pytest file on purpose: it measures minutes of wall clock.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+
+#: Payload format version of BENCH_repro.json itself.
+BENCH_SCHEMA = 1
+
+#: Relative wall-clock regression tolerated before --check fails.
+DEFAULT_TOLERANCE = 0.15
+
+#: Attribution may cost at most this much on top of tracing alone.
+ATTRIBUTION_GATE = 0.05
+
+
+def _strip_timing(output: str) -> str:
+    return "\n".join(
+        line for line in output.splitlines() if "regenerated in" not in line
+    )
+
+
+def _env(cache_dir: Path, scale: float, extra: dict[str, str] | None = None):
+    env = dict(
+        os.environ,
+        PYTHONPATH=str(REPO / "src"),
+        REPRO_CACHE_DIR=str(cache_dir),
+        REPRO_SCALE=str(scale),
+    )
+    env.pop("REPRO_TRACE", None)
+    env.pop("REPRO_ATTRIBUTION", None)
+    if extra:
+        env.update(extra)
+    return env
+
+
+def _run_all(jobs: int, cache_dir: Path, scale: float) -> tuple[float, str]:
+    start = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "all", "--jobs", str(jobs)],
+        env=_env(cache_dir, scale),
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+    )
+    elapsed = time.perf_counter() - start
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        raise SystemExit(f"repro all --jobs {jobs} exited {proc.returncode}")
+    return elapsed, _strip_timing(proc.stdout)
+
+
+def _run_headlines(
+    cache_dir: Path, scale: float, extra_env: dict[str, str] | None = None
+) -> float:
+    start = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "headlines", "--jobs", "1"],
+        env=_env(cache_dir, scale, extra_env),
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+    )
+    elapsed = time.perf_counter() - start
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        raise SystemExit(f"repro headlines exited {proc.returncode}")
+    return elapsed
+
+
+def _mode_stats(samples: list[float]) -> dict:
+    return {
+        "samples": [round(sample, 2) for sample in samples],
+        "mean_seconds": round(statistics.fmean(samples), 3),
+        "stddev_seconds": round(
+            statistics.pstdev(samples) if len(samples) > 1 else 0.0, 3
+        ),
+    }
+
+
+def measure(jobs: int, scale: float, repeats: int) -> dict:
+    """Run the whole suite; returns the BENCH_repro.json payload."""
+    with tempfile.TemporaryDirectory(prefix="bench-repro-") as tmp:
+        tmp_path = Path(tmp)
+        serial_seconds, serial_report = _run_all(1, tmp_path / "serial", scale)
+        parallel_seconds, parallel_report = _run_all(
+            jobs, tmp_path / "parallel", scale
+        )
+        warm_seconds, warm_report = _run_all(1, tmp_path / "parallel", scale)
+        if parallel_report != serial_report:
+            raise SystemExit("parallel report differs from serial report")
+        if warm_report != parallel_report:
+            raise SystemExit("warm report differs from cold report")
+
+        headline: list[float] = []
+        tracing: list[float] = []
+        attribution: list[float] = []
+        for repeat in range(repeats):
+            base = tmp_path / f"repeat{repeat}"
+            trace_path = base / "events.jsonl.gz"
+            headline.append(_run_headlines(base / "plain", scale))
+            tracing.append(
+                _run_headlines(
+                    base / "traced",
+                    scale,
+                    {"REPRO_TRACE": str(trace_path)},
+                )
+            )
+            attribution.append(
+                _run_headlines(
+                    base / "attributed",
+                    scale,
+                    {
+                        "REPRO_TRACE": str(trace_path),
+                        "REPRO_ATTRIBUTION": "1",
+                    },
+                )
+            )
+
+    headline_stats = _mode_stats(headline)
+    tracing_stats = _mode_stats(tracing)
+    attribution_stats = _mode_stats(attribution)
+    tracing_stats["overhead_vs_headline"] = round(
+        tracing_stats["mean_seconds"] / headline_stats["mean_seconds"] - 1.0, 3
+    )
+    attribution_stats["overhead_vs_tracing"] = round(
+        attribution_stats["mean_seconds"] / tracing_stats["mean_seconds"] - 1.0,
+        3,
+    )
+    return {
+        "schema": BENCH_SCHEMA,
+        "command": "python -m repro headlines --jobs 1",
+        "scale": scale,
+        "jobs": jobs,
+        "repeats": repeats,
+        "headline": headline_stats,
+        "tracing": tracing_stats,
+        "attribution": attribution_stats,
+        "engine": {
+            "command": "python -m repro all",
+            "serial_seconds": round(serial_seconds, 2),
+            "parallel_seconds": round(parallel_seconds, 2),
+            "warm_seconds": round(warm_seconds, 2),
+            "speedup": round(serial_seconds / parallel_seconds, 2),
+            "warm_fraction": round(warm_seconds / parallel_seconds, 3),
+            "reports_identical": True,
+        },
+    }
+
+
+def compare_payloads(
+    fresh: dict,
+    baseline: dict,
+    tolerance: float = DEFAULT_TOLERANCE,
+    attribution_gate: float = ATTRIBUTION_GATE,
+) -> list[str]:
+    """Regression check; returns human-readable failures (empty == pass).
+
+    Wall-clock means are compared mode by mode against the baseline
+    with a relative ``tolerance``; the attribution-over-tracing
+    overhead is an absolute property of the fresh run, gated at
+    ``attribution_gate`` regardless of what the baseline recorded.
+    """
+    failures: list[str] = []
+    for field in ("schema", "scale", "command"):
+        if fresh.get(field) != baseline.get(field):
+            failures.append(
+                f"baseline mismatch: {field} is {baseline.get(field)!r} "
+                f"in the baseline but {fresh.get(field)!r} in this run -- "
+                "regenerate the baseline with the same parameters"
+            )
+    if failures:
+        return failures
+    for mode in ("headline", "tracing", "attribution"):
+        fresh_mean = fresh[mode]["mean_seconds"]
+        base_mean = baseline[mode]["mean_seconds"]
+        limit = base_mean * (1.0 + tolerance)
+        if fresh_mean > limit:
+            failures.append(
+                f"{mode} regressed: {fresh_mean:.2f}s vs baseline "
+                f"{base_mean:.2f}s (>{tolerance:.0%} over)"
+            )
+    overhead = fresh["attribution"]["overhead_vs_tracing"]
+    if overhead > attribution_gate:
+        failures.append(
+            f"attribution overhead {overhead:.1%} vs tracing exceeds "
+            f"the {attribution_gate:.0%} gate"
+        )
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
+    parser.add_argument("--scale", type=float, default=0.5)
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="repeats per headline mode (minimum 3 for a stddev worth printing)",
+    )
+    parser.add_argument("--out", type=Path, default=REPO / "BENCH_repro.json")
+    parser.add_argument(
+        "--check",
+        nargs="?",
+        const=str(REPO / "BENCH_repro.json"),
+        default=None,
+        metavar="BASELINE",
+        help=(
+            "compare this run against BASELINE (default: the committed "
+            "BENCH_repro.json) and exit 1 on regression"
+        ),
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help=f"relative wall-clock slack for --check (default {DEFAULT_TOLERANCE})",
+    )
+    args = parser.parse_args()
+    if args.repeats < 3:
+        parser.error(f"--repeats must be >= 3, got {args.repeats}")
+
+    baseline = None
+    if args.check is not None:
+        baseline_path = Path(args.check)
+        if not baseline_path.exists():
+            parser.error(f"baseline {baseline_path} does not exist")
+        baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+
+    payload = measure(args.jobs, args.scale, args.repeats)
+    args.out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(payload, indent=2))
+
+    if baseline is not None:
+        failures = compare_payloads(payload, baseline, args.tolerance)
+        if failures:
+            for failure in failures:
+                print(f"PERF REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print(
+            f"perf check passed (tolerance {args.tolerance:.0%}, "
+            f"attribution gate {ATTRIBUTION_GATE:.0%})"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,8 +9,11 @@ Usage::
     python -m repro all
     python -m repro cache info
     python -m repro cache clear
-    python -m repro trace gcc --trace-out gcc.jsonl
+    python -m repro trace gcc --trace-out gcc.jsonl.gz
+    python -m repro trace gcc --format chrome
+    python -m repro trace --from-jsonl gcc.jsonl.gz --format chrome
     python -m repro metrics gcc
+    python -m repro diagnose tomcatv
     python -m repro figure4 --profile
 
 Instruction budgets can also be scaled globally with ``REPRO_SCALE``.
@@ -19,12 +22,17 @@ Results persist in ``.repro-cache/`` (override with ``--cache-dir`` or
 the same figures is nearly free.
 
 Observability: ``trace <benchmark>`` records the full event stream of
-one simulation of the paper's recommended organization; ``metrics
+one simulation of the paper's recommended organization (``--format
+chrome`` writes Chrome trace-event JSON for Perfetto instead of JSONL;
+``--from-jsonl`` converts an existing trace offline); ``metrics
 [benchmark]`` prints every named counter of that design point (served
-from the result store when warm); ``--profile`` reports per-phase wall
-clock and events/second for any experiment run.  Setting
-``REPRO_TRACE=<path>`` streams every event of any command to ``<path>``
-as JSON lines.
+from the result store when warm); ``diagnose <benchmark>`` re-runs the
+Figure 4-7 design points with latency attribution and ranks each one's
+stall sources; ``--profile`` reports per-phase wall clock and
+events/second for any experiment run.  Setting ``REPRO_TRACE=<path>``
+streams every event of any command to ``<path>`` as JSON lines
+(gzipped when the path ends in ``.gz``); ``--attribution`` adds exact
+per-load critical-path metrics to trace/metrics runs.
 """
 
 from __future__ import annotations
@@ -175,22 +183,52 @@ def _recommended_organization():
     return duplicate(32 * KB, line_buffer=True)
 
 
+def _warn_dropped(tracer) -> None:
+    """Satellite guarantee: a truncated trace is never silent."""
+    if tracer.dropped:
+        print(
+            f"warning: ring overflowed -- {tracer.dropped} event(s) dropped; "
+            "analyses of this trace are truncated "
+            "(raise --trace-limit or use --trace-out for the full stream)",
+            file=sys.stderr,
+        )
+
+
+def _convert_jsonl(args: argparse.Namespace) -> int:
+    """``repro trace --from-jsonl <path> --format chrome``: offline export."""
+    from repro.observability.chrometrace import read_jsonl, write_chrome_trace
+
+    source = args.from_jsonl
+    out = args.trace_out
+    if out is None:
+        stem = source[:-len(".gz")] if source.endswith(".gz") else source
+        if stem.endswith(".jsonl"):
+            stem = stem[: -len(".jsonl")]
+        out = stem + ".trace.json"
+    count = write_chrome_trace(read_jsonl(source), out)
+    print(f"wrote {count} Chrome trace event(s) to {out}")
+    return 0
+
+
 def _trace_command(args: argparse.Namespace) -> int:
     """``python -m repro trace <benchmark>``: one fully traced simulation."""
+    from contextlib import ExitStack
+
     from repro.core.experiment import run_experiment
-    from repro.observability import tracing, utilization_summary
+    from repro.observability import attributing, tracing, utilization_summary
 
     organization = _recommended_organization()
     benchmark = args.benchmarks[0]
-    sink = None
-    try:
-        if args.trace_out is not None:
-            sink = open(args.trace_out, "w", encoding="utf-8")
+    chrome = args.trace_format == "chrome"
+    with ExitStack() as stack:
+        sink = None
+        if args.trace_out is not None and not chrome:
+            sink = stack.enter_context(obs_trace.open_sink(args.trace_out))
+        if args.attribution:
+            stack.enter_context(attributing())
         with tracing(capacity=args.trace_limit, sink=sink) as tracer:
             result = run_experiment(organization, benchmark, _settings(args))
-    finally:
-        if sink is not None:
-            sink.close()
+    _warn_dropped(tracer)
     print(f"traced {organization.label} on {benchmark}: {result.summary()}")
     print()
     rows = [
@@ -202,7 +240,16 @@ def _trace_command(args: argparse.Namespace) -> int:
         f"\n{len(tracer)} of {tracer.emitted} events retained "
         f"({tracer.dropped} dropped from the ring)"
     )
-    if args.trace_out is not None:
+    if chrome:
+        from repro.observability.chrometrace import write_chrome_trace
+
+        out = args.trace_out or f"{benchmark}.trace.json"
+        count = write_chrome_trace(tracer.events(), out)
+        print(
+            f"wrote {count} Chrome trace event(s) to {out} "
+            "(open in Perfetto or chrome://tracing)"
+        )
+    elif args.trace_out is not None:
         print(f"full stream written to {args.trace_out}")
     tail = tracer.events()[-args.trace_tail:]
     if tail:
@@ -216,12 +263,17 @@ def _trace_command(args: argparse.Namespace) -> int:
 
 def _metrics_command(args: argparse.Namespace) -> int:
     """``python -m repro metrics [benchmark]``: every named counter."""
+    from contextlib import ExitStack
+
     from repro.core.experiment import run_experiment
-    from repro.observability import utilization_summary
+    from repro.observability import attributing, utilization_summary
 
     organization = _recommended_organization()
     benchmark = args.benchmarks[0]
-    result = run_experiment(organization, benchmark, _settings(args))
+    with ExitStack() as stack:
+        if args.attribution:
+            stack.enter_context(attributing())
+        result = run_experiment(organization, benchmark, _settings(args))
     if not result.metrics:
         print(
             "no metrics on this result (stale cache entry?); "
@@ -239,6 +291,16 @@ def _metrics_command(args: argparse.Namespace) -> int:
     )
     print()
     print(utilization_summary(result, f"Pipeline utilization: {benchmark}"))
+    return 0
+
+
+def _diagnose_command(args: argparse.Namespace) -> int:
+    """``python -m repro diagnose <benchmark>``: rank stall sources."""
+    from repro.observability.diagnose import diagnose_benchmark, render_diagnosis
+
+    benchmark = args.benchmarks[0]
+    diagnoses = diagnose_benchmark(benchmark, _settings(args))
+    print(render_diagnosis(diagnoses, benchmark))
     return 0
 
 
@@ -261,11 +323,12 @@ def _cache_command(action: str, cache_dir: str | None) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; honors ``REPRO_TRACE=<path>`` for any command."""
+    """CLI entry point; honors ``REPRO_TRACE=<path>`` for any command
+    (``.gz`` paths gzip the JSONL stream transparently)."""
     trace_path = os.environ.get("REPRO_TRACE")
     if not trace_path:
         return _main(argv)
-    with open(trace_path, "w", encoding="utf-8") as sink:
+    with obs_trace.open_sink(trace_path) as sink:
         with obs_trace.tracing(sink=sink) as tracer:
             code = _main(argv)
         print(
@@ -287,7 +350,7 @@ def _main(argv: list[str] | None = None) -> int:
         "experiment",
         help=(
             "which table/figure to regenerate "
-            "(or 'all', 'cache', 'trace', 'metrics')"
+            "(or 'all', 'cache', 'trace', 'metrics', 'diagnose')"
         ),
     )
     parser.add_argument(
@@ -296,7 +359,7 @@ def _main(argv: list[str] | None = None) -> int:
         default=None,
         help=(
             "subcommand argument: 'cache' takes 'info' or 'clear'; "
-            "'trace' and 'metrics' take a benchmark name"
+            "'trace', 'metrics', and 'diagnose' take a benchmark name"
         ),
     )
     parser.add_argument(
@@ -333,7 +396,34 @@ def _main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--trace-out",
         default=None,
-        help="('trace' only) also write every event to this JSONL file",
+        help=(
+            "('trace' only) output file: the JSONL event stream "
+            "(gzipped when the name ends in .gz), or the Chrome trace "
+            "with --format chrome"
+        ),
+    )
+    parser.add_argument(
+        "--format",
+        dest="trace_format",
+        default="jsonl",
+        help="('trace' only) output format: jsonl (default) or chrome",
+    )
+    parser.add_argument(
+        "--from-jsonl",
+        default=None,
+        help=(
+            "('trace' only) convert an existing JSONL/JSONL.gz trace "
+            "to --format chrome instead of running a simulation"
+        ),
+    )
+    parser.add_argument(
+        "--attribution",
+        action="store_true",
+        help=(
+            "('trace'/'metrics' only) enable per-load critical-path "
+            "attribution (adds attribution.* metrics and per-event "
+            "path fields)"
+        ),
     )
     parser.add_argument(
         "--trace-limit",
@@ -351,17 +441,38 @@ def _main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     experiment = args.experiment.lower()
+    trace_format = args.trace_format.lower()
+    if trace_format not in ("jsonl", "chrome"):
+        parser.error(
+            f"unknown trace format {args.trace_format!r}; "
+            "choose from: chrome, jsonl"
+        )
+    args.trace_format = trace_format
     if experiment == "cache":
         if args.action not in ("info", "clear"):
             parser.error("'cache' takes an action: info or clear")
         return _cache_command(args.action, args.cache_dir)
-    if experiment in ("trace", "metrics"):
+    if experiment in ("trace", "metrics", "diagnose"):
+        if experiment == "trace" and args.from_jsonl is not None:
+            if trace_format != "chrome":
+                parser.error("--from-jsonl requires --format chrome")
+            if args.action is not None:
+                parser.error(
+                    "--from-jsonl converts an existing trace; "
+                    "drop the benchmark name"
+                )
+            return _convert_jsonl(args)
         if args.action is not None:
             args.benchmarks = _validated_benchmarks(parser, [args.action])
-        elif experiment == "trace":
-            parser.error("'trace' takes a benchmark name")
-        else:
+        elif experiment == "metrics":
             args.benchmarks = [REPRESENTATIVES[0]]
+        else:
+            parser.error(f"{experiment!r} takes a benchmark name")
+        if experiment == "diagnose":
+            # Diagnosis simulates directly (attribution must not ride
+            # or pollute the shared result store), so the engine is
+            # not involved at all.
+            return _diagnose_command(args)
         if experiment == "trace":
             if args.trace_limit < 0:
                 parser.error("--trace-limit cannot be negative")
@@ -371,7 +482,10 @@ def _main(argv: list[str] | None = None) -> int:
                 return _trace_command(args)
             finally:
                 configure_engine(jobs=previous[0], store=previous[1])
-        store = None if args.no_cache else ResultStore(args.cache_dir)
+        # With --attribution a stored (unattributed) result would lack
+        # the attribution.* metrics, so bypass the store for that run.
+        use_store = not args.no_cache and not args.attribution
+        store = ResultStore(args.cache_dir) if use_store else None
         previous = configure_engine(jobs=1, store=store)
         try:
             return _metrics_command(args)
@@ -384,7 +498,9 @@ def _main(argv: list[str] | None = None) -> int:
     if experiment != "all" and experiment not in EXPERIMENTS:
         parser.error(
             f"unknown experiment {args.experiment!r}; choose from: "
-            + ", ".join(EXPERIMENTS + ("all", "cache", "trace", "metrics"))
+            + ", ".join(
+                EXPERIMENTS + ("all", "cache", "trace", "metrics", "diagnose")
+            )
         )
     args.benchmarks = _validated_benchmarks(parser, args.benchmarks)
 

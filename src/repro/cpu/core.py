@@ -386,6 +386,9 @@ class OutOfOrderCore:
             self.memory.victim_cache.stats = type(self.memory.victim_cache.stats)()
         backside = self.memory.backside
         backside.stats = type(backside.stats)()
+        if self.memory.attribution is not None:
+            # Attribution covers the measured region only, same as stats.
+            self.memory.attribution.reset()
 
 
 def simulate(

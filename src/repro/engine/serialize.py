@@ -11,6 +11,14 @@ stay ints, floats survive via JSON's shortest-repr encoding, enum keys
 become their names, and tuples are restored as tuples.  Schema changes
 here must bump :data:`repro.engine.store.SCHEMA_VERSION` so stale
 on-disk entries are ignored rather than misread.
+
+Schema v3: ``SimulationResult.metrics`` may carry the attribution
+export -- integer component/outcome/bucket counters plus float
+``attribution.latency.p50/p95/p99`` percentiles -- and, when a trace
+ring overflowed during the run, ``trace.dropped_events``.  All are
+plain JSON scalars in the existing flat metrics dict, so the
+converters below need no shape change; the version bump exists to
+retire v2 entries whose metrics predate those keys' semantics.
 """
 
 from __future__ import annotations

@@ -31,7 +31,10 @@ from repro.engine.serialize import SerializationError, result_from_dict, result_
 
 #: Bump whenever key or result serialization changes shape (or whenever
 #: a simulator change invalidates previously stored numbers).
-SCHEMA_VERSION = 2
+#: v3: ``metrics`` may carry ``attribution.*`` (per-load critical-path
+#: components, latency histogram buckets, float percentiles) and
+#: ``trace.dropped_events``; v2 entries predate those semantics.
+SCHEMA_VERSION = 3
 
 #: Environment override for the store location used by the CLI.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from repro.memory.bus import Bus, Transfer
 from repro.memory.common import ServedBy
 from repro.memory.sram import SetAssociativeCache
+from repro.observability.attribution import critical_path
 from repro.observability.events import MEM_BUS_TRANSFER, EventChannel
 from repro.robustness.invariants import bus_causality_tap
 
@@ -43,6 +44,10 @@ class FillResponse:
 
     ready_cycle: int  #: cycle the full L1 line has arrived on chip
     served_by: ServedBy
+    #: Critical-path decomposition of ``ready_cycle - request_cycle``
+    #: as ``((component, cycles), ...)``; components sum exactly to the
+    #: fill latency (the attribution invariant).
+    path: tuple[tuple[str, int], ...] = ()
 
 
 @dataclass(frozen=True)
@@ -103,7 +108,12 @@ class BacksideMemory:
             transfer = self._checked_transfer(
                 self.chip_bus, lookup_done, self.l1_line_bytes
             )
-            return FillResponse(transfer.done_cycle, ServedBy.L2)
+            path = critical_path(
+                l2_access=self.config.l2_hit_cycles,
+                bus_queue=transfer.start_cycle - lookup_done,
+                bus_transfer=transfer.done_cycle - transfer.start_cycle,
+            )
+            return FillResponse(transfer.done_cycle, ServedBy.L2, path)
         self.stats.l2_misses += 1
         # Miss determined after the L2 lookup; go to main memory.
         mem_ready = lookup_done + self.config.memory_cycles
@@ -118,7 +128,15 @@ class BacksideMemory:
         transfer = self._checked_transfer(
             self.chip_bus, mem_xfer.done_cycle, self.l1_line_bytes
         )
-        return FillResponse(transfer.done_cycle, ServedBy.MEMORY)
+        path = critical_path(
+            l2_access=self.config.l2_hit_cycles,
+            memory=self.config.memory_cycles,
+            bus_queue=(mem_xfer.start_cycle - mem_ready)
+            + (transfer.start_cycle - mem_xfer.done_cycle),
+            bus_transfer=(mem_xfer.done_cycle - mem_xfer.start_cycle)
+            + (transfer.done_cycle - transfer.start_cycle),
+        )
+        return FillResponse(transfer.done_cycle, ServedBy.MEMORY, path)
 
     def write_word_through(self, l1_line: int, cycle: int) -> int:
         """A write-through store word crosses the chip bus into the L2.

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from repro.memory.bus import Bus
 from repro.memory.common import ServedBy
 from repro.memory.sram import SetAssociativeCache
+from repro.observability.attribution import critical_path
 from repro.observability.events import MEM_BUS_TRANSFER, EventChannel
 from repro.robustness.invariants import bus_causality_tap
 
@@ -58,6 +59,9 @@ class DramStats:
 class DramFill:
     ready_cycle: int
     served_by: ServedBy
+    #: Critical-path decomposition of ``ready_cycle - request_cycle``
+    #: (same contract as :class:`repro.memory.backside.FillResponse`).
+    path: tuple[tuple[str, int], ...] = ()
 
 
 class DramCacheBackside:
@@ -86,7 +90,11 @@ class DramCacheBackside:
         self._bank_free[bank] = done  # bank busy for the full access
         if self.dram.lookup(row_line):
             self.stats.dram_hits += 1
-            return DramFill(done, ServedBy.DRAM_CACHE)
+            path = critical_path(
+                dram_bank_wait=start - cycle,
+                dram_access=self.config.dram_hit_cycles,
+            )
+            return DramFill(done, ServedBy.DRAM_CACHE, path)
         self.stats.dram_misses += 1
         mem_ready = done + self.config.memory_cycles
         transfer = self.memory_bus.transfer(mem_ready, self.config.row_bytes)
@@ -101,7 +109,14 @@ class DramCacheBackside:
         if victim is not None and victim.dirty:
             self.memory_bus.transfer(transfer.done_cycle, self.config.row_bytes)
         self._bank_free[bank] = max(self._bank_free[bank], transfer.done_cycle)
-        return DramFill(transfer.done_cycle, ServedBy.MEMORY)
+        path = critical_path(
+            dram_bank_wait=start - cycle,
+            dram_access=self.config.dram_hit_cycles,
+            memory=self.config.memory_cycles,
+            bus_queue=transfer.start_cycle - mem_ready,
+            bus_transfer=transfer.done_cycle - transfer.start_cycle,
+        )
+        return DramFill(transfer.done_cycle, ServedBy.MEMORY, path)
 
     def fetch_line(self, line: int, cycle: int) -> DramFill:
         """Hierarchy-facing alias: in DRAM mode an L1 line *is* a row."""

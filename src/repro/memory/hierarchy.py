@@ -30,7 +30,8 @@ from repro.memory.ports import make_arbiter
 from repro.memory.sram import SetAssociativeCache
 from repro.memory.stats import MemoryStats
 from repro.memory.victim import VictimCache
-from repro.observability import events, trace
+from repro.observability import attribution, events, trace
+from repro.observability.attribution import AttributionAccumulator
 from repro.robustness.errors import SimulationInvariantError
 from repro.robustness.invariants import audit_memory
 
@@ -121,6 +122,16 @@ class MemorySystem:
             self._l1_served = ServedBy.L1
         self.stats = MemoryStats()
         self._pending_served: dict[int, ServedBy] = {}
+        # Port-wait cycles are bank conflicts in banked organizations;
+        # resolved once here so the load path stays branch-free.
+        self._port_component = (
+            "bank_conflict" if config.port_policy == "banked" else "port_wait"
+        )
+        #: Per-access critical-path accounting; ``None`` (the default)
+        #: keeps the load path identical to the unattributed one.
+        self.attribution: AttributionAccumulator | None = (
+            AttributionAccumulator() if attribution.enabled() else None
+        )
 
     @property
     def line_bytes(self) -> int:
@@ -201,15 +212,25 @@ class MemorySystem:
         self.stats.loads += 1
         line = self.line_of(address)
         tracer = trace._ACTIVE
+        attr = self.attribution
         if self.line_buffer is not None and self.line_buffer.load_lookup(line):
             # If the line's fill is still in flight the buffered copy is
             # not valid yet; data is forwarded when the fill arrives.
             done = self.mshrs.pending_ready(line, cycle + 1) or cycle + 1
             result = AccessResult(done, ServedBy.LINE_BUFFER, cycle)
             self._finish_load(result, cycle)
+            path = None
+            if attr is not None:
+                path = [("line_buffer", 1)]
+                fill_wait = done - cycle - 1
+                if fill_wait:
+                    path.append(("mshr_merge", fill_wait))
+                attr.record("lb_hit", done - cycle, path)
             if tracer is not None:
                 tracer.capture(events.MEM_LB_HIT, cycle, {"line": line})
-                self._capture_access(tracer, events.MEM_LOAD, cycle, line, "lb_hit", result)
+                self._capture_access(
+                    tracer, events.MEM_LOAD, cycle, line, "lb_hit", result, path
+                )
             return result
         start = self.arbiter.reserve(line, cycle)
         if self.l1.lookup(line):
@@ -224,32 +245,47 @@ class MemorySystem:
                 served = self._pending_served.get(line, ServedBy.L2)
                 result = AccessResult(in_flight, served, start)
                 outcome = "delayed_hit"
+                tail = (("mshr_merge", in_flight - done),)
             else:
                 self.stats.l1_load_hits += 1
                 result = AccessResult(done, self._l1_served, start)
                 outcome = "l1_hit"
+                tail = ()
         else:
             self.stats.l1_load_misses += 1
-            result, outcome = self._miss(line, start, dirty=False)
+            result, outcome, tail = self._miss(line, start, dirty=False)
         if self.line_buffer is not None:
             self.line_buffer.fill(line)
         self._finish_load(result, cycle)
+        path = None
+        if attr is not None:
+            path = []
+            if start > cycle:
+                path.append((self._port_component, start - cycle))
+            path.append(("l1_access", self.config.l1_hit_cycles))
+            path.extend(tail)
+            attr.record(outcome, result.completion_cycle - cycle, path)
         if tracer is not None:
-            self._capture_access(tracer, events.MEM_LOAD, cycle, line, outcome, result)
+            self._capture_access(
+                tracer, events.MEM_LOAD, cycle, line, outcome, result, path
+            )
         return result
 
     @staticmethod
-    def _capture_access(tracer, kind, cycle, line, outcome, result) -> None:
-        tracer.capture(
-            kind,
-            cycle,
-            {
-                "line": line,
-                "outcome": outcome,
-                "served": result.served_by.name.lower(),
-                "done": result.completion_cycle,
-            },
-        )
+    def _capture_access(
+        tracer, kind, cycle, line, outcome, result, path=None
+    ) -> None:
+        fields = {
+            "line": line,
+            "outcome": outcome,
+            "served": result.served_by.name.lower(),
+            "done": result.completion_cycle,
+        }
+        if path is not None:
+            # Attribution active: the event carries the critical-path
+            # split so offline trace analyses see the same exact sums.
+            fields["path"] = dict(path)
+        tracer.capture(kind, cycle, fields)
 
     def _finish_load(self, result: AccessResult, issue_cycle: int) -> None:
         self.stats.served_by[result.served_by] += 1
@@ -289,7 +325,7 @@ class MemorySystem:
                 outcome = "l1_hit"
         else:
             self.stats.l1_store_misses += 1
-            result, outcome = self._miss(line, start, dirty=True)
+            result, outcome, _ = self._miss(line, start, dirty=True)
         self.stats.served_by[result.served_by] += 1
         if tracer is not None:
             self._capture_access(tracer, events.MEM_STORE, cycle, line, outcome, result)
@@ -332,12 +368,15 @@ class MemorySystem:
 
     def _miss(
         self, line: int, port_start: int, *, dirty: bool
-    ) -> tuple[AccessResult, str]:
+    ) -> tuple[AccessResult, str, tuple[tuple[str, int], ...]]:
         """Common lockup-free miss path for loads and stores.
 
-        Returns the access result plus the miss outcome tag
-        (``victim_hit`` / ``miss_merged`` / ``miss_alloc``) the caller's
-        trace emission carries.
+        Returns the access result, the miss outcome tag (``victim_hit``
+        / ``miss_merged`` / ``miss_alloc``) the caller's trace emission
+        carries, and the critical-path components *beyond miss
+        detection* -- they sum exactly to ``completion_cycle - detect``,
+        so the caller can prepend the port wait and L1 access to get
+        the access's full attribution.
         """
         detect = port_start + self.config.l1_hit_cycles
         if self.victim_cache is not None:
@@ -345,7 +384,11 @@ class MemorySystem:
             if swap_hit:
                 done = detect + VictimCache.SWAP_PENALTY_CYCLES
                 self._install(line, done, dirty=dirty or was_dirty)
-                return AccessResult(done, ServedBy.VICTIM_CACHE, port_start), "victim_hit"
+                return (
+                    AccessResult(done, ServedBy.VICTIM_CACHE, port_start),
+                    "victim_hit",
+                    (("victim_swap", VictimCache.SWAP_PENALTY_CYCLES),),
+                )
         grant = self.mshrs.request(line, detect)
         if grant.merged:
             assert grant.pending_ready is not None
@@ -353,21 +396,31 @@ class MemorySystem:
             if dirty:
                 self.l1.lookup(line, write=True)  # mark dirty once filled
             result = AccessResult(max(grant.pending_ready, detect), served, port_start)
-            return result, "miss_merged"
+            merge_wait = result.completion_cycle - detect
+            tail = (("mshr_merge", merge_wait),) if merge_wait else ()
+            return result, "miss_merged", tail
         response = self.backside.fetch_line(line, grant.start_cycle)
         if response.ready_cycle < grant.start_cycle:
             raise SimulationInvariantError(
                 f"fill for line {line:#x} ready at cycle {response.ready_cycle}, "
                 f"before its request at cycle {grant.start_cycle}"
             )
-        self.mshrs.complete(line, response.ready_cycle)
+        self.mshrs.complete(line, response.ready_cycle, alloc_cycle=grant.start_cycle)
         self._pending_served[line] = response.served_by
         if len(self._pending_served) > 4 * self.config.mshrs:
             self._trim_pending()
         self._install(line, response.ready_cycle, dirty=dirty)
         if self.config.next_line_prefetch:
             self._prefetch(line + 1, response.ready_cycle)
-        return AccessResult(response.ready_cycle, response.served_by, port_start), "miss_alloc"
+        tail = response.path
+        if grant.start_cycle > detect:
+            # The miss waited for a free MSHR register before issuing.
+            tail = (("mshr_wait", grant.start_cycle - detect),) + tail
+        return (
+            AccessResult(response.ready_cycle, response.served_by, port_start),
+            "miss_alloc",
+            tail,
+        )
 
     def _prefetch(self, line: int, cycle: int) -> None:
         """Next-line prefetch into the L1, if a free MSHR allows it.
@@ -388,7 +441,7 @@ class MemorySystem:
             return  # never steal the last MSHR from demand traffic
         self.stats.prefetches_issued += 1
         response = self.backside.fetch_line(line, cycle)
-        self.mshrs.complete(line, response.ready_cycle)
+        self.mshrs.complete(line, response.ready_cycle, alloc_cycle=cycle)
         self._pending_served[line] = response.served_by
         self._install(line, response.ready_cycle, dirty=False)
 

@@ -80,14 +80,23 @@ class MshrFile:
             return ready
         return None
 
-    def complete(self, line: int, fill_cycle: int) -> None:
-        """Record when the fill for ``line`` will arrive (frees the MSHR)."""
+    def complete(
+        self, line: int, fill_cycle: int, alloc_cycle: int | None = None
+    ) -> None:
+        """Record when the fill for ``line`` will arrive (frees the MSHR).
+
+        ``alloc_cycle`` (the grant's start cycle) rides the fill event
+        as an allocation->fill pair, so trace consumers (the Chrome
+        exporter's async arrows) get the whole in-flight window from
+        one event even when the alloc event has fallen off the ring.
+        """
         self._pending[line] = fill_cycle
         tracer = trace._ACTIVE
         if tracer is not None:
-            tracer.capture(
-                events.MEM_MSHR_FILL, fill_cycle, {"line": line, "ready": fill_cycle}
-            )
+            fields = {"line": line, "ready": fill_cycle}
+            if alloc_cycle is not None:
+                fields["alloc"] = alloc_cycle
+            tracer.capture(events.MEM_MSHR_FILL, fill_cycle, fields)
 
     def tracked_lines(self) -> frozenset[int]:
         """Lines whose fills this file still tracks (possibly in flight)."""

@@ -11,10 +11,28 @@ Public surface:
 * :mod:`repro.observability.profile` -- per-phase wall-clock/event
   throughput behind the CLI ``--profile`` flag;
 * :mod:`repro.observability.utilization` -- the per-design-point
-  pipeline-utilization breakdown table.
+  pipeline-utilization breakdown table;
+* :mod:`repro.observability.attribution` -- per-access critical-path
+  cycle accounting (exact-sum latency decomposition, fixed-bucket
+  histograms with p50/p95/p99), off unless ``attributing()`` or
+  ``REPRO_ATTRIBUTION=1``;
+* :mod:`repro.observability.chrometrace` -- Chrome trace-event JSON
+  export of any captured or JSONL stream, for Perfetto;
+* :mod:`repro.observability.diagnose` -- stall-source ranking and the
+  ``repro diagnose`` narrative report.
 """
 
-from repro.observability import events, trace
+from repro.observability import attribution, events, trace
+from repro.observability.attribution import (
+    AttributionAccumulator,
+    LatencyHistogram,
+    attributing,
+)
+from repro.observability.chrometrace import (
+    chrome_trace_events,
+    read_jsonl,
+    write_chrome_trace,
+)
 from repro.observability.events import ALL_KINDS, EventChannel
 from repro.observability.metrics import (
     Counter,
@@ -37,9 +55,11 @@ from repro.observability.utilization import utilization_rows, utilization_summar
 
 __all__ = [
     "ALL_KINDS",
+    "AttributionAccumulator",
     "Counter",
     "DEFAULT_CAPACITY",
     "EventChannel",
+    "LatencyHistogram",
     "MetricsRegistry",
     "PhaseProfiler",
     "PhaseRecord",
@@ -48,12 +68,17 @@ __all__ = [
     "Timer",
     "activate",
     "active",
+    "attributing",
+    "attribution",
+    "chrome_trace_events",
     "deactivate",
     "events",
+    "read_jsonl",
     "snapshot_memory_system",
     "snapshot_simulation",
     "trace",
     "tracing",
     "utilization_rows",
     "utilization_summary",
+    "write_chrome_trace",
 ]

@@ -1,0 +1,245 @@
+"""Export captured event streams as Chrome trace-event JSON.
+
+Converts a :class:`~repro.observability.trace.TraceEvent` stream (the
+live ring or a JSONL/JSONL.gz file) into the Trace Event Format that
+``chrome://tracing`` and Perfetto open directly:
+
+* loads and stores render as complete ("X") slices on their own tracks,
+  named by outcome, spanning request to completion;
+* each cache port/bank and each bus gets its own track -- grants are
+  one-cycle slices, bus transfers span their grant window, and bank
+  conflicts appear as instant markers carrying the wait;
+* in-flight misses render as async begin/end pairs ("b"/"e") from MSHR
+  allocation to fill, giving Perfetto's arrow view of miss overlap;
+* CPU issue slices and flush markers give the pipeline context.
+
+One simulated cycle maps to one microsecond of trace time (the format's
+timestamps are microseconds), so durations read directly as cycles.
+
+The export is purely a view: it never needs the simulator, so existing
+JSONL traces convert offline (``repro trace --from-jsonl run.jsonl.gz
+--format chrome``).
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+from typing import IO, Iterable, Iterator, Union
+
+from repro.observability import events as kinds
+from repro.observability.trace import TraceEvent
+
+#: Single simulated process; tracks are threads within it.
+PID = 1
+
+#: Fixed thread ids for the always-present tracks; per-port/bank/bus
+#: tracks are allocated dynamically above :data:`DYNAMIC_TID_BASE` in
+#: order of first appearance.
+TID_CPU = 1
+TID_LOADS = 2
+TID_STORES = 3
+TID_MSHR = 4
+TID_ENGINE = 5
+DYNAMIC_TID_BASE = 10
+
+_FIXED_TRACKS = (
+    (TID_CPU, "cpu pipeline"),
+    (TID_LOADS, "loads"),
+    (TID_STORES, "stores"),
+    (TID_MSHR, "mshr in-flight"),
+    (TID_ENGINE, "engine"),
+)
+
+
+def read_jsonl(path: Union[str, Path]) -> Iterator[TraceEvent]:
+    """Parse a JSONL trace (``.gz`` transparent) back into events."""
+    opener = gzip.open if str(path).endswith(".gz") else open
+    with opener(path, "rt", encoding="utf-8") as handle:
+        for raw in handle:
+            raw = raw.strip()
+            if not raw:
+                continue
+            record = json.loads(raw)
+            cycle = record.pop("cycle")
+            kind = record.pop("kind")
+            yield TraceEvent(cycle, kind, record)
+
+
+def chrome_trace_events(trace_events: Iterable[TraceEvent]) -> list[dict]:
+    """The ``traceEvents`` array for one event stream."""
+    out: list[dict] = [
+        {
+            "ph": "M",
+            "pid": PID,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": "repro simulation"},
+        }
+    ]
+    for tid, name in _FIXED_TRACKS:
+        out.append(_thread_name(tid, name))
+    dynamic: dict[str, int] = {}
+
+    def tid_for(track: str) -> int:
+        tid = dynamic.get(track)
+        if tid is None:
+            tid = DYNAMIC_TID_BASE + len(dynamic)
+            dynamic[track] = tid
+            out.append(_thread_name(tid, track))
+        return tid
+
+    for event in trace_events:
+        kind = event.kind
+        fields = event.fields
+        ts = event.cycle
+        if kind in (kinds.MEM_LOAD, kinds.MEM_STORE):
+            tid = TID_LOADS if kind == kinds.MEM_LOAD else TID_STORES
+            out.append(
+                {
+                    "ph": "X",
+                    "pid": PID,
+                    "tid": tid,
+                    "ts": ts,
+                    "dur": max(fields.get("done", ts) - ts, 0),
+                    "name": fields.get("outcome", kind),
+                    "cat": "mem",
+                    "args": fields,
+                }
+            )
+        elif kind == kinds.MEM_PORT_GRANT:
+            out.append(
+                {
+                    "ph": "X",
+                    "pid": PID,
+                    "tid": tid_for(f"port {fields.get('key', '?')}"),
+                    "ts": ts,
+                    "dur": 1,
+                    "name": "grant",
+                    "cat": "port",
+                    "args": fields,
+                }
+            )
+        elif kind == kinds.MEM_BANK_CONFLICT:
+            out.append(
+                {
+                    "ph": "i",
+                    "pid": PID,
+                    "tid": tid_for(f"bank {fields.get('bank', '?')}"),
+                    "ts": ts,
+                    "s": "t",
+                    "name": f"conflict (+{fields.get('wait', '?')})",
+                    "cat": "port",
+                    "args": fields,
+                }
+            )
+        elif kind == kinds.MEM_BUS_TRANSFER:
+            start = fields.get("start", ts)
+            out.append(
+                {
+                    "ph": "X",
+                    "pid": PID,
+                    "tid": tid_for(f"bus {fields.get('bus', '?')}"),
+                    "ts": start,
+                    "dur": max(fields.get("done", start) - start, 0),
+                    "name": f"{fields.get('bytes', '?')}B",
+                    "cat": "bus",
+                    "args": fields,
+                }
+            )
+        elif kind == kinds.MEM_MSHR_FILL and "alloc" in fields:
+            # The fill event carries its allocation cycle, so one event
+            # yields the whole in-flight window as an async pair even
+            # when the alloc event has dropped off the ring.
+            alloc = fields["alloc"]
+            ready = fields.get("ready", ts)
+            if ready > alloc:
+                name = f"miss line {fields.get('line', 0):#x}"
+                common = {
+                    "pid": PID,
+                    "tid": TID_MSHR,
+                    "cat": "mshr",
+                    "id": fields.get("line", 0),
+                    "name": name,
+                }
+                out.append({"ph": "b", "ts": alloc, "args": fields, **common})
+                out.append({"ph": "e", "ts": ready, **common})
+        elif kind in (kinds.MEM_MSHR_ALLOC, kinds.MEM_MSHR_MERGE, kinds.MEM_MSHR_FILL):
+            out.append(_instant(TID_MSHR, ts, kind.rsplit(".", 1)[-1], "mshr", fields))
+        elif kind == kinds.MEM_LB_HIT:
+            out.append(_instant(TID_LOADS, ts, "lb.hit", "mem", fields))
+        elif kind == kinds.CPU_ISSUE:
+            out.append(
+                {
+                    "ph": "X",
+                    "pid": PID,
+                    "tid": TID_CPU,
+                    "ts": ts,
+                    "dur": max(fields.get("complete", ts) - ts, 0),
+                    "name": fields.get("op", "issue"),
+                    "cat": "cpu",
+                    "args": fields,
+                }
+            )
+        elif kind == kinds.CPU_FLUSH:
+            out.append(_instant(TID_CPU, ts, "flush", "cpu", fields))
+        elif kind in (kinds.CPU_FETCH, kinds.CPU_COMMIT):
+            # Skipped: one marker per instruction adds nothing the issue
+            # slices don't show, and triples the file size.
+            continue
+        elif kind.startswith("engine."):
+            out.append(_instant(TID_ENGINE, ts, kind, "engine", fields))
+        else:
+            out.append(_instant(TID_CPU, ts, kind, "other", fields))
+    return out
+
+
+def _thread_name(tid: int, name: str) -> dict:
+    return {
+        "ph": "M",
+        "pid": PID,
+        "tid": tid,
+        "name": "thread_name",
+        "args": {"name": name},
+    }
+
+
+def _instant(tid: int, ts: int, name: str, cat: str, fields: dict) -> dict:
+    return {
+        "ph": "i",
+        "pid": PID,
+        "tid": tid,
+        "ts": ts,
+        "s": "t",
+        "name": name,
+        "cat": cat,
+        "args": fields,
+    }
+
+
+def write_chrome_trace(
+    trace_events: Iterable[TraceEvent],
+    destination: Union[str, Path, IO[str]],
+) -> int:
+    """Write the full Chrome trace JSON object; returns the event count.
+
+    The JSON-object form (``{"traceEvents": [...]}``) is used rather
+    than the bare array so metadata fields are legal and the file is
+    self-describing.
+    """
+    payload_events = chrome_trace_events(trace_events)
+    document = {
+        "traceEvents": payload_events,
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "source": "repro",
+            "time_unit": "1 trace us == 1 simulated cycle",
+        },
+    }
+    if hasattr(destination, "write"):
+        json.dump(document, destination)  # type: ignore[arg-type]
+    else:
+        with open(destination, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+    return len(payload_events)

@@ -1,0 +1,225 @@
+"""Stall-source diagnosis: where do a design point's load cycles go?
+
+``python -m repro diagnose <benchmark>`` re-simulates representative
+design points from Figures 4-7 with latency attribution enabled and
+ranks each point's stall sources, producing the paper-style narrative
+("banked-4: 31% of load cycles lost to bank conflicts -- cf. Fig. 5")
+plus the full per-component breakdown table.
+
+Runs go through :func:`repro.core.experiment._simulate` directly
+rather than the execution engine: a memoized or stored result from an
+unattributed run would carry no attribution metrics, and diagnosis
+must never pollute the shared result store with attribution-enabled
+entries either.  Attribution does not perturb timing (the golden suite
+pins that), so the IPCs printed here match the cached figures exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import experiment
+from repro.core.organizations import (
+    KB,
+    CacheOrganization,
+    banked,
+    dram_cache,
+    duplicate,
+    ideal_ports,
+)
+from repro.core.reporting import format_table
+from repro.observability import attribution
+from repro.workloads.catalog import benchmark as benchmark_spec
+
+#: Human labels for the narrative lines.
+COMPONENT_LABELS = {
+    "port_wait": "port contention",
+    "bank_conflict": "bank conflicts",
+    "l1_access": "L1 access",
+    "line_buffer": "line-buffer hits",
+    "mshr_wait": "MSHR exhaustion",
+    "mshr_merge": "in-flight miss waits",
+    "victim_swap": "victim-cache swaps",
+    "l2_access": "L2 access",
+    "bus_queue": "bus queueing",
+    "bus_transfer": "bus transfers",
+    "dram_bank_wait": "DRAM bank waits",
+    "dram_access": "DRAM array access",
+    "memory": "main-memory latency",
+}
+
+
+def _design_points() -> tuple[tuple[str, str, CacheOrganization], ...]:
+    """(label, paper figure, organization) for the diagnosed points."""
+    return (
+        ("ideal-2p", "Fig. 4", ideal_ports(32 * KB, ports=2)),
+        # The single-banked point makes Figure 5's serialization
+        # argument vivid: every concurrent access conflicts.
+        ("banked-1", "Fig. 5", banked(32 * KB, banks=1)),
+        ("banked-4", "Fig. 5", banked(32 * KB, banks=4)),
+        ("banked-8", "Fig. 5", banked(32 * KB, banks=8)),
+        ("duplicate", "Fig. 6", duplicate(32 * KB)),
+        ("duplicate+lb", "Fig. 6", duplicate(32 * KB, line_buffer=True)),
+        ("dram+lb", "Fig. 7", dram_cache(line_buffer=True)),
+    )
+
+
+@dataclass(frozen=True)
+class PointDiagnosis:
+    """Attribution summary of one design point on one benchmark."""
+
+    label: str
+    figure: str
+    organization: str
+    ipc: float
+    loads: int
+    load_cycles: int
+    p50: float
+    p95: float
+    p99: float
+    components: dict  #: component -> critical-path cycles
+    outcomes: dict  #: outcome -> access count
+
+    def stall_ranking(self) -> list[tuple[str, int]]:
+        """Non-base components by cycles, heaviest first."""
+        stalls = [
+            (name, cycles)
+            for name, cycles in self.components.items()
+            if name not in attribution.BASE_COMPONENTS and cycles > 0
+        ]
+        return sorted(stalls, key=lambda item: (-item[1], item[0]))
+
+    def dominant_stall(self) -> tuple[str, float] | None:
+        """The heaviest stall source and its share of all load cycles."""
+        ranking = self.stall_ranking()
+        if not ranking or not self.load_cycles:
+            return None
+        name, cycles = ranking[0]
+        return name, cycles / self.load_cycles
+
+
+def diagnose_design_point(
+    label: str,
+    figure: str,
+    organization: CacheOrganization,
+    benchmark: str,
+    settings: "experiment.ExperimentSettings",
+) -> PointDiagnosis:
+    """One attributed simulation, summarized."""
+    spec = benchmark_spec(benchmark)
+    with attribution.attributing():
+        result = experiment._simulate(organization, spec, settings.scaled())
+    metrics = result.metrics
+    prefix = "attribution.component."
+    components = {
+        name[len(prefix):-len(".cycles")]: cycles
+        for name, cycles in metrics.items()
+        if name.startswith(prefix) and name.endswith(".cycles")
+    }
+    out_prefix = "attribution.outcome."
+    outcomes = {
+        name[len(out_prefix):-len(".loads")]: count
+        for name, count in metrics.items()
+        if name.startswith(out_prefix) and name.endswith(".loads")
+    }
+    return PointDiagnosis(
+        label=label,
+        figure=figure,
+        organization=organization.label,
+        ipc=result.ipc,
+        loads=int(metrics.get("attribution.loads", 0)),
+        load_cycles=int(metrics.get("attribution.latency.cycles", 0)),
+        p50=float(metrics.get("attribution.latency.p50", 0.0)),
+        p95=float(metrics.get("attribution.latency.p95", 0.0)),
+        p99=float(metrics.get("attribution.latency.p99", 0.0)),
+        components=components,
+        outcomes=outcomes,
+    )
+
+
+def diagnose_benchmark(
+    benchmark: str,
+    settings: "experiment.ExperimentSettings | None" = None,
+    points: "tuple[tuple[str, str, CacheOrganization], ...] | None" = None,
+) -> list[PointDiagnosis]:
+    """Diagnose every design point (Figures 4-7) on one benchmark."""
+    if settings is None:
+        settings = experiment.ExperimentSettings()
+    if points is None:
+        points = _design_points()
+    return [
+        diagnose_design_point(label, figure, organization, benchmark, settings)
+        for label, figure, organization in points
+    ]
+
+
+def narrative_line(diagnosis: PointDiagnosis) -> str:
+    """One paper-style sentence naming the dominant stall source."""
+    dominant = diagnosis.dominant_stall()
+    if dominant is None:
+        return (
+            f"{diagnosis.label}: no stall cycles beyond the base "
+            f"access time -- cf. {diagnosis.figure}"
+        )
+    name, share = dominant
+    return (
+        f"{diagnosis.label}: {share:.0%} of load cycles lost to "
+        f"{COMPONENT_LABELS.get(name, name)} -- cf. {diagnosis.figure}"
+    )
+
+
+def render_diagnosis(diagnoses: list[PointDiagnosis], benchmark: str) -> str:
+    """The full ``repro diagnose`` report for one benchmark."""
+    summary_rows = []
+    for diagnosis in diagnoses:
+        dominant = diagnosis.dominant_stall()
+        if dominant is None:
+            dominant_text, share_text = "-", "-"
+        else:
+            dominant_text = COMPONENT_LABELS.get(dominant[0], dominant[0])
+            share_text = f"{dominant[1]:.1%}"
+        average = (
+            diagnosis.load_cycles / diagnosis.loads if diagnosis.loads else 0.0
+        )
+        summary_rows.append(
+            [
+                diagnosis.label,
+                diagnosis.figure,
+                f"{diagnosis.ipc:.3f}",
+                f"{average:.2f}",
+                f"{diagnosis.p95:.1f}",
+                dominant_text,
+                share_text,
+            ]
+        )
+    blocks = [
+        format_table(
+            ["design point", "figure", "IPC", "avg ld cyc", "p95", "dominant stall", "share"],
+            summary_rows,
+            f"Stall-source diagnosis: {benchmark}",
+        ),
+        "",
+        "\n".join(narrative_line(diagnosis) for diagnosis in diagnoses),
+    ]
+    breakdown_rows = []
+    for diagnosis in diagnoses:
+        for name, cycles in diagnosis.stall_ranking():
+            share = cycles / diagnosis.load_cycles if diagnosis.load_cycles else 0.0
+            breakdown_rows.append(
+                [
+                    diagnosis.label,
+                    COMPONENT_LABELS.get(name, name),
+                    f"{cycles}",
+                    f"{share:.1%}",
+                ]
+            )
+    if breakdown_rows:
+        blocks += [
+            "",
+            format_table(
+                ["design point", "stall source", "cycles", "% of load cycles"],
+                breakdown_rows,
+                "Critical-path breakdown (stall components only)",
+            ),
+        ]
+    return "\n".join(blocks)

@@ -20,6 +20,8 @@ from __future__ import annotations
 import time
 from typing import TYPE_CHECKING
 
+from repro.observability import trace
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cpu.result import SimulationResult
     from repro.memory.hierarchy import MemorySystem
@@ -277,4 +279,13 @@ def snapshot_simulation(
         mispredictions=result.branches.mispredictions,
     )
     snapshot_memory_system(memory, registry)
-    return registry.to_dict()
+    out = registry.to_dict()
+    if memory.attribution is not None:
+        out.update(memory.attribution.to_metrics())
+    tracer = trace._ACTIVE
+    if tracer is not None and tracer.dropped:
+        # Recorded only when events were actually lost, so results are
+        # serialization-identical with and without (non-overflowing)
+        # tracing -- but a truncated trace is never silently truncated.
+        out["trace.dropped_events"] = tracer.dropped
+    return dict(sorted(out.items()))

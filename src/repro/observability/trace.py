@@ -6,7 +6,7 @@ engine consult the module-level active tracer and do nothing when none
 is installed.  The disabled path is a single ``is None`` check (in the
 hottest loops the check is hoisted out of the loop entirely), so
 simulations with tracing off pay effectively nothing -- the overhead
-guarantee DESIGN.md section 9 states and ``bench_engine.py`` measures.
+guarantee DESIGN.md section 9 states and ``bench_suite.py`` measures.
 
 Captured events land in a bounded ring buffer (a ``deque`` with
 ``maxlen``), so an arbitrarily long simulation traces in O(capacity)
@@ -88,6 +88,20 @@ class Tracer:
 
     def __len__(self) -> int:
         return len(self._ring)
+
+
+def open_sink(path: str) -> IO[str]:
+    """Open a JSONL sink for writing; ``*.gz`` paths are gzipped.
+
+    Full-length traces run to hundreds of MB of JSON lines, and gzip
+    shrinks the highly repetitive stream ~20x, so both ``REPRO_TRACE``
+    and ``--trace-out`` accept a ``.gz`` suffix and route through here.
+    """
+    if str(path).endswith(".gz"):
+        import gzip
+
+        return gzip.open(path, "wt", encoding="utf-8")
+    return open(path, "w", encoding="utf-8")
 
 
 #: The process-wide active tracer; ``None`` means tracing is disabled.

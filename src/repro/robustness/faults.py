@@ -70,12 +70,14 @@ def inject_stuck_mshr(memory: "MemorySystem", *, after_fills: int = 1) -> None:
     original = mshrs.complete
     fills = 0
 
-    def stuck_complete(line: int, fill_cycle: int) -> None:
+    def stuck_complete(
+        line: int, fill_cycle: int, alloc_cycle: int | None = None
+    ) -> None:
         nonlocal fills
         fills += 1
         if fills >= after_fills:
             fill_cycle = FAR_FUTURE
-        original(line, fill_cycle)
+        original(line, fill_cycle, alloc_cycle=alloc_cycle)
 
     mshrs.complete = stuck_complete  # type: ignore[method-assign]
 

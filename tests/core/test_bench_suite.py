@@ -1,0 +1,138 @@
+"""Unit tests for the perf-regression comparator in bench_suite.py.
+
+Only the pure comparison logic runs here -- ``measure()`` costs minutes
+of wall clock and belongs to the CI perf job, not the test suite.  The
+module lives outside the package, so it is loaded by file path.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+_SUITE_PATH = (
+    Path(__file__).resolve().parents[2] / "benchmarks" / "bench_suite.py"
+)
+_spec = importlib.util.spec_from_file_location("bench_suite", _SUITE_PATH)
+bench_suite = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_suite)
+
+
+def _payload(
+    headline=10.0,
+    tracing=11.0,
+    attribution=11.3,
+    overhead=0.03,
+    scale=0.5,
+    schema=bench_suite.BENCH_SCHEMA,
+):
+    return {
+        "schema": schema,
+        "command": "python -m repro headlines --jobs 1",
+        "scale": scale,
+        "headline": {"mean_seconds": headline},
+        "tracing": {"mean_seconds": tracing},
+        "attribution": {
+            "mean_seconds": attribution,
+            "overhead_vs_tracing": overhead,
+        },
+    }
+
+
+class TestComparePayloads:
+    def test_identical_payloads_pass(self):
+        assert bench_suite.compare_payloads(_payload(), _payload()) == []
+
+    def test_within_tolerance_passes(self):
+        fresh = _payload(headline=11.4)  # +14% < 15%
+        assert bench_suite.compare_payloads(fresh, _payload()) == []
+
+    def test_regression_beyond_tolerance_fails(self):
+        fresh = _payload(headline=11.6)  # +16% > 15%
+        failures = bench_suite.compare_payloads(fresh, _payload())
+        assert len(failures) == 1
+        assert "headline regressed" in failures[0]
+
+    def test_each_mode_is_gated(self):
+        fresh = _payload(headline=12.0, tracing=13.0, attribution=13.5)
+        failures = bench_suite.compare_payloads(fresh, _payload())
+        assert [failure.split()[0] for failure in failures] == [
+            "headline",
+            "tracing",
+            "attribution",
+        ]
+
+    def test_custom_tolerance(self):
+        fresh = _payload(headline=11.4)
+        failures = bench_suite.compare_payloads(
+            fresh, _payload(), tolerance=0.10
+        )
+        assert failures and ">10%" in failures[0]
+
+    def test_attribution_gate_is_absolute(self):
+        # Overhead is judged on the fresh run alone, even when wall
+        # clocks beat the baseline.
+        fresh = _payload(headline=9.0, tracing=9.5, attribution=10.2, overhead=0.07)
+        failures = bench_suite.compare_payloads(fresh, _payload())
+        assert len(failures) == 1
+        assert "attribution overhead" in failures[0]
+        assert "5% gate" in failures[0]
+
+    def test_faster_runs_never_fail(self):
+        fresh = _payload(headline=5.0, tracing=5.5, attribution=5.6, overhead=0.02)
+        assert bench_suite.compare_payloads(fresh, _payload()) == []
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"scale": 1.0},
+            {"schema": bench_suite.BENCH_SCHEMA + 1},
+        ],
+        ids=["scale", "schema"],
+    )
+    def test_parameter_mismatch_refuses_to_compare(self, kwargs):
+        failures = bench_suite.compare_payloads(_payload(), _payload(**kwargs))
+        assert len(failures) == 1
+        assert "baseline mismatch" in failures[0]
+        assert "regenerate the baseline" in failures[0]
+
+    def test_command_mismatch_refuses_to_compare(self):
+        baseline = _payload()
+        baseline["command"] = "python -m repro all"
+        failures = bench_suite.compare_payloads(_payload(), baseline)
+        assert failures and "command" in failures[0]
+
+    def test_mismatch_reported_before_timings(self):
+        # A mismatched baseline must short-circuit: comparing timings
+        # taken at different scales would be meaningless noise.
+        fresh = _payload(headline=99.0)
+        failures = bench_suite.compare_payloads(fresh, _payload(scale=1.0))
+        assert len(failures) == 1
+        assert "baseline mismatch" in failures[0]
+
+
+class TestModeStats:
+    def test_mean_and_stddev(self):
+        stats = bench_suite._mode_stats([10.0, 11.0, 12.0])
+        assert stats["mean_seconds"] == 11.0
+        assert stats["stddev_seconds"] == pytest.approx(0.816, abs=1e-3)
+        assert stats["samples"] == [10.0, 11.0, 12.0]
+
+    def test_single_sample_has_zero_stddev(self):
+        assert bench_suite._mode_stats([3.0])["stddev_seconds"] == 0.0
+
+
+class TestEnv:
+    def test_env_strips_trace_and_attribution(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_TRACE", "/tmp/leak.jsonl")
+        monkeypatch.setenv("REPRO_ATTRIBUTION", "1")
+        env = bench_suite._env(tmp_path, 0.5)
+        assert "REPRO_TRACE" not in env
+        assert "REPRO_ATTRIBUTION" not in env
+        assert env["REPRO_CACHE_DIR"] == str(tmp_path)
+
+    def test_env_extras_reapply(self, tmp_path):
+        env = bench_suite._env(tmp_path, 0.5, {"REPRO_ATTRIBUTION": "1"})
+        assert env["REPRO_ATTRIBUTION"] == "1"

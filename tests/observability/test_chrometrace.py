@@ -1,0 +1,134 @@
+"""Chrome trace-event export: schema validity, async pairing, JSONL I/O.
+
+The exported JSON has to load in Perfetto / chrome://tracing, so these
+tests parse the file back and hold it to the trace-event contract:
+every entry has a phase, complete slices have non-negative durations,
+async begin/end events pair up by (category, id), and metadata names
+every track before its first event.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import json
+
+import pytest
+
+from repro.core.experiment import ExperimentSettings, _simulate
+from repro.core.organizations import KB, banked, duplicate
+from repro.observability import trace
+from repro.observability.chrometrace import (
+    chrome_trace_events,
+    read_jsonl,
+    write_chrome_trace,
+)
+from repro.workloads.catalog import benchmark
+
+FAST = ExperimentSettings(
+    instructions=1_500, timing_warmup=300, functional_warmup=20_000
+)
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    with trace.tracing(capacity=500_000) as tracer:
+        _simulate(duplicate(32 * KB, line_buffer=True), benchmark("gcc"), FAST)
+    assert tracer.dropped == 0
+    return tracer.events()
+
+
+class TestChromeEvents:
+    def test_every_event_is_well_formed(self, traced_run):
+        for entry in chrome_trace_events(traced_run):
+            assert entry["ph"] in {"M", "X", "i", "b", "e"}
+            assert entry["pid"] == 1
+            if entry["ph"] == "M":
+                assert entry["name"] in {"process_name", "thread_name"}
+                continue
+            assert isinstance(entry["ts"], int) and entry["ts"] >= 0
+            assert entry["cat"]
+            if entry["ph"] == "X":
+                assert entry["dur"] >= 0
+
+    def test_metadata_precedes_all_events(self, traced_run):
+        entries = chrome_trace_events(traced_run)
+        named_tids = set()
+        for entry in entries:
+            if entry["ph"] == "M":
+                if entry["name"] == "thread_name":
+                    named_tids.add(entry["tid"])
+                continue
+            assert entry["tid"] in named_tids, f"unnamed track {entry['tid']}"
+
+    def test_async_pairs_balance(self, traced_run):
+        open_pairs: dict[tuple, int] = {}
+        for entry in chrome_trace_events(traced_run):
+            if entry["ph"] not in {"b", "e"}:
+                continue
+            key = (entry["cat"], entry["id"])
+            open_pairs[key] = open_pairs.get(key, 0) + (
+                1 if entry["ph"] == "b" else -1
+            )
+            assert open_pairs[key] >= 0, f"end before begin for {key}"
+        assert all(count == 0 for count in open_pairs.values())
+
+    def test_load_slices_cover_outcomes(self, traced_run):
+        slices = [
+            entry
+            for entry in chrome_trace_events(traced_run)
+            if entry["ph"] == "X" and entry["cat"] == "mem" and entry["tid"] == 2
+        ]
+        assert slices
+        assert {entry["name"] for entry in slices} <= {
+            "l1_hit",
+            "lb_hit",
+            "delayed_hit",
+            "victim_hit",
+            "miss_merged",
+            "miss_alloc",
+        }
+
+
+class TestWriteChromeTrace:
+    def test_written_file_parses_and_counts(self, traced_run, tmp_path):
+        destination = tmp_path / "run.trace.json"
+        count = write_chrome_trace(traced_run, destination)
+        document = json.loads(destination.read_text(encoding="utf-8"))
+        assert set(document) == {"traceEvents", "displayTimeUnit", "otherData"}
+        assert len(document["traceEvents"]) == count > 0
+
+    def test_accepts_file_like_destination(self, traced_run):
+        buffer = io.StringIO()
+        count = write_chrome_trace(traced_run, buffer)
+        assert len(json.loads(buffer.getvalue())["traceEvents"]) == count
+
+
+class TestJsonlRoundTrip:
+    def _sink_run(self, path):
+        sink = trace.open_sink(str(path))
+        try:
+            with trace.tracing(capacity=500_000, sink=sink) as tracer:
+                _simulate(banked(32 * KB, banks=4), benchmark("gcc"), FAST)
+        finally:
+            sink.close()
+        return tracer.events()
+
+    def test_gzip_jsonl_round_trips(self, tmp_path):
+        path = tmp_path / "events.jsonl.gz"
+        ring_events = self._sink_run(path)
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            assert sum(1 for _ in handle) == len(ring_events)
+        assert list(read_jsonl(path)) == ring_events
+
+    def test_plain_jsonl_round_trips(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        ring_events = self._sink_run(path)
+        assert list(read_jsonl(path)) == ring_events
+
+    def test_export_from_file_matches_export_from_ring(self, tmp_path):
+        path = tmp_path / "events.jsonl.gz"
+        ring_events = self._sink_run(path)
+        assert chrome_trace_events(read_jsonl(path)) == chrome_trace_events(
+            ring_events
+        )

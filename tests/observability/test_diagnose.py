@@ -1,0 +1,111 @@
+"""Stall-source diagnosis: rankings, narratives, and the Fig. 5 story.
+
+The acceptance-level claim: on a banked Figure-5 design point the
+diagnosis names bank conflicts as the dominant stall source, in a
+paper-style sentence citing the figure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.experiment import ExperimentSettings
+from repro.core.organizations import KB, banked, ideal_ports
+from repro.observability.diagnose import (
+    COMPONENT_LABELS,
+    PointDiagnosis,
+    _design_points,
+    diagnose_design_point,
+    narrative_line,
+    render_diagnosis,
+)
+
+FAST = ExperimentSettings(
+    instructions=1_500, timing_warmup=300, functional_warmup=20_000
+)
+
+
+@pytest.fixture(scope="module")
+def banked_diagnosis():
+    return diagnose_design_point(
+        "banked-1", "Fig. 5", banked(32 * KB, banks=1), "tomcatv", FAST
+    )
+
+
+class TestBankedFigure5:
+    def test_bank_conflicts_dominate(self, banked_diagnosis):
+        dominant = banked_diagnosis.dominant_stall()
+        assert dominant is not None
+        name, share = dominant
+        assert name == "bank_conflict"
+        assert 0.0 < share < 1.0
+
+    def test_narrative_cites_the_figure(self, banked_diagnosis):
+        line = narrative_line(banked_diagnosis)
+        assert line.startswith("banked-1: ")
+        assert "% of load cycles lost to bank conflicts" in line
+        assert line.endswith("-- cf. Fig. 5")
+
+    def test_ranking_is_sorted_and_stall_only(self, banked_diagnosis):
+        ranking = banked_diagnosis.stall_ranking()
+        assert ranking
+        cycles = [count for _, count in ranking]
+        assert cycles == sorted(cycles, reverse=True)
+        assert all(count > 0 for count in cycles)
+        names = [name for name, _ in ranking]
+        assert "l1_access" not in names
+        assert "line_buffer" not in names
+
+
+class TestDiagnoseMechanics:
+    def test_attribution_left_disabled_afterwards(self, banked_diagnosis):
+        from repro.observability import attribution
+
+        assert not attribution.enabled()
+
+    def test_components_reconcile_with_load_cycles(self, banked_diagnosis):
+        assert (
+            sum(banked_diagnosis.components.values())
+            == banked_diagnosis.load_cycles
+        )
+        assert sum(banked_diagnosis.outcomes.values()) == banked_diagnosis.loads
+
+    def test_design_points_cover_figures_4_to_7(self):
+        figures = {figure for _, figure, _ in _design_points()}
+        assert figures == {"Fig. 4", "Fig. 5", "Fig. 6", "Fig. 7"}
+        labels = [label for label, _, _ in _design_points()]
+        assert len(labels) == len(set(labels))
+
+    def test_every_component_has_a_label(self):
+        from repro.observability.attribution import COMPONENTS
+
+        assert set(COMPONENT_LABELS) == set(COMPONENTS)
+
+
+class TestRendering:
+    def test_render_contains_tables_and_narratives(self, banked_diagnosis):
+        ideal = diagnose_design_point(
+            "ideal-2p", "Fig. 4", ideal_ports(32 * KB, ports=2), "tomcatv", FAST
+        )
+        report = render_diagnosis([ideal, banked_diagnosis], "tomcatv")
+        assert "Stall-source diagnosis: tomcatv" in report
+        assert "Critical-path breakdown" in report
+        assert "cf. Fig. 5" in report
+        assert "bank conflicts" in report
+
+    def test_no_stall_narrative(self):
+        diagnosis = PointDiagnosis(
+            label="ideal",
+            figure="Fig. 4",
+            organization="ideal",
+            ipc=2.0,
+            loads=10,
+            load_cycles=10,
+            p50=1.0,
+            p95=1.0,
+            p99=1.0,
+            components={"l1_access": 10},
+            outcomes={"l1_hit": 10},
+        )
+        assert diagnosis.dominant_stall() is None
+        assert "no stall cycles" in narrative_line(diagnosis)
