@@ -14,12 +14,18 @@ emits ``BENCH_repro.json`` at the repo root:
   (``REPRO_TRACE``), quantifying what the event stream costs when on;
 * **attribution** -- tracing plus ``REPRO_ATTRIBUTION=1``: the
   per-load critical-path accounting must stay within a few percent of
-  tracing alone (the <5% acceptance gate).
+  tracing alone (the <5% acceptance gate);
+* **telemetry** -- ``--progress --serve-metrics 0``: live heartbeats,
+  the progress display, and the /metrics endpoint all on, gated at
+  <10% over the plain headline run (and the headline mode itself
+  proves telemetry *off* costs nothing, since it never installs a
+  beacon or hub).
 
 ``--check [BASELINE]`` re-measures and compares against the committed
 baseline (default: the repo-root ``BENCH_repro.json``), failing with
-exit 1 on a >15% wall-clock regression (``--tolerance``) or on
-attribution overhead above 5% -- the CI perf job's gate.
+exit 1 on a >15% wall-clock regression (``--tolerance``), attribution
+overhead above 5%, or telemetry overhead above 10% -- the CI perf
+job's gates.
 
 Usage::
 
@@ -54,6 +60,10 @@ DEFAULT_TOLERANCE = 0.15
 
 #: Attribution may cost at most this much on top of tracing alone.
 ATTRIBUTION_GATE = 0.05
+
+#: Live telemetry (heartbeats + progress + /metrics) may cost at most
+#: this much on top of the plain headline run.
+TELEMETRY_GATE = 0.10
 
 
 def _strip_timing(output: str) -> str:
@@ -93,11 +103,15 @@ def _run_all(jobs: int, cache_dir: Path, scale: float) -> tuple[float, str]:
 
 
 def _run_headlines(
-    cache_dir: Path, scale: float, extra_env: dict[str, str] | None = None
+    cache_dir: Path,
+    scale: float,
+    extra_env: dict[str, str] | None = None,
+    extra_args: list[str] | None = None,
 ) -> float:
     start = time.perf_counter()
     proc = subprocess.run(
-        [sys.executable, "-m", "repro", "headlines", "--jobs", "1"],
+        [sys.executable, "-m", "repro", "headlines", "--jobs", "1"]
+        + (extra_args or []),
         env=_env(cache_dir, scale, extra_env),
         cwd=REPO,
         capture_output=True,
@@ -137,6 +151,7 @@ def measure(jobs: int, scale: float, repeats: int) -> dict:
         headline: list[float] = []
         tracing: list[float] = []
         attribution: list[float] = []
+        telemetry: list[float] = []
         for repeat in range(repeats):
             base = tmp_path / f"repeat{repeat}"
             trace_path = base / "events.jsonl.gz"
@@ -158,10 +173,22 @@ def measure(jobs: int, scale: float, repeats: int) -> dict:
                     },
                 )
             )
+            telemetry.append(
+                _run_headlines(
+                    base / "telemetered",
+                    scale,
+                    extra_args=["--progress", "--serve-metrics", "0"],
+                )
+            )
 
     headline_stats = _mode_stats(headline)
     tracing_stats = _mode_stats(tracing)
     attribution_stats = _mode_stats(attribution)
+    telemetry_stats = _mode_stats(telemetry)
+    telemetry_stats["overhead_vs_headline"] = round(
+        telemetry_stats["mean_seconds"] / headline_stats["mean_seconds"] - 1.0,
+        3,
+    )
     tracing_stats["overhead_vs_headline"] = round(
         tracing_stats["mean_seconds"] / headline_stats["mean_seconds"] - 1.0, 3
     )
@@ -178,6 +205,7 @@ def measure(jobs: int, scale: float, repeats: int) -> dict:
         "headline": headline_stats,
         "tracing": tracing_stats,
         "attribution": attribution_stats,
+        "telemetry": telemetry_stats,
         "engine": {
             "command": "python -m repro all",
             "serial_seconds": round(serial_seconds, 2),
@@ -195,13 +223,15 @@ def compare_payloads(
     baseline: dict,
     tolerance: float = DEFAULT_TOLERANCE,
     attribution_gate: float = ATTRIBUTION_GATE,
+    telemetry_gate: float = TELEMETRY_GATE,
 ) -> list[str]:
     """Regression check; returns human-readable failures (empty == pass).
 
     Wall-clock means are compared mode by mode against the baseline
-    with a relative ``tolerance``; the attribution-over-tracing
-    overhead is an absolute property of the fresh run, gated at
-    ``attribution_gate`` regardless of what the baseline recorded.
+    with a relative ``tolerance``; the attribution-over-tracing and
+    telemetry-over-headline overheads are absolute properties of the
+    fresh run, gated regardless of what the baseline recorded (so a
+    baseline from before the telemetry mode existed still compares).
     """
     failures: list[str] = []
     for field in ("schema", "scale", "command"):
@@ -227,6 +257,12 @@ def compare_payloads(
         failures.append(
             f"attribution overhead {overhead:.1%} vs tracing exceeds "
             f"the {attribution_gate:.0%} gate"
+        )
+    telemetry_overhead = fresh.get("telemetry", {}).get("overhead_vs_headline")
+    if telemetry_overhead is not None and telemetry_overhead > telemetry_gate:
+        failures.append(
+            f"telemetry overhead {telemetry_overhead:.1%} vs headline "
+            f"exceeds the {telemetry_gate:.0%} gate"
         )
     return failures
 
@@ -282,7 +318,8 @@ def main() -> int:
             return 1
         print(
             f"perf check passed (tolerance {args.tolerance:.0%}, "
-            f"attribution gate {ATTRIBUTION_GATE:.0%})"
+            f"attribution gate {ATTRIBUTION_GATE:.0%}, "
+            f"telemetry gate {TELEMETRY_GATE:.0%})"
         )
     return 0
 

@@ -6,6 +6,7 @@ Usage::
     python -m repro figure4 --benchmarks gcc tomcatv
     python -m repro figure9 --instructions 20000
     python -m repro headlines --jobs 4
+    python -m repro figure8 --jobs 4 --progress --serve-metrics 9100
     python -m repro all
     python -m repro cache info
     python -m repro cache clear
@@ -13,8 +14,12 @@ Usage::
     python -m repro trace gcc --format chrome
     python -m repro trace --from-jsonl gcc.jsonl.gz --format chrome
     python -m repro metrics gcc
+    python -m repro metrics gcc --format json
     python -m repro diagnose tomcatv
     python -m repro figure4 --profile
+    python -m repro runs list
+    python -m repro runs show last
+    python -m repro runs compare
 
 Instruction budgets can also be scaled globally with ``REPRO_SCALE``.
 Results persist in ``.repro-cache/`` (override with ``--cache-dir`` or
@@ -33,6 +38,17 @@ events/second for any experiment run.  Setting ``REPRO_TRACE=<path>``
 streams every event of any command to ``<path>`` as JSON lines
 (gzipped when the path ends in ``.gz``); ``--attribution`` adds exact
 per-load critical-path metrics to trace/metrics runs.
+
+Live telemetry: during any figure/sweep run, ``--progress`` renders a
+live per-point status display with ETA (auto-enabled on a TTY;
+``--no-progress`` forces it off) and ``--serve-metrics PORT`` starts a
+background HTTP thread exposing Prometheus text-format ``/metrics``
+plus ``/healthz`` while the sweep is in flight.  Every ``execute()``
+against the persistent store also appends a record to the run ledger
+(``.repro-cache/runs.jsonl``); ``runs list`` shows the history,
+``runs show [ref]`` one record, and ``runs compare [a] [b]`` diffs two
+runs' per-point metrics, flagging any drift beyond ``--rel-tol``
+(default 0.0 -- the golden suite's exact-agreement bar).
 """
 
 from __future__ import annotations
@@ -175,6 +191,29 @@ def _validated_benchmarks(
     return resolved
 
 
+def _resolve_format(
+    parser: argparse.ArgumentParser,
+    raw: str | None,
+    *,
+    verb: str,
+    allowed: tuple[str, ...],
+) -> str:
+    """Per-verb ``--format`` validation: case-insensitive, one-line error.
+
+    The first entry of ``allowed`` is the default when the flag is
+    absent.
+    """
+    if raw is None:
+        return allowed[0]
+    lowered = raw.lower()
+    if lowered not in allowed:
+        parser.error(
+            f"unknown {verb} format {raw!r}; choose from: "
+            + ", ".join(sorted(allowed))
+        )
+    return lowered
+
+
 def _recommended_organization():
     """The paper's recommended design point (section 4): a dual-copy
     32 KB cache with a line buffer."""
@@ -183,15 +222,23 @@ def _recommended_organization():
     return duplicate(32 * KB, line_buffer=True)
 
 
-def _warn_dropped(tracer) -> None:
-    """Satellite guarantee: a truncated trace is never silent."""
-    if tracer.dropped:
-        print(
-            f"warning: ring overflowed -- {tracer.dropped} event(s) dropped; "
-            "analyses of this trace are truncated "
-            "(raise --trace-limit or use --trace-out for the full stream)",
-            file=sys.stderr,
-        )
+def _warn_overflow(tracer) -> None:
+    """A truncated trace is never silent -- but the warning fires once
+    per run with the final totals, not once per design point.
+
+    Counting-only tracers (capacity 0, the ``--profile`` mode) retain
+    nothing by design, so they never count as overflow.
+    """
+    if tracer.capacity <= 0 or not tracer.dropped:
+        return
+    points = max(tracer.overflow_points, 1)
+    print(
+        f"warning: ring overflowed on {points} design point(s) -- "
+        f"{tracer.dropped} event(s) dropped in total; analyses of this "
+        "trace are truncated "
+        "(raise --trace-limit or use --trace-out for the full stream)",
+        file=sys.stderr,
+    )
 
 
 def _convert_jsonl(args: argparse.Namespace) -> int:
@@ -228,7 +275,7 @@ def _trace_command(args: argparse.Namespace) -> int:
             stack.enter_context(attributing())
         with tracing(capacity=args.trace_limit, sink=sink) as tracer:
             result = run_experiment(organization, benchmark, _settings(args))
-    _warn_dropped(tracer)
+    _warn_overflow(tracer)
     print(f"traced {organization.label} on {benchmark}: {result.summary()}")
     print()
     rows = [
@@ -261,6 +308,24 @@ def _trace_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_json(payload) -> None:
+    """The one JSON rendering both ``metrics`` and ``runs`` share:
+    sorted keys, two-space indent, NaN-free (gaps are ``null``)."""
+    import json
+    import math
+
+    def clean(value):
+        if isinstance(value, float) and not math.isfinite(value):
+            return None
+        if isinstance(value, dict):
+            return {key: clean(item) for key, item in value.items()}
+        if isinstance(value, list):
+            return [clean(item) for item in value]
+        return value
+
+    print(json.dumps(clean(payload), indent=2, sort_keys=True))
+
+
 def _metrics_command(args: argparse.Namespace) -> int:
     """``python -m repro metrics [benchmark]``: every named counter."""
     from contextlib import ExitStack
@@ -281,6 +346,20 @@ def _metrics_command(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 3
+    if args.metrics_format == "json":
+        _print_json(
+            {
+                "organization": organization.label,
+                "benchmark": benchmark,
+                "summary": {
+                    "ipc": result.ipc,
+                    "instructions": result.instructions,
+                    "cycles": result.cycles,
+                },
+                "metrics": dict(result.metrics),
+            }
+        )
+        return 0
     rows = [[name, f"{value}"] for name, value in result.metrics.items()]
     print(
         reporting.format_table(
@@ -316,10 +395,216 @@ def _cache_command(action: str, cache_dir: str | None) -> int:
             f"({info['current_schema_entries']} at the current schema)"
         )
         print(f"size:            {info['bytes']} bytes")
+        ledger = info["ledger"]
+        if ledger["runs"]:
+            print(
+                f"run ledger:      {ledger['runs']} run(s), "
+                f"last {ledger['last_run_id']} at {ledger['last_time_utc']}, "
+                f"{ledger['bytes']} bytes"
+            )
+        else:
+            print("run ledger:      no runs recorded")
         return 0
     removed = store.clear()
+    # Run history survives a cache clear on purpose: the ledger is what
+    # post-clear runs are compared against.
     print(f"removed {removed} cached result(s) from {store.root}")
     return 0
+
+
+# ---------------------------------------------------------------------------
+# The run-ledger verbs: repro runs {list,show,compare}
+# ---------------------------------------------------------------------------
+
+
+def _run_summary_row(record: dict) -> list[str]:
+    summary = record.get("summary", {})
+    cached = summary.get("memo", 0) + summary.get("store", 0)
+    outcome_bits = [f"{summary.get('simulated', 0)} sim"]
+    if cached:
+        outcome_bits.append(f"{cached} cached")
+    if summary.get("recovered"):
+        outcome_bits.append(f"{summary['recovered']} recovered")
+    if summary.get("gaps"):
+        outcome_bits.append(f"{summary['gaps']} gaps")
+    mean_ipc = summary.get("mean_ipc")
+    return [
+        record.get("run_id", "?"),
+        record.get("time_utc", "?"),
+        f"{summary.get('points', 0)}",
+        ", ".join(outcome_bits),
+        f"{mean_ipc:.3f}" if mean_ipc is not None else "-",
+        f"{record.get('wall_seconds', 0.0):.1f}s",
+        f"{record.get('jobs', 1)}",
+    ]
+
+
+def _runs_list(ledger, fmt: str) -> int:
+    records = ledger.records()
+    if fmt == "json":
+        _print_json(
+            [
+                {key: value for key, value in record.items() if key != "points"}
+                for record in records
+            ]
+        )
+        return 0
+    if not records:
+        print(f"no runs recorded yet ({ledger.path} is empty)")
+        return 0
+    rows = [_run_summary_row(record) for record in records]
+    print(
+        reporting.format_table(
+            ["run", "time (UTC)", "points", "outcomes", "mean IPC", "wall", "jobs"],
+            rows,
+            f"Run ledger: {ledger.path}",
+        )
+    )
+    return 0
+
+
+def _runs_show(ledger, ref: str, fmt: str, parser) -> int:
+    record = ledger.resolve(ref)
+    if record is None:
+        parser.error(
+            f"no run matches {ref!r} in {ledger.path} "
+            "(use an index, a run id or prefix, or 'last')"
+        )
+    if fmt == "json":
+        _print_json(record)
+        return 0
+    summary = record.get("summary", {})
+    print(f"run:          {record.get('run_id', '?')}")
+    print(f"time (UTC):   {record.get('time_utc', '?')}")
+    print(f"plan digest:  {record.get('plan_digest', '?')[:16]}")
+    print(
+        f"schema:       ledger v{record.get('schema', '?')}, "
+        f"store v{record.get('store_schema', '?')}, "
+        f"scale {record.get('scale', 1.0)}"
+    )
+    print(
+        f"execution:    {record.get('jobs', 1)} job(s), "
+        f"{record.get('wall_seconds', 0.0):.1f}s wall clock"
+    )
+    mean_ipc = summary.get("mean_ipc")
+    print(f"mean IPC:     {f'{mean_ipc:.4f}' if mean_ipc is not None else '-'}")
+    rows = [
+        [
+            row.get("label", "?"),
+            row.get("outcome", "?"),
+            f"{row['ipc']:.4f}" if row.get("ipc") is not None else "gap",
+            f"{row.get('instructions', 0)}",
+            f"{row.get('cycles', 0)}",
+        ]
+        for row in record.get("points", [])
+    ]
+    print()
+    print(
+        reporting.format_table(
+            ["design point", "outcome", "IPC", "instructions", "cycles"],
+            rows,
+            f"{summary.get('points', len(rows))} design point(s)",
+        )
+    )
+    return 0
+
+
+def _runs_compare(ledger, refs: list[str], rel_tol: float, fmt: str, parser) -> int:
+    from repro.engine.ledger import compare_runs
+
+    if len(refs) > 2:
+        parser.error("'runs compare' takes at most two run references")
+    if len(refs) == 2:
+        record_a = ledger.resolve(refs[0])
+        record_b = ledger.resolve(refs[1])
+        if record_a is None or record_b is None:
+            missing = refs[0] if record_a is None else refs[1]
+            parser.error(f"no run matches {missing!r} in {ledger.path}")
+    else:
+        record_b = ledger.resolve(refs[0] if refs else "last")
+        if record_b is None:
+            parser.error(
+                f"nothing to compare: no runs recorded in {ledger.path}"
+            )
+        record_a = ledger.previous_of_same_plan(record_b)
+        if record_a is None:
+            print(
+                f"nothing to compare: {record_b.get('run_id', '?')} is the "
+                "only recorded run of its plan "
+                "(run the same figure again, or name two runs explicitly)",
+                file=sys.stderr,
+            )
+            return 2
+    comparison = compare_runs(record_a, record_b, rel_tol=rel_tol)
+    if fmt == "json":
+        _print_json(
+            {
+                "run_a": comparison.run_a,
+                "run_b": comparison.run_b,
+                "same_plan": comparison.same_plan,
+                "matched_points": comparison.matched_points,
+                "clean": comparison.clean,
+                "rel_tol": rel_tol,
+                "drifts": [
+                    {
+                        "label": drift.label,
+                        "metric": drift.metric,
+                        "value_a": drift.value_a,
+                        "value_b": drift.value_b,
+                    }
+                    for drift in comparison.drifts
+                ],
+                "only_in_a": comparison.only_in_a,
+                "only_in_b": comparison.only_in_b,
+            }
+        )
+        return 0 if comparison.clean else 3
+    print(f"comparing {comparison.run_a} (older) -> {comparison.run_b} (newer)")
+    if not comparison.same_plan:
+        print(
+            "note: the runs executed different plans; "
+            "only shared design points are compared",
+            file=sys.stderr,
+        )
+    for label in comparison.only_in_a:
+        print(f"  only in {comparison.run_a}: {label}")
+    for label in comparison.only_in_b:
+        print(f"  only in {comparison.run_b}: {label}")
+    for drift in comparison.drifts:
+        print(f"  DRIFT {drift.render()}")
+    if comparison.clean:
+        print(
+            f"no drift: {comparison.matched_points} design point(s) agree "
+            f"on every compared metric (rel_tol={rel_tol})"
+        )
+        return 0
+    print(
+        f"{len(comparison.drifts)} drifting metric(s) across "
+        f"{comparison.matched_points} shared design point(s) "
+        f"(rel_tol={rel_tol})",
+        file=sys.stderr,
+    )
+    return 3
+
+
+def _runs_command(args: argparse.Namespace, parser) -> int:
+    """``python -m repro runs {list,show,compare}`` against the ledger."""
+    ledger = ResultStore(args.cache_dir).ledger()
+    action = args.action or "list"
+    if action == "list":
+        if args.refs:
+            parser.error(f"unexpected extra argument {args.refs[0]!r}")
+        return _runs_list(ledger, args.runs_format)
+    if action == "show":
+        if len(args.refs) > 1:
+            parser.error("'runs show' takes at most one run reference")
+        ref = args.refs[0] if args.refs else "last"
+        return _runs_show(ledger, ref, args.runs_format, parser)
+    if action == "compare":
+        return _runs_compare(
+            ledger, args.refs, args.rel_tol, args.runs_format, parser
+        )
+    parser.error("'runs' takes an action: list, show, or compare")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -331,6 +616,9 @@ def main(argv: list[str] | None = None) -> int:
     with obs_trace.open_sink(trace_path) as sink:
         with obs_trace.tracing(sink=sink) as tracer:
             code = _main(argv)
+        # One consolidated warning per run, whatever the sweep size --
+        # the sink got the full stream either way.
+        _warn_overflow(tracer)
         print(
             f"[REPRO_TRACE: {tracer.emitted} event(s) -> {trace_path}]",
             file=sys.stderr,
@@ -350,7 +638,7 @@ def _main(argv: list[str] | None = None) -> int:
         "experiment",
         help=(
             "which table/figure to regenerate "
-            "(or 'all', 'cache', 'trace', 'metrics', 'diagnose')"
+            "(or 'all', 'cache', 'trace', 'metrics', 'diagnose', 'runs')"
         ),
     )
     parser.add_argument(
@@ -359,7 +647,18 @@ def _main(argv: list[str] | None = None) -> int:
         default=None,
         help=(
             "subcommand argument: 'cache' takes 'info' or 'clear'; "
-            "'trace', 'metrics', and 'diagnose' take a benchmark name"
+            "'trace', 'metrics', and 'diagnose' take a benchmark name; "
+            "'runs' takes 'list', 'show', or 'compare'"
+        ),
+    )
+    parser.add_argument(
+        "refs",
+        nargs="*",
+        default=[],
+        help=(
+            "('runs' only) run references for 'show' and 'compare': an "
+            "index (1 is oldest, -1 newest), a run id or unique prefix, "
+            "or 'last'"
         ),
     )
     parser.add_argument(
@@ -404,9 +703,41 @@ def _main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--format",
-        dest="trace_format",
-        default="jsonl",
-        help="('trace' only) output format: jsonl (default) or chrome",
+        dest="fmt",
+        default=None,
+        help=(
+            "output format: jsonl (default) or chrome for 'trace'; "
+            "table (default) or json for 'metrics' and 'runs'"
+        ),
+    )
+    parser.add_argument(
+        "--progress",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help=(
+            "live per-point progress display during sweeps "
+            "(default: auto, on when stderr is a TTY)"
+        ),
+    )
+    parser.add_argument(
+        "--serve-metrics",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help=(
+            "serve Prometheus /metrics and /healthz on 127.0.0.1:PORT "
+            "while the run is in flight (0 picks a free port)"
+        ),
+    )
+    parser.add_argument(
+        "--rel-tol",
+        type=float,
+        default=0.0,
+        help=(
+            "('runs compare' only) relative tolerance before a metric "
+            "difference counts as drift (default 0.0: exact agreement, "
+            "the golden-suite bar)"
+        ),
     )
     parser.add_argument(
         "--from-jsonl",
@@ -441,20 +772,28 @@ def _main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     experiment = args.experiment.lower()
-    trace_format = args.trace_format.lower()
-    if trace_format not in ("jsonl", "chrome"):
-        parser.error(
-            f"unknown trace format {args.trace_format!r}; "
-            "choose from: chrome, jsonl"
+    if experiment == "runs":
+        args.runs_format = _resolve_format(
+            parser, args.fmt, verb="runs", allowed=("table", "json")
         )
-    args.trace_format = trace_format
+        return _runs_command(args, parser)
+    if args.refs:
+        parser.error(f"unexpected extra argument {args.refs[0]!r}")
     if experiment == "cache":
         if args.action not in ("info", "clear"):
             parser.error("'cache' takes an action: info or clear")
         return _cache_command(args.action, args.cache_dir)
     if experiment in ("trace", "metrics", "diagnose"):
+        if experiment == "trace":
+            args.trace_format = _resolve_format(
+                parser, args.fmt, verb="trace", allowed=("jsonl", "chrome")
+            )
+        else:
+            args.metrics_format = _resolve_format(
+                parser, args.fmt, verb="metrics", allowed=("table", "json")
+            )
         if experiment == "trace" and args.from_jsonl is not None:
-            if trace_format != "chrome":
+            if args.trace_format != "chrome":
                 parser.error("--from-jsonl requires --format chrome")
             if args.action is not None:
                 parser.error(
@@ -491,6 +830,10 @@ def _main(argv: list[str] | None = None) -> int:
             return _metrics_command(args)
         finally:
             configure_engine(jobs=previous[0], store=previous[1])
+    if args.fmt is not None:
+        parser.error(
+            "--format applies to the 'trace', 'metrics', and 'runs' verbs"
+        )
     if args.action is not None:
         parser.error(f"unexpected extra argument {args.action!r}")
     if args.jobs < 1:
@@ -515,31 +858,39 @@ def _main(argv: list[str] | None = None) -> int:
             counting_tracer = Tracer(capacity=0)
             obs_trace.activate(counting_tracer)
 
+    from repro.observability.telemetry import sweep_telemetry
+
     store = None if args.no_cache else ResultStore(args.cache_dir)
     previous = configure_engine(jobs=args.jobs, store=store)
     names = EXPERIMENTS if experiment == "all" else (experiment,)
     broken: list[str] = []
     try:
-        with resilient_sweeps() as log:
-            for name in names:
-                start = time.time()
-                try:
-                    if profiler is not None:
-                        with profiler.phase(name):
+        with sweep_telemetry(
+            progress=args.progress,
+            serve_port=args.serve_metrics,
+            store=store,
+        ):
+            with resilient_sweeps() as log:
+                for name in names:
+                    start = time.time()
+                    try:
+                        if profiler is not None:
+                            with profiler.phase(name):
+                                output = _run_one(name, args)
+                        else:
                             output = _run_one(name, args)
-                    else:
-                        output = _run_one(name, args)
-                except Exception as error:  # noqa: BLE001 - keep figures alive
-                    broken.append(name)
-                    first_line = (str(error).splitlines() or [repr(error)])[0]
-                    print(
-                        f"[{name} FAILED: {type(error).__name__}: {first_line}]\n",
-                        file=sys.stderr,
-                    )
-                    continue
-                elapsed = time.time() - start
-                print(output)
-                print(f"[{name} regenerated in {elapsed:.1f}s]\n")
+                    except Exception as error:  # noqa: BLE001 - keep figures alive
+                        broken.append(name)
+                        first_line = (str(error).splitlines() or [repr(error)])[0]
+                        print(
+                            f"[{name} FAILED: {type(error).__name__}: "
+                            f"{first_line}]\n",
+                            file=sys.stderr,
+                        )
+                        continue
+                    elapsed = time.time() - start
+                    print(output)
+                    print(f"[{name} regenerated in {elapsed:.1f}s]\n")
     finally:
         configure_engine(jobs=previous[0], store=previous[1])
         if counting_tracer is not None:

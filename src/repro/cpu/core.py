@@ -29,6 +29,7 @@ from repro.cpu.isa import ADDRESS_CALC_CYCLES, FU_CLASS, MAX_DEP_DISTANCE, Micro
 from repro.cpu.result import PipelineStats, SimulationResult
 from repro.memory.hierarchy import MemorySystem
 from repro.observability import events as obs
+from repro.observability import telemetry as obs_telemetry
 from repro.observability import trace as obs_trace
 from repro.observability.metrics import snapshot_simulation
 from repro.robustness.dump import dump_window
@@ -104,9 +105,11 @@ class OutOfOrderCore:
         measure_start_cycle = 0
         measure_start_committed = 0
         target = warmup_instructions + max_instructions
-        # Hoisted once per run: tracing cannot toggle mid-simulation, so
-        # the hot loops below pay a single local ``is None`` test.
+        # Hoisted once per run: tracing/telemetry cannot toggle
+        # mid-simulation, so the hot loops below pay a single local
+        # ``is None`` test.
         tracer = obs_trace._ACTIVE
+        beacon = obs_telemetry._BEACON
 
         while committed < target and not (trace_done and not window):
             # Check for deadlock *before* commit: a stuck completion at a
@@ -166,6 +169,8 @@ class OutOfOrderCore:
             if n_commit:
                 if watchdog is not None:
                     watchdog.progress(cycle)
+                if beacon is not None:
+                    beacon.progress(committed, cycle)
                 commits_since_audit += n_commit
                 if (
                     cfg.audit_interval_commits

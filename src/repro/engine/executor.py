@@ -40,8 +40,14 @@ from repro.cpu.result import SimulationResult
 from repro.engine.key import ExperimentKey
 from repro.engine.serialize import result_from_dict, result_to_dict
 from repro.engine.store import ResultStore
+from repro.observability import telemetry
 from repro.observability import trace as obs_trace
-from repro.observability.events import ENGINE_CACHE_HIT, ENGINE_EXECUTE, ENGINE_PLAN
+from repro.observability.events import (
+    ENGINE_CACHE_HIT,
+    ENGINE_EXECUTE,
+    ENGINE_PLAN,
+    ENGINE_RUN_RECORD,
+)
 from repro.workloads.catalog import BENCHMARKS, benchmark
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -75,15 +81,29 @@ def run_point_payload(key_dict: dict) -> dict:
     from repro.core import experiment
 
     key = ExperimentKey.from_dict(key_dict)
+    # Live telemetry: a beacon exists only when the parent opened a
+    # heartbeat channel (pool initializer installed the queue); it
+    # observes commits but never influences the simulation.
+    beacon = telemetry.point_beacon(key)
+    if beacon is not None:
+        telemetry.install_beacon(beacon)
+        beacon.start()
     try:
         spec = benchmark(key.workload)
         result = experiment._simulate(key.organization, spec, key.settings)
     except Exception as error:  # noqa: BLE001 - shipped back, not swallowed
+        if beacon is not None:
+            beacon.end("error", type(error).__name__)
         return {
             "status": "error",
             "error_type": type(error).__name__,
             "message": experiment._failure_message(error),
         }
+    finally:
+        if beacon is not None:
+            telemetry.clear_beacon()
+    if beacon is not None:
+        beacon.end("ok")
     return {"status": "ok", "result": result_to_dict(result)}
 
 
@@ -127,7 +147,10 @@ class Engine:
     # ------------------------------------------------------------------
 
     def run_point(
-        self, key: ExperimentKey, spec: "WorkloadSpec"
+        self,
+        key: ExperimentKey,
+        spec: "WorkloadSpec",
+        outcomes: "dict[ExperimentKey, str] | None" = None,
     ) -> SimulationResult:
         """One design point, serial, with the standard resilience policy.
 
@@ -137,39 +160,127 @@ class Engine:
         and recorded.  Successful full-budget results are memoized (and
         persisted); recovered/gap results are not, so the next run gets
         a fresh attempt.
+
+        ``outcomes``, when given, receives how the point resolved
+        (``simulated`` / ``recovered`` / ``gap``) for the run ledger.
         """
         from repro.core import experiment
         from repro.robustness.runner import current_failure_log
 
         log = current_failure_log()
+        hub = telemetry.active_hub()
+        point = telemetry._point_id(key)
+        if hub is not None:
+            hub.point_started(point, key.label)
+        beacon = (
+            telemetry.point_beacon(key, send=hub.handle)
+            if hub is not None
+            else None
+        )
+        if beacon is not None:
+            telemetry.install_beacon(beacon)
+            beacon.start()
         try:
             result = experiment._simulate(key.organization, spec, key.settings)
         except Exception as error:  # noqa: BLE001 - isolation is the point
+            if beacon is not None:
+                beacon.end("error", type(error).__name__)
             if log is None:
                 raise
-            return experiment._retry_reduced(
-                key.organization,
+            return self._retry(
+                key,
                 spec,
-                key.settings,
                 log,
                 type(error).__name__,
                 experiment._failure_message(error),
+                outcomes,
             )
+        finally:
+            if beacon is not None:
+                telemetry.clear_beacon()
+        if beacon is not None:
+            beacon.end("ok")
         self.remember(key, spec, result)
+        if outcomes is not None:
+            outcomes[key] = "simulated"
+        if hub is not None:
+            hub.point_finished(point, key.label, "simulated")
+        return result
+
+    def _retry(
+        self,
+        key: ExperimentKey,
+        spec: "WorkloadSpec",
+        log,
+        error_type: str,
+        message: str,
+        outcomes: "dict[ExperimentKey, str] | None",
+    ) -> SimulationResult:
+        """In-parent resilience tail, with telemetry around the retry."""
+        from repro.core import experiment
+
+        hub = telemetry.active_hub()
+        point = telemetry._point_id(key)
+        if hub is not None:
+            hub.point_retrying(point, key.label, 2)
+        beacon = (
+            telemetry.point_beacon(key, send=hub.handle, attempt=2)
+            if hub is not None
+            else None
+        )
+        if beacon is not None:
+            telemetry.install_beacon(beacon)
+            beacon.start()
+        try:
+            result = experiment._retry_reduced(
+                key.organization, spec, key.settings, log, error_type, message
+            )
+        finally:
+            if beacon is not None:
+                telemetry.clear_beacon()
+        # ``_retry_reduced`` always records exactly one outcome.
+        outcome = log.records[-1].resolution if log.records else "gap"
+        if beacon is not None:
+            beacon.end("ok" if outcome == "recovered" else "error", error_type)
+        if outcomes is not None:
+            outcomes[key] = outcome
+        if hub is not None:
+            hub.point_finished(point, key.label, outcome)
         return result
 
     def run_batch(
-        self, points: "dict[ExperimentKey, WorkloadSpec]"
+        self,
+        points: "dict[ExperimentKey, WorkloadSpec]",
+        outcomes: "dict[ExperimentKey, str] | None" = None,
     ) -> dict[ExperimentKey, SimulationResult]:
-        """Resolve every planned point; simulate only what is missing."""
+        """Resolve every planned point; simulate only what is missing.
+
+        ``outcomes`` (for the run ledger) receives per-key resolution:
+        ``memo`` / ``store`` for cache layers, ``simulated`` /
+        ``recovered`` / ``gap`` for fresh work.
+        """
+        from repro.robustness.runner import current_failure_log
+
+        hub = telemetry.active_hub()
+        if hub is not None:
+            hub.batch_started(len(points))
+            hub.attach_failure_log(current_failure_log())
         results: dict[ExperimentKey, SimulationResult] = {}
         pending: list[tuple[ExperimentKey, WorkloadSpec]] = []
         for key, spec in points.items():
+            in_memo = key in self.memo
             cached = self.lookup(key, spec)
             if cached is not None:
                 results[key] = cached
+                layer = "memo" if in_memo else "store"
+                if outcomes is not None:
+                    outcomes[key] = layer
+                if hub is not None:
+                    hub.point_cached(telemetry._point_id(key), key.label, layer)
             else:
                 pending.append((key, spec))
+                if hub is not None:
+                    hub.point_queued(telemetry._point_id(key), key.label)
         obs_trace.emit(
             ENGINE_EXECUTE,
             0,
@@ -184,17 +295,19 @@ class Engine:
             remote = [(k, s) for k, s in pending if _is_catalog_spec(s)]
             local = [(k, s) for k, s in pending if not _is_catalog_spec(s)]
             if len(remote) > 1:
-                results.update(self._run_parallel(remote))
+                results.update(self._run_parallel(remote, outcomes))
             else:
                 local = pending
         else:
             local = pending
         for key, spec in local:
-            results[key] = self.run_point(key, spec)
+            results[key] = self.run_point(key, spec, outcomes)
         return results
 
     def _run_parallel(
-        self, points: "list[tuple[ExperimentKey, WorkloadSpec]]"
+        self,
+        points: "list[tuple[ExperimentKey, WorkloadSpec]]",
+        outcomes: "dict[ExperimentKey, str] | None" = None,
     ) -> dict[ExperimentKey, SimulationResult]:
         """Fan design points out over worker processes.
 
@@ -202,14 +315,26 @@ class Engine:
         records, and results are ordered exactly as a serial run would
         order them.  A broken pool (worker killed by the OS) degrades to
         in-parent execution for the affected points instead of aborting
-        the sweep.
+        the sweep.  With a telemetry hub active, the pool initializer
+        hands every worker the heartbeat queue; heartbeats only observe,
+        so results stay bit-identical to serial.
         """
         from concurrent.futures import ProcessPoolExecutor
         from concurrent.futures.process import BrokenProcessPool
 
+        initializer = None
+        initargs = ()
+        hub = telemetry.active_hub()
+        if hub is not None:
+            queue = hub.worker_queue()
+            if queue is not None:
+                initializer = telemetry._init_worker
+                initargs = (queue,)
         results: dict[ExperimentKey, SimulationResult] = {}
         workers = min(self.jobs, len(points))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=initializer, initargs=initargs
+        ) as pool:
             submitted = [
                 (key, spec, pool.submit(run_point_payload, key.to_dict()))
                 for key, spec in points
@@ -218,30 +343,38 @@ class Engine:
                 try:
                     payload = future.result()
                 except BrokenProcessPool:
-                    results[key] = self.run_point(key, spec)
+                    results[key] = self.run_point(key, spec, outcomes)
                     continue
-                results[key] = self._absorb(key, spec, payload)
+                results[key] = self._absorb(key, spec, payload, outcomes)
         return results
 
     def _absorb(
-        self, key: ExperimentKey, spec: "WorkloadSpec", payload: dict
+        self,
+        key: ExperimentKey,
+        spec: "WorkloadSpec",
+        payload: dict,
+        outcomes: "dict[ExperimentKey, str] | None" = None,
     ) -> SimulationResult:
         """Fold one worker response into the cache layers / failure log."""
-        from repro.core import experiment
         from repro.robustness.runner import current_failure_log
 
+        hub = telemetry.active_hub()
         if payload.get("status") == "ok":
             result = result_from_dict(payload["result"])
             self.remember(key, spec, result)
+            if outcomes is not None:
+                outcomes[key] = "simulated"
+            if hub is not None:
+                hub.point_finished(
+                    telemetry._point_id(key), key.label, "simulated"
+                )
             return result
         error_type = payload.get("error_type", "UnknownError")
         message = payload.get("message", "worker returned no detail")
         log = current_failure_log()
         if log is None:
             raise WorkerFailureError(key, error_type, message)
-        return experiment._retry_reduced(
-            key.organization, spec, key.settings, log, error_type, message
-        )
+        return self._retry(key, spec, log, error_type, message, outcomes)
 
 
 # ---------------------------------------------------------------------------
@@ -338,9 +471,54 @@ class ExecutionPlan:
         return [self.add(org, workload, settings) for org, workload in points]
 
     def execute(self) -> dict[ExperimentKey, SimulationResult]:
-        """Resolve every planned point (missing ones are simulated)."""
-        self._results.update(self.engine.run_batch(dict(self._points)))
+        """Resolve every planned point (missing ones are simulated).
+
+        When the engine has a persistent store, every execution also
+        appends one record -- plan digest, per-point outcomes, headline
+        summary, wall clock -- to the store's run ledger, so finished
+        runs leave history ``repro runs list|show|compare`` can read.
+        """
+        import time
+
+        engine = self.engine
+        points = dict(self._points)
+        outcomes: dict[ExperimentKey, str] = {}
+        start = time.monotonic()
+        results = engine.run_batch(points, outcomes)
+        wall = time.monotonic() - start
+        self._results.update(results)
+        if engine.store is not None and points:
+            self._record_run(engine, points, results, outcomes, wall)
         return dict(self._results)
+
+    def _record_run(
+        self,
+        engine: Engine,
+        points: "dict[ExperimentKey, WorkloadSpec]",
+        results: dict[ExperimentKey, SimulationResult],
+        outcomes: dict[ExperimentKey, str],
+        wall: float,
+    ) -> None:
+        """Append this execution to the run ledger (never fails the run)."""
+        from repro.engine.ledger import build_record
+        from repro.engine.store import SCHEMA_VERSION
+
+        record = build_record(
+            {key: results[key] for key in points},
+            outcomes,
+            wall_seconds=wall,
+            jobs=engine.jobs,
+            store_schema=SCHEMA_VERSION,
+        )
+        run_id = engine.store.ledger().append(record)
+        if run_id is not None:
+            obs_trace.emit(
+                ENGINE_RUN_RECORD,
+                0,
+                run_id=run_id,
+                plan_digest=record["plan_digest"][:12],
+                points=len(points),
+            )
 
     def resolve(self, key: ExperimentKey) -> SimulationResult:
         """The result for a planned key (executing on demand if needed)."""

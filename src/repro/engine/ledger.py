@@ -1,0 +1,356 @@
+"""Persistent run ledger: every sweep leaves a durable, diffable record.
+
+The content-addressed result store remembers individual simulation
+results, but a finished *run* -- which points, which outcomes, what the
+headline numbers were, how long it took -- used to evaporate when the
+process exited.  The ledger keeps that history: every
+:meth:`~repro.engine.executor.ExecutionPlan.execute` appends one JSON
+line to ``<store-root>/runs.jsonl``, and the CLI verbs ``repro runs
+list|show|compare`` read it back.
+
+``compare_runs`` is the drift detector: two runs of the same plan (same
+``plan_digest``) should agree metric-for-metric, exactly -- the same
+zero-tolerance bar the golden-reference suite holds figures to.  Any
+disagreement beyond ``rel_tol`` is flagged per point and metric, which
+turns "did that refactor change simulated timing?" into a one-command
+answer against real history instead of a fresh golden regeneration.
+
+Robustness rules mirror the store's: records are single ``O_APPEND``
+writes (concurrent runs interleave whole lines, never tear them),
+corrupt lines are skipped on read, and a ledger failure never fails the
+sweep that tried to record it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cpu.result import SimulationResult
+    from repro.engine.key import ExperimentKey
+
+#: Bump when the record shape changes; old records are still listed but
+#: never compared against.
+LEDGER_SCHEMA = 1
+
+#: Ledger file name, directly under the store root (outside the
+#: ``v*/??/`` shard layout, so store entry counts never include it).
+LEDGER_NAME = "runs.jsonl"
+
+
+def plan_digest(keys: "Iterable[ExperimentKey]") -> str:
+    """Identity of a plan: SHA-256 over its sorted point digests.
+
+    Two runs with the same plan digest executed the exact same design
+    points (organization, workload, and scaled settings all pinned), so
+    their metrics are directly comparable.
+    """
+    joined = "\n".join(sorted(key.digest for key in keys))
+    return hashlib.sha256(joined.encode("ascii")).hexdigest()
+
+
+def _finite(value: float) -> float | None:
+    """JSON-safe number: NaN/inf (gap sentinels) become ``None``."""
+    return value if math.isfinite(value) else None
+
+
+def build_record(
+    points: "dict[ExperimentKey, SimulationResult]",
+    outcomes: "dict[ExperimentKey, str]",
+    *,
+    wall_seconds: float,
+    jobs: int,
+    store_schema: int,
+    run_id: str = "",
+) -> dict:
+    """One ledger record for a finished ``execute()`` batch.
+
+    ``outcomes`` maps each key to how it was resolved: ``memo`` /
+    ``store`` (cache layers), ``simulated`` (full budget), or the
+    resilience outcomes ``recovered`` / ``gap``.
+    """
+    from repro.core.experiment import scale_factor
+
+    digest = plan_digest(points)
+    rows = []
+    for key in sorted(points, key=lambda k: k.digest):
+        result = points[key]
+        rows.append(
+            {
+                "digest": key.digest[:12],
+                "label": key.label,
+                "workload": key.workload,
+                "outcome": outcomes.get(key, "simulated"),
+                "ipc": _finite(result.ipc),
+                "instructions": result.instructions,
+                "cycles": result.cycles,
+            }
+        )
+    tally = {"memo": 0, "store": 0, "simulated": 0, "recovered": 0, "gap": 0}
+    for row in rows:
+        tally[row["outcome"]] = tally.get(row["outcome"], 0) + 1
+    ipcs = [row["ipc"] for row in rows if row["ipc"] is not None]
+    return {
+        "schema": LEDGER_SCHEMA,
+        "run_id": run_id,
+        "time_utc": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "plan_digest": digest,
+        "store_schema": store_schema,
+        "scale": scale_factor(),
+        "jobs": jobs,
+        "wall_seconds": round(wall_seconds, 3),
+        "summary": {
+            "points": len(rows),
+            "memo": tally["memo"],
+            "store": tally["store"],
+            "simulated": tally["simulated"],
+            "recovered": tally["recovered"],
+            "gaps": tally["gap"],
+            "mean_ipc": (
+                round(sum(ipcs) / len(ipcs), 6) if ipcs else None
+            ),
+        },
+        "points": rows,
+    }
+
+
+class RunLedger:
+    """Append-only JSONL history of executed plans."""
+
+    def __init__(self, path: Path | str):
+        self.path = Path(path)
+
+    # -- write ----------------------------------------------------------
+
+    def append(self, record: dict) -> str | None:
+        """Append one record; returns its run id, or None on I/O failure.
+
+        The run id -- ``r<seq>-<plan_digest[:8]>`` -- is assigned here so
+        it reflects the ledger's own ordering.  The write is a single
+        ``O_APPEND`` syscall of one line, so concurrent runs sharing a
+        cache directory interleave whole records.
+        """
+        run_id = f"r{len(self.records()) + 1:04d}-{record['plan_digest'][:8]}"
+        record = dict(record, run_id=run_id)
+        try:
+            line = json.dumps(record, separators=(",", ":"), allow_nan=False)
+        except ValueError:
+            return None
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fd = os.open(
+                self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
+            try:
+                os.write(fd, (line + "\n").encode("utf-8"))
+            finally:
+                os.close(fd)
+        except OSError:
+            return None
+        return run_id
+
+    # -- read -----------------------------------------------------------
+
+    def records(self) -> list[dict]:
+        """Every readable record, oldest first; corrupt lines skipped."""
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except OSError:
+            return []
+        records = []
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict) and "plan_digest" in record:
+                records.append(record)
+        return records
+
+    def resolve(self, ref: str) -> dict | None:
+        """A record by reference: index, run id, id prefix, or ``last``.
+
+        Accepted forms: ``last`` (most recent), a 1-based index
+        (negative counts from the end, ``-1`` = last), an exact
+        ``run_id``, or an unambiguous run-id prefix.
+        """
+        records = self.records()
+        if not records:
+            return None
+        if ref == "last":
+            return records[-1]
+        try:
+            index = int(ref)
+        except ValueError:
+            index = None
+        if index is not None:
+            if index == 0:
+                return None
+            position = index - 1 if index > 0 else index
+            try:
+                return records[position]
+            except IndexError:
+                return None
+        exact = [r for r in records if r.get("run_id") == ref]
+        if exact:
+            return exact[-1]
+        prefixed = [
+            r for r in records if str(r.get("run_id", "")).startswith(ref)
+        ]
+        if len(prefixed) == 1:
+            return prefixed[0]
+        return None
+
+    def previous_of_same_plan(self, record: dict) -> dict | None:
+        """The most recent earlier run that executed the same plan.
+
+        This is what a bare ``repro runs compare`` diffs against: a
+        figure command may append several records per invocation (one
+        per ``execute()``), so "the last two records" is rarely the
+        right pair -- "this plan versus the last time this exact plan
+        ran" always is.
+        """
+        records = self.records()
+        run_id = record.get("run_id")
+        cutoff = len(records)
+        for position, candidate in enumerate(records):
+            if candidate.get("run_id") == run_id:
+                cutoff = position
+                break
+        earlier = [
+            r
+            for r in records[:cutoff]
+            if r.get("plan_digest") == record.get("plan_digest")
+            and r.get("schema") == record.get("schema")
+        ]
+        return earlier[-1] if earlier else None
+
+    def info(self) -> dict:
+        """Ledger stats for ``repro cache info``."""
+        records = self.records()
+        try:
+            size = self.path.stat().st_size
+        except OSError:
+            size = 0
+        return {
+            "path": str(self.path),
+            "runs": len(records),
+            "last_run_id": records[-1].get("run_id") if records else None,
+            "last_time_utc": records[-1].get("time_utc") if records else None,
+            "bytes": size,
+        }
+
+    def clear(self) -> int:
+        """Delete the ledger file; returns the number of records dropped."""
+        count = len(self.records())
+        try:
+            self.path.unlink(missing_ok=True)
+        except OSError:
+            return 0
+        return count
+
+
+# ---------------------------------------------------------------------------
+# Cross-run drift detection
+# ---------------------------------------------------------------------------
+
+#: Per-point metrics compared across runs.
+_COMPARED_METRICS = ("ipc", "instructions", "cycles")
+
+
+@dataclass
+class Drift:
+    """One metric of one point disagreeing between two runs."""
+
+    label: str
+    metric: str
+    value_a: float | None
+    value_b: float | None
+
+    def render(self) -> str:
+        def fmt(value):
+            if value is None:
+                return "gap"
+            if isinstance(value, float):
+                return f"{value:.6f}"
+            return str(value)
+
+        return (
+            f"{self.label}: {self.metric} "
+            f"{fmt(self.value_a)} -> {fmt(self.value_b)}"
+        )
+
+
+@dataclass
+class RunComparison:
+    """The result of diffing run ``a`` (older) against run ``b`` (newer)."""
+
+    run_a: str
+    run_b: str
+    same_plan: bool
+    matched_points: int = 0
+    drifts: list[Drift] = field(default_factory=list)
+    only_in_a: list[str] = field(default_factory=list)
+    only_in_b: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when the runs agree on every shared point and metric."""
+        return not self.drifts and not self.only_in_a and not self.only_in_b
+
+
+def _values_drift(a, b, rel_tol: float) -> bool:
+    if a is None and b is None:
+        return False
+    if a is None or b is None:
+        return True  # a gap appeared or disappeared
+    if a == b:
+        return False
+    if rel_tol <= 0.0:
+        return True
+    scale = max(abs(a), abs(b))
+    return abs(a - b) > rel_tol * scale
+
+
+def compare_runs(
+    record_a: dict, record_b: dict, rel_tol: float = 0.0
+) -> RunComparison:
+    """Diff two ledger records point-by-point, metric-by-metric.
+
+    ``rel_tol`` defaults to 0.0 -- exact agreement, the golden-suite
+    bar: the simulator is deterministic, so two runs of the same plan
+    have no honest reason to differ at all.
+    """
+    comparison = RunComparison(
+        run_a=record_a.get("run_id", "?"),
+        run_b=record_b.get("run_id", "?"),
+        same_plan=record_a.get("plan_digest") == record_b.get("plan_digest"),
+    )
+    points_a = {row["digest"]: row for row in record_a.get("points", [])}
+    points_b = {row["digest"]: row for row in record_b.get("points", [])}
+    comparison.only_in_a = sorted(
+        points_a[d]["label"] for d in points_a.keys() - points_b.keys()
+    )
+    comparison.only_in_b = sorted(
+        points_b[d]["label"] for d in points_b.keys() - points_a.keys()
+    )
+    for digest in sorted(points_a.keys() & points_b.keys()):
+        row_a, row_b = points_a[digest], points_b[digest]
+        comparison.matched_points += 1
+        for metric in _COMPARED_METRICS:
+            value_a, value_b = row_a.get(metric), row_b.get(metric)
+            if _values_drift(value_a, value_b, rel_tol):
+                comparison.drifts.append(
+                    Drift(row_a["label"], metric, value_a, value_b)
+                )
+    return comparison

@@ -53,6 +53,9 @@ class ResultStore:
 
     def __init__(self, root: Path | str | None = None):
         self.root = Path(root) if root is not None else default_cache_root()
+        #: Load outcomes this process, for the live /metrics endpoint.
+        self.hits = 0
+        self.misses = 0
 
     @property
     def version_dir(self) -> Path:
@@ -68,6 +71,14 @@ class ResultStore:
 
     def load(self, key: ExperimentKey) -> SimulationResult | None:
         """The stored result for ``key``, or None on any kind of miss."""
+        result = self._load(key)
+        if result is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return result
+
+    def _load(self, key: ExperimentKey) -> SimulationResult | None:
         path = self.path_for(key)
         try:
             with path.open("r", encoding="utf-8") as handle:
@@ -117,6 +128,21 @@ class ResultStore:
         return True
 
     # ------------------------------------------------------------------
+    # Run ledger
+    # ------------------------------------------------------------------
+
+    def ledger(self):
+        """The run ledger living alongside the store entries.
+
+        Kept at the store root (``runs.jsonl``), outside the ``v*/??/``
+        shard layout, so ``info()`` entry counts and ``clear()`` never
+        confuse run history with result entries.
+        """
+        from repro.engine.ledger import LEDGER_NAME, RunLedger
+
+        return RunLedger(self.root / LEDGER_NAME)
+
+    # ------------------------------------------------------------------
     # Maintenance: python -m repro cache {info,clear}
     # ------------------------------------------------------------------
 
@@ -141,6 +167,7 @@ class ResultStore:
             "entries": len(entries),
             "current_schema_entries": len(current),
             "bytes": total_bytes,
+            "ledger": self.ledger().info(),
         }
 
     def clear(self) -> int:

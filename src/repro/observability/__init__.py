@@ -19,10 +19,14 @@ Public surface:
 * :mod:`repro.observability.chrometrace` -- Chrome trace-event JSON
   export of any captured or JSONL stream, for Perfetto;
 * :mod:`repro.observability.diagnose` -- stall-source ranking and the
-  ``repro diagnose`` narrative report.
+  ``repro diagnose`` narrative report;
+* :mod:`repro.observability.telemetry` -- live sweep telemetry: worker
+  heartbeats over a multiprocessing queue, the per-point progress
+  display, and the Prometheus ``/metrics`` + ``/healthz`` endpoint
+  (``sweep_telemetry()`` scope, zero overhead when off).
 """
 
-from repro.observability import attribution, events, trace
+from repro.observability import attribution, events, telemetry, trace
 from repro.observability.attribution import (
     AttributionAccumulator,
     LatencyHistogram,
@@ -42,6 +46,14 @@ from repro.observability.metrics import (
     snapshot_simulation,
 )
 from repro.observability.profile import PhaseProfiler, PhaseRecord
+from repro.observability.telemetry import (
+    MetricsServer,
+    ProgressDisplay,
+    TelemetryBeacon,
+    TelemetryHub,
+    render_prometheus,
+    sweep_telemetry,
+)
 from repro.observability.trace import (
     DEFAULT_CAPACITY,
     TraceEvent,
@@ -61,8 +73,12 @@ __all__ = [
     "EventChannel",
     "LatencyHistogram",
     "MetricsRegistry",
+    "MetricsServer",
     "PhaseProfiler",
     "PhaseRecord",
+    "ProgressDisplay",
+    "TelemetryBeacon",
+    "TelemetryHub",
     "TraceEvent",
     "Tracer",
     "Timer",
@@ -74,8 +90,11 @@ __all__ = [
     "deactivate",
     "events",
     "read_jsonl",
+    "render_prometheus",
     "snapshot_memory_system",
     "snapshot_simulation",
+    "sweep_telemetry",
+    "telemetry",
     "trace",
     "tracing",
     "utilization_rows",

@@ -53,6 +53,13 @@ MEM_BUS_TRANSFER = "mem.bus.transfer"
 ENGINE_PLAN = "engine.plan"
 ENGINE_EXECUTE = "engine.execute"
 ENGINE_CACHE_HIT = "engine.cache_hit"
+#: A run record appended to the persistent ledger
+#: (fields: run_id, plan_digest, points).
+ENGINE_RUN_RECORD = "engine.run_record"
+
+#: A live-telemetry heartbeat reaching the parent-side hub
+#: (fields: type, point, label).
+TELEMETRY_HEARTBEAT = "telemetry.heartbeat"
 
 #: Every kind above, for validation and reporting.
 ALL_KINDS = (
@@ -72,6 +79,8 @@ ALL_KINDS = (
     ENGINE_PLAN,
     ENGINE_EXECUTE,
     ENGINE_CACHE_HIT,
+    ENGINE_RUN_RECORD,
+    TELEMETRY_HEARTBEAT,
 )
 
 

@@ -283,9 +283,14 @@ def snapshot_simulation(
     if memory.attribution is not None:
         out.update(memory.attribution.to_metrics())
     tracer = trace._ACTIVE
-    if tracer is not None and tracer.dropped:
+    if tracer is not None and tracer.capacity > 0:
         # Recorded only when events were actually lost, so results are
         # serialization-identical with and without (non-overflowing)
         # tracing -- but a truncated trace is never silently truncated.
-        out["trace.dropped_events"] = tracer.dropped
+        # The per-point delta (not the sweep-cumulative total) is what
+        # belongs on this point's metrics; capacity-0 counting tracers
+        # retain nothing by design and are excluded.
+        point_drops = tracer.note_point()
+        if point_drops:
+            out["trace.dropped_events"] = point_drops
     return dict(sorted(out.items()))

@@ -1,0 +1,978 @@
+"""Live sweep telemetry: heartbeats, progress display, ``/metrics``.
+
+A running sweep used to be opaque: ``ExecutionPlan.execute`` fanned
+design points out over worker processes and nothing came back until the
+whole batch finished.  This module threads a second, *live* event path
+through the engine's worker protocol:
+
+* a :class:`TelemetryBeacon` rides inside each simulation (worker or
+  parent process) and emits periodic heartbeats -- point label,
+  instructions committed, current cycle, attempt number -- rate-limited
+  by wall clock so the hot loop pays one ``is None`` check when
+  telemetry is off and a cheap counter mask when it is on;
+* worker processes ship heartbeats to the parent over a
+  ``multiprocessing`` manager queue installed by the pool initializer;
+  the parent drains the queue on a background thread into a
+  :class:`TelemetryHub`;
+* the hub aggregates per-point and per-worker state (status, progress,
+  instructions/second, heartbeat recency via
+  :class:`~repro.robustness.watchdog.LivenessMonitor`) and serves three
+  consumers: the live TTY :class:`ProgressDisplay`, the Prometheus
+  text-format ``/metrics`` endpoint (:class:`MetricsServer`, with
+  ``/healthz``), and the deadlock watchdog, whose reports gain
+  heartbeat evidence (a stuck worker is *reported stalled*, not just
+  timed out).
+
+Nothing here perturbs simulation results: heartbeats only observe, the
+futures of a parallel run are still consumed in submission order, and
+with telemetry off (`active_hub()` is ``None``, the default) every hook
+degenerates to a single pointer test -- the same zero-overhead contract
+the tracer keeps.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from typing import IO, TYPE_CHECKING, Callable, Iterator
+
+from repro.observability import trace as obs_trace
+from repro.observability.events import TELEMETRY_HEARTBEAT
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.key import ExperimentKey
+    from repro.engine.store import ResultStore
+    from repro.robustness.runner import FailureLog
+
+#: Minimum wall-clock seconds between heartbeats from one simulation.
+HEARTBEAT_INTERVAL_SECONDS = 0.25
+
+#: Commit batches between wall-clock checks inside the beacon: the hot
+#: path pays ``time.monotonic()`` only once per this many calls.
+_BEAT_CALL_MASK = 63
+
+#: Terminal point states (a late heartbeat must not resurrect them).
+_TERMINAL = frozenset({"done", "cached", "failed", "recovered", "gap"})
+
+
+def _point_id(key: "ExperimentKey") -> str:
+    """Short stable id for one design point (display + wire format)."""
+    return key.digest[:12]
+
+
+# ---------------------------------------------------------------------------
+# Beacon: the in-simulation side
+# ---------------------------------------------------------------------------
+
+
+class TelemetryBeacon:
+    """Emits heartbeats from inside one running simulation.
+
+    ``send`` is any callable taking a message dict: the hub's
+    :meth:`TelemetryHub.handle` when simulating in the parent process,
+    or the manager-queue forwarder in a worker.  Send errors disable
+    the beacon rather than fail the simulation -- telemetry is an
+    observer, never a correctness dependency.
+    """
+
+    __slots__ = (
+        "point",
+        "label",
+        "budget",
+        "attempt",
+        "worker",
+        "interval",
+        "_send",
+        "_calls",
+        "_last_sent",
+        "instructions",
+        "cycle",
+    )
+
+    def __init__(
+        self,
+        point: str,
+        label: str,
+        send: Callable[[dict], None],
+        *,
+        budget: int = 0,
+        attempt: int = 1,
+        worker: str | None = None,
+        interval: float = HEARTBEAT_INTERVAL_SECONDS,
+    ):
+        import os
+
+        self.point = point
+        self.label = label
+        self.budget = budget
+        self.attempt = attempt
+        self.worker = worker if worker is not None else f"pid:{os.getpid()}"
+        self.interval = interval
+        self._send = send
+        self._calls = 0
+        self._last_sent = 0.0
+        self.instructions = 0
+        self.cycle = 0
+
+    def _emit(self, message: dict) -> None:
+        if self._send is None:
+            return
+        message.setdefault("point", self.point)
+        message.setdefault("label", self.label)
+        message.setdefault("worker", self.worker)
+        try:
+            self._send(message)
+        except Exception:  # noqa: BLE001 - observer must never kill the sim
+            self._send = None
+
+    def start(self) -> None:
+        self._last_sent = time.monotonic()
+        self._emit(
+            {
+                "type": "start",
+                "budget": self.budget,
+                "attempt": self.attempt,
+            }
+        )
+
+    def progress(self, instructions: int, cycle: int) -> None:
+        """Hot-path hook: called by the core on committing cycles."""
+        self.instructions = instructions
+        self.cycle = cycle
+        self._calls += 1
+        if self._calls & _BEAT_CALL_MASK:
+            return
+        now = time.monotonic()
+        if now - self._last_sent < self.interval:
+            return
+        self._last_sent = now
+        self._emit(
+            {
+                "type": "beat",
+                "instructions": instructions,
+                "cycle": cycle,
+                "budget": self.budget,
+                "attempt": self.attempt,
+            }
+        )
+
+    def stall(self, cycle: int, stalled_cycles: int) -> None:
+        """Final heartbeat when the commit watchdog detects a deadlock.
+
+        This is the liveness evidence: the parent learns *which* point
+        stalled and for how many cycles, instead of inferring a dead
+        worker from heartbeat silence alone.
+        """
+        self._emit(
+            {
+                "type": "stall",
+                "cycle": cycle,
+                "stalled_cycles": stalled_cycles,
+                "instructions": self.instructions,
+            }
+        )
+
+    def end(self, status: str, error_type: str | None = None) -> None:
+        message: dict = {"type": "end", "status": status}
+        if error_type is not None:
+            message["error_type"] = error_type
+        self._emit(message)
+
+
+#: The process-wide active beacon (worker or parent); ``None`` = off.
+_BEACON: TelemetryBeacon | None = None
+
+
+def beacon() -> TelemetryBeacon | None:
+    """The beacon of the currently running simulation, if any."""
+    return _BEACON
+
+
+def install_beacon(active: TelemetryBeacon) -> None:
+    global _BEACON
+    _BEACON = active
+
+
+def clear_beacon() -> None:
+    global _BEACON
+    _BEACON = None
+
+
+def notify_stall(cycle: int, stalled_cycles: int) -> None:
+    """Forward deadlock evidence through the active beacon, if any."""
+    active = _BEACON
+    if active is not None:
+        active.stall(cycle, stalled_cycles)
+
+
+# ---------------------------------------------------------------------------
+# Worker plumbing: the manager queue crosses the process boundary
+# ---------------------------------------------------------------------------
+
+#: Set by the pool initializer in each worker process.
+_WORKER_QUEUE = None
+
+
+def _init_worker(queue) -> None:
+    """``ProcessPoolExecutor`` initializer: remember the heartbeat queue."""
+    global _WORKER_QUEUE
+    _WORKER_QUEUE = queue
+
+
+def _queue_send(message: dict) -> None:
+    _WORKER_QUEUE.put(message)
+
+
+def point_beacon(
+    key: "ExperimentKey",
+    send: Callable[[dict], None] | None = None,
+    attempt: int = 1,
+) -> TelemetryBeacon | None:
+    """A beacon for one design point, or ``None`` when telemetry is off.
+
+    With no explicit ``send`` the worker queue is used -- which is only
+    installed when the parent opened a telemetry channel, so workers of
+    an untelemetered run return ``None`` here and pay nothing.
+    """
+    if send is None:
+        if _WORKER_QUEUE is None:
+            return None
+        send = _queue_send
+    budget = key.settings.timing_warmup + key.settings.instructions
+    return TelemetryBeacon(
+        _point_id(key), key.label, send, budget=budget, attempt=attempt
+    )
+
+
+# ---------------------------------------------------------------------------
+# Hub: parent-side aggregation
+# ---------------------------------------------------------------------------
+
+
+class PointState:
+    """Live status of one design point as the hub sees it."""
+
+    __slots__ = (
+        "point",
+        "label",
+        "status",
+        "worker",
+        "instructions",
+        "budget",
+        "cycle",
+        "attempt",
+        "outcome",
+        "stalled_cycles",
+        "error_type",
+        "started",
+        "updated",
+    )
+
+    def __init__(self, point: str, label: str, status: str, now: float):
+        self.point = point
+        self.label = label
+        self.status = status  #: queued/running/stalled/<terminal outcome>
+        self.worker: str | None = None
+        self.instructions = 0
+        self.budget = 0
+        self.cycle = 0
+        self.attempt = 1
+        self.outcome: str | None = None
+        self.stalled_cycles = 0
+        self.error_type: str | None = None
+        self.started = now
+        self.updated = now
+
+    @property
+    def fraction(self) -> float:
+        if self.budget <= 0:
+            return 0.0
+        return min(1.0, self.instructions / self.budget)
+
+
+class _WorkerStats:
+    """Instructions/second per worker, from consecutive heartbeats."""
+
+    __slots__ = ("worker", "instructions", "at", "rate", "beats")
+
+    def __init__(self, worker: str):
+        self.worker = worker
+        self.instructions = 0
+        self.at = 0.0
+        self.rate = 0.0
+        self.beats = 0
+
+    def observe(self, instructions: int, now: float) -> None:
+        if self.beats and instructions >= self.instructions and now > self.at:
+            instant = (instructions - self.instructions) / (now - self.at)
+            # Light smoothing so the display does not flicker.
+            self.rate = instant if self.rate == 0.0 else 0.5 * self.rate + 0.5 * instant
+        self.instructions = instructions
+        self.at = now
+        self.beats += 1
+
+
+class TelemetryHub:
+    """Aggregates heartbeats and lifecycle events for one sweep run.
+
+    Thread-safe: the executor calls lifecycle methods from the main
+    thread while the queue drain thread feeds :meth:`handle` and the
+    display/metrics threads read :meth:`snapshot`.
+    """
+
+    def __init__(
+        self,
+        *,
+        stale_after: float = 10.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        # Deferred: robustness imports the memory system at package
+        # level, and this module must stay importable from anywhere in
+        # that graph (the CPU core hoists the beacon on every run).
+        from repro.robustness.watchdog import LivenessMonitor
+
+        self._lock = threading.Lock()
+        self._clock = clock
+        self._points: dict[str, PointState] = {}
+        self._workers: dict[str, _WorkerStats] = {}
+        self.liveness = LivenessMonitor(stale_after=stale_after, clock=clock)
+        self.started = clock()
+        self.totals = {
+            "planned": 0,
+            "cached": 0,
+            "simulated": 0,
+            "recovered": 0,
+            "gaps": 0,
+        }
+        self._store: "ResultStore | None" = None
+        self._failure_log: "FailureLog | None" = None
+        # Parallel channel state (created lazily, only for jobs > 1).
+        self._manager = None
+        self._queue = None
+        self._drain: threading.Thread | None = None
+        self._drain_stop = threading.Event()
+
+    # -- wiring ---------------------------------------------------------
+
+    def attach_store(self, store: "ResultStore | None") -> None:
+        self._store = store
+
+    def attach_failure_log(self, log: "FailureLog | None") -> None:
+        self._failure_log = log
+
+    def worker_queue(self):
+        """The heartbeat queue for worker processes (created lazily).
+
+        The first parallel batch pays for a manager process and a drain
+        thread; serial runs never reach this.  Returns ``None`` if the
+        multiprocessing manager cannot start (telemetry then degrades
+        to parent-side lifecycle events only).
+        """
+        with self._lock:
+            if self._queue is not None:
+                return self._queue
+            try:
+                import multiprocessing
+
+                self._manager = multiprocessing.Manager()
+                self._queue = self._manager.Queue()
+            except Exception:  # noqa: BLE001 - degrade, don't break the sweep
+                self._manager = None
+                self._queue = None
+                return None
+            self._drain = threading.Thread(
+                target=self._drain_loop, name="telemetry-drain", daemon=True
+            )
+            self._drain.start()
+            return self._queue
+
+    def _drain_loop(self) -> None:
+        import queue as queue_mod
+
+        while not self._drain_stop.is_set():
+            try:
+                message = self._queue.get(timeout=0.2)
+            except (queue_mod.Empty, EOFError, OSError):
+                continue
+            if message is None:
+                break
+            try:
+                self.handle(message)
+            except Exception:  # noqa: BLE001 - a bad message must not kill the drain
+                continue
+
+    def close(self) -> None:
+        """Stop the drain thread and the manager process, if any."""
+        self._drain_stop.set()
+        if self._drain is not None:
+            self._drain.join(timeout=2.0)
+            self._drain = None
+        if self._manager is not None:
+            try:
+                self._manager.shutdown()
+            except Exception:  # noqa: BLE001
+                pass
+            self._manager = None
+            self._queue = None
+
+    # -- lifecycle (called by the executor) -----------------------------
+
+    def _state(self, point: str, label: str, status: str) -> PointState:
+        state = self._points.get(point)
+        if state is None:
+            state = self._points[point] = PointState(
+                point, label, status, self._clock()
+            )
+        return state
+
+    def batch_started(self, planned: int) -> None:
+        with self._lock:
+            self.totals["planned"] += planned
+
+    def point_cached(self, point: str, label: str, layer: str) -> None:
+        with self._lock:
+            state = self._state(point, label, "cached")
+            state.status = "cached"
+            state.outcome = layer
+            state.updated = self._clock()
+            self.totals["cached"] += 1
+
+    def point_queued(self, point: str, label: str) -> None:
+        with self._lock:
+            self._state(point, label, "queued")
+
+    def point_started(self, point: str, label: str) -> None:
+        with self._lock:
+            state = self._state(point, label, "running")
+            state.status = "running"
+            state.started = state.updated = self._clock()
+
+    def point_retrying(self, point: str, label: str, attempt: int) -> None:
+        with self._lock:
+            state = self._state(point, label, "running")
+            state.status = "running"
+            state.attempt = attempt
+            state.updated = self._clock()
+
+    def point_finished(self, point: str, label: str, outcome: str) -> None:
+        """Terminal transition: simulated / recovered / gap."""
+        with self._lock:
+            state = self._state(point, label, "done")
+            state.status = "failed" if outcome == "gap" else "done"
+            state.outcome = outcome
+            state.updated = self._clock()
+            if outcome == "gap":
+                self.totals["gaps"] += 1
+            elif outcome == "recovered":
+                self.totals["recovered"] += 1
+            else:
+                self.totals["simulated"] += 1
+            if state.worker is not None:
+                self.liveness.beat(state.worker)
+
+    # -- heartbeat stream ------------------------------------------------
+
+    def handle(self, message: dict) -> None:
+        """One heartbeat message (from a queue drain or a direct send)."""
+        kind = message.get("type")
+        point = message.get("point", "?")
+        label = message.get("label", point)
+        worker = message.get("worker")
+        now = self._clock()
+        with self._lock:
+            state = self._state(point, label, "running")
+            if worker is not None:
+                state.worker = worker
+                self.liveness.beat(worker)
+            state.updated = now
+            if kind == "start":
+                if state.status not in _TERMINAL:
+                    state.status = "running"
+                state.budget = message.get("budget", state.budget)
+                state.attempt = message.get("attempt", state.attempt)
+                state.started = now
+            elif kind == "beat":
+                if state.status not in _TERMINAL:
+                    state.status = "running"
+                state.instructions = message.get("instructions", state.instructions)
+                state.cycle = message.get("cycle", state.cycle)
+                state.budget = message.get("budget", state.budget)
+                state.attempt = message.get("attempt", state.attempt)
+                if worker is not None:
+                    stats = self._workers.get(worker)
+                    if stats is None:
+                        stats = self._workers[worker] = _WorkerStats(worker)
+                    stats.observe(state.instructions, now)
+            elif kind == "stall":
+                state.status = "stalled"
+                state.stalled_cycles = message.get("stalled_cycles", 0)
+                state.cycle = message.get("cycle", state.cycle)
+            elif kind == "end":
+                if message.get("status") != "ok":
+                    state.error_type = message.get("error_type")
+        obs_trace.emit(
+            TELEMETRY_HEARTBEAT,
+            message.get("cycle", 0),
+            type=kind,
+            point=point,
+            label=label,
+        )
+
+    # -- read side -------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A consistent view for the display and the metrics endpoint."""
+        now = self._clock()
+        with self._lock:
+            done = (
+                self.totals["cached"]
+                + self.totals["simulated"]
+                + self.totals["recovered"]
+                + self.totals["gaps"]
+            )
+            total = self.totals["planned"]
+            elapsed = now - self.started
+            remaining = max(0, total - done)
+            eta = (elapsed / done) * remaining if done and remaining else 0.0
+            in_flight = [
+                {
+                    "point": s.point,
+                    "label": s.label,
+                    "status": s.status,
+                    "worker": s.worker,
+                    "instructions": s.instructions,
+                    "budget": s.budget,
+                    "fraction": s.fraction,
+                    "attempt": s.attempt,
+                    "stalled_cycles": s.stalled_cycles,
+                    "heartbeat_age": (
+                        self.liveness.age(s.worker) if s.worker else None
+                    ),
+                }
+                for s in self._points.values()
+                if s.status in ("running", "queued", "stalled")
+            ]
+            workers = {
+                w.worker: {
+                    "rate": w.rate,
+                    "age": self.liveness.age(w.worker),
+                    "alive": self.liveness.status(w.worker) == "alive",
+                }
+                for w in self._workers.values()
+            }
+            return {
+                "total": total,
+                "done": done,
+                "cached": self.totals["cached"],
+                "simulated": self.totals["simulated"],
+                "recovered": self.totals["recovered"],
+                "gaps": self.totals["gaps"],
+                "elapsed": elapsed,
+                "eta": eta,
+                "in_flight": in_flight,
+                "workers": workers,
+                "stalled": [p["label"] for p in in_flight if p["status"] == "stalled"],
+                "store_hits": self._store.hits if self._store is not None else 0,
+                "store_misses": self._store.misses if self._store is not None else 0,
+                "failure_log_depth": (
+                    len(self._failure_log.records)
+                    if self._failure_log is not None
+                    else 0
+                ),
+            }
+
+    def prometheus(self) -> str:
+        """The sweep state in Prometheus text exposition format."""
+        return render_prometheus(self.snapshot())
+
+
+#: The process-wide active hub; ``None`` means telemetry is off.
+_HUB: TelemetryHub | None = None
+
+
+def active_hub() -> TelemetryHub | None:
+    return _HUB
+
+
+def install_hub(hub: TelemetryHub) -> None:
+    global _HUB
+    _HUB = hub
+
+
+def clear_hub() -> None:
+    global _HUB
+    _HUB = None
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text rendering
+# ---------------------------------------------------------------------------
+
+
+def _metric(
+    lines: list[str], name: str, help_text: str, kind: str, value
+) -> None:
+    lines.append(f"# HELP {name} {help_text}")
+    lines.append(f"# TYPE {name} {kind}")
+    lines.append(f"{name} {value:g}" if isinstance(value, float) else f"{name} {value}")
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Render one hub snapshot as Prometheus 0.0.4 text format."""
+    lines: list[str] = []
+    _metric(
+        lines,
+        "repro_sweep_points_total",
+        "Design points planned in the current sweep",
+        "gauge",
+        snapshot["total"],
+    )
+    _metric(
+        lines,
+        "repro_sweep_points_done",
+        "Design points resolved (simulated, cached, recovered, or gap)",
+        "gauge",
+        snapshot["done"],
+    )
+    for field, help_text in (
+        ("cached", "Points served from the memo or the result store"),
+        ("simulated", "Points simulated at full budget"),
+        ("recovered", "Points recovered at a reduced budget after a failure"),
+        ("gaps", "Points lost to unrecovered failures"),
+    ):
+        _metric(
+            lines,
+            f"repro_sweep_points_{field}",
+            help_text,
+            "gauge",
+            snapshot[field],
+        )
+    _metric(
+        lines,
+        "repro_sweep_elapsed_seconds",
+        "Wall-clock seconds since the sweep telemetry started",
+        "gauge",
+        round(snapshot["elapsed"], 3),
+    )
+    _metric(
+        lines,
+        "repro_sweep_eta_seconds",
+        "Estimated wall-clock seconds to finish the remaining points",
+        "gauge",
+        round(snapshot["eta"], 3),
+    )
+    _metric(
+        lines,
+        "repro_sweep_points_in_flight",
+        "Design points currently queued, running, or stalled",
+        "gauge",
+        len(snapshot["in_flight"]),
+    )
+    _metric(
+        lines,
+        "repro_sweep_points_stalled",
+        "Design points whose commit watchdog reported a deadlock",
+        "gauge",
+        len(snapshot["stalled"]),
+    )
+    _metric(
+        lines,
+        "repro_store_hits_total",
+        "Result-store loads served from disk this process",
+        "counter",
+        snapshot["store_hits"],
+    )
+    _metric(
+        lines,
+        "repro_store_misses_total",
+        "Result-store loads that missed this process",
+        "counter",
+        snapshot["store_misses"],
+    )
+    _metric(
+        lines,
+        "repro_failure_log_depth",
+        "Failure records accumulated by the resilient sweep",
+        "gauge",
+        snapshot["failure_log_depth"],
+    )
+    workers = snapshot["workers"]
+    if workers:
+        lines.append(
+            "# HELP repro_worker_alive Worker sent a heartbeat recently (1) "
+            "or went quiet (0)"
+        )
+        lines.append("# TYPE repro_worker_alive gauge")
+        for worker, stats in sorted(workers.items()):
+            lines.append(
+                f'repro_worker_alive{{worker="{worker}"}} '
+                f'{1 if stats["alive"] else 0}'
+            )
+        lines.append(
+            "# HELP repro_worker_instructions_per_second Simulated commit "
+            "rate per worker, from consecutive heartbeats"
+        )
+        lines.append("# TYPE repro_worker_instructions_per_second gauge")
+        for worker, stats in sorted(workers.items()):
+            lines.append(
+                f'repro_worker_instructions_per_second{{worker="{worker}"}} '
+                f'{stats["rate"]:.1f}'
+            )
+        lines.append(
+            "# HELP repro_worker_heartbeat_age_seconds Seconds since each "
+            "worker's last heartbeat"
+        )
+        lines.append("# TYPE repro_worker_heartbeat_age_seconds gauge")
+        for worker, stats in sorted(workers.items()):
+            lines.append(
+                f'repro_worker_heartbeat_age_seconds{{worker="{worker}"}} '
+                f'{stats["age"]:.3f}'
+            )
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Live progress display
+# ---------------------------------------------------------------------------
+
+
+def _human_seconds(seconds: float) -> str:
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f}h"
+    if seconds >= 60:
+        return f"{int(seconds // 60)}m{int(seconds % 60):02d}s"
+    return f"{seconds:.0f}s"
+
+
+def render_progress_lines(snapshot: dict, width: int = 100) -> list[str]:
+    """Human-readable progress block for one hub snapshot."""
+    parts = [f"{snapshot['done']}/{snapshot['total']} points"]
+    if snapshot["cached"]:
+        parts.append(f"{snapshot['cached']} cached")
+    if snapshot["recovered"]:
+        parts.append(f"{snapshot['recovered']} recovered")
+    if snapshot["gaps"]:
+        parts.append(f"{snapshot['gaps']} FAILED")
+    parts.append(f"elapsed {_human_seconds(snapshot['elapsed'])}")
+    if snapshot["eta"]:
+        parts.append(f"ETA {_human_seconds(snapshot['eta'])}")
+    lines = ["sweep: " + " · ".join(parts)]
+    for point in snapshot["in_flight"]:
+        if point["status"] == "stalled":
+            detail = (
+                f"STALLED: no commit for {point['stalled_cycles']} cycles"
+            )
+        elif point["status"] == "queued":
+            detail = "queued"
+        else:
+            detail = f"{point['instructions']}/{point['budget']} instr"
+            if point["budget"]:
+                detail += f" ({point['fraction']:.0%})"
+            if point["attempt"] > 1:
+                detail += f" · retry #{point['attempt']}"
+            age = point["heartbeat_age"]
+            if age is not None and age > 5.0:
+                detail += f" · no heartbeat for {age:.0f}s"
+        worker = f" [{point['worker']}]" if point["worker"] else ""
+        lines.append(f"  {point['label']}{worker}  {detail}"[:width])
+    return lines
+
+
+class ProgressDisplay:
+    """Renders hub snapshots to a stream on a background thread.
+
+    On a TTY the block is redrawn in place with ANSI cursor movement;
+    on a plain stream (forced ``--progress`` in CI) it appends one
+    status line whenever the done-count changes, so logs stay readable.
+    """
+
+    def __init__(
+        self,
+        hub: TelemetryHub,
+        stream: IO[str],
+        *,
+        interval: float = 0.5,
+        ansi: bool | None = None,
+    ):
+        self.hub = hub
+        self.stream = stream
+        self.interval = interval
+        self.ansi = stream.isatty() if ansi is None else ansi
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._last_block_lines = 0
+        self._last_done = -1
+
+    def start(self) -> None:
+        self._thread = threading.Thread(
+            target=self._loop, name="telemetry-progress", daemon=True
+        )
+        self._thread.start()
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                self.render()
+            except Exception:  # noqa: BLE001 - display must never kill a sweep
+                return
+
+    def render(self, final: bool = False) -> None:
+        snapshot = self.hub.snapshot()
+        if self.ansi:
+            lines = render_progress_lines(snapshot)
+            out = []
+            if self._last_block_lines:
+                out.append(f"\x1b[{self._last_block_lines}F")
+            out.extend(f"\x1b[2K{line}\n" for line in lines)
+            # Clear leftover lines from a taller previous block.
+            extra = self._last_block_lines - len(lines)
+            if extra > 0:
+                out.extend("\x1b[2K\n" for _ in range(extra))
+                out.append(f"\x1b[{extra}F")
+            self.stream.write("".join(out))
+            self.stream.flush()
+            self._last_block_lines = len(lines)
+        else:
+            if snapshot["done"] == self._last_done and not final:
+                return
+            self._last_done = snapshot["done"]
+            self.stream.write(render_progress_lines(snapshot)[0] + "\n")
+            self.stream.flush()
+
+    def close(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+        try:
+            self.render(final=True)
+        except Exception:  # noqa: BLE001
+            pass
+
+
+# ---------------------------------------------------------------------------
+# /metrics + /healthz HTTP endpoint
+# ---------------------------------------------------------------------------
+
+
+class MetricsServer:
+    """Background HTTP thread: Prometheus ``/metrics`` plus ``/healthz``.
+
+    Binds loopback only -- this is an operator's live view of one
+    process, not a public service.  Port 0 picks an ephemeral port;
+    the bound port is in :attr:`port`.
+    """
+
+    def __init__(self, hub: TelemetryHub, port: int, host: str = "127.0.0.1"):
+        from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+        started = time.monotonic()
+
+        class Handler(BaseHTTPRequestHandler):
+            def _send(self, code: int, content_type: str, body: str) -> None:
+                payload = body.encode("utf-8")
+                self.send_response(code)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(payload)))
+                self.end_headers()
+                self.wfile.write(payload)
+
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                if self.path == "/metrics":
+                    self._send(
+                        200,
+                        "text/plain; version=0.0.4; charset=utf-8",
+                        hub.prometheus(),
+                    )
+                elif self.path == "/healthz":
+                    self._send(
+                        200,
+                        "application/json",
+                        json.dumps(
+                            {
+                                "status": "ok",
+                                "uptime_seconds": round(
+                                    time.monotonic() - started, 3
+                                ),
+                            }
+                        ),
+                    )
+                else:
+                    self._send(404, "text/plain", "not found\n")
+
+            def log_message(self, *args) -> None:  # silence per-request spam
+                pass
+
+        self._server = ThreadingHTTPServer((host, port), Handler)
+        self._server.daemon_threads = True
+        self.port = self._server.server_address[1]
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> None:
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="telemetry-metrics",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+
+
+# ---------------------------------------------------------------------------
+# The CLI-facing scope
+# ---------------------------------------------------------------------------
+
+
+@contextmanager
+def sweep_telemetry(
+    *,
+    progress: bool | None = None,
+    serve_port: int | None = None,
+    store: "ResultStore | None" = None,
+    stream: IO[str] | None = None,
+) -> Iterator[TelemetryHub | None]:
+    """Enable live telemetry for the enclosed sweep run.
+
+    ``progress=None`` auto-enables the display on a TTY; ``True`` and
+    ``False`` force it.  ``serve_port`` starts the ``/metrics`` HTTP
+    thread.  When neither consumer is wanted, yields ``None`` without
+    installing anything -- the zero-overhead off state.
+    """
+    import sys
+
+    out = stream if stream is not None else sys.stderr
+    want_progress = out.isatty() if progress is None else progress
+    if not want_progress and serve_port is None:
+        yield None
+        return
+    hub = TelemetryHub()
+    hub.attach_store(store)
+    display = ProgressDisplay(hub, out) if want_progress else None
+    server = MetricsServer(hub, serve_port) if serve_port is not None else None
+    install_hub(hub)
+    try:
+        if server is not None:
+            server.start()
+            print(
+                f"[serving /metrics and /healthz on "
+                f"http://127.0.0.1:{server.port}]",
+                file=out,
+            )
+        if display is not None:
+            display.start()
+        yield hub
+    finally:
+        clear_hub()
+        if display is not None:
+            display.close()
+        if server is not None:
+            server.close()
+        hub.close()

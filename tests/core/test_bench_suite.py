@@ -80,6 +80,22 @@ class TestComparePayloads:
         assert "attribution overhead" in failures[0]
         assert "5% gate" in failures[0]
 
+    def test_telemetry_gate_is_absolute_and_optional(self):
+        # The committed baseline may predate the telemetry mode; the
+        # gate judges the fresh payload alone and tolerates absence.
+        fresh = _payload()
+        fresh["telemetry"] = {
+            "mean_seconds": 11.2,
+            "overhead_vs_headline": 0.12,
+        }
+        failures = bench_suite.compare_payloads(fresh, _payload())
+        assert len(failures) == 1
+        assert "telemetry overhead" in failures[0]
+        assert "10% gate" in failures[0]
+        fresh["telemetry"]["overhead_vs_headline"] = 0.08
+        assert bench_suite.compare_payloads(fresh, _payload()) == []
+        assert bench_suite.compare_payloads(_payload(), _payload()) == []
+
     def test_faster_runs_never_fail(self):
         fresh = _payload(headline=5.0, tracing=5.5, attribution=5.6, overhead=0.02)
         assert bench_suite.compare_payloads(fresh, _payload()) == []

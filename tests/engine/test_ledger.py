@@ -1,0 +1,222 @@
+"""Run ledger: record building, append/resolve, cross-run drift."""
+
+import json
+
+from repro.core.experiment import ExperimentSettings
+from repro.core.organizations import duplicate
+from repro.cpu.result import SimulationResult
+from repro.engine.key import ExperimentKey
+from repro.engine.ledger import (
+    LEDGER_SCHEMA,
+    Drift,
+    RunLedger,
+    build_record,
+    compare_runs,
+    plan_digest,
+)
+
+FAST = ExperimentSettings(
+    instructions=1_500, timing_warmup=300, functional_warmup=20_000
+)
+
+
+def _key(workload: str = "gcc") -> ExperimentKey:
+    return ExperimentKey(duplicate(32 * 1024, line_buffer=True), workload, FAST)
+
+
+def _result(instructions: int = 1500, cycles: int = 1000) -> SimulationResult:
+    return SimulationResult(instructions=instructions, cycles=cycles)
+
+
+def _record(
+    workloads=("gcc", "tomcatv"), cycles: int = 1000, **overrides
+) -> dict:
+    points = {_key(w): _result(cycles=cycles) for w in workloads}
+    outcomes = {key: "simulated" for key in points}
+    record = build_record(
+        points, outcomes, wall_seconds=1.0, jobs=1, store_schema=3
+    )
+    record.update(overrides)
+    return record
+
+
+class TestPlanDigest:
+    def test_order_independent(self):
+        keys = [_key("gcc"), _key("tomcatv")]
+        assert plan_digest(keys) == plan_digest(reversed(keys))
+
+    def test_different_plans_differ(self):
+        assert plan_digest([_key("gcc")]) != plan_digest([_key("tomcatv")])
+
+
+class TestBuildRecord:
+    def test_shape_and_summary(self):
+        record = _record()
+        assert record["schema"] == LEDGER_SCHEMA
+        assert record["jobs"] == 1
+        assert record["wall_seconds"] == 1.0
+        assert record["summary"]["points"] == 2
+        assert record["summary"]["simulated"] == 2
+        assert record["summary"]["mean_ipc"] == 1.5
+        digests = [row["digest"] for row in record["points"]]
+        assert sorted(digests) == digests  # sorted by digest, stable order
+
+    def test_failed_result_serializes_as_gap(self):
+        key = _key()
+        failed = SimulationResult(instructions=0, cycles=0, failed=True)
+        record = build_record(
+            {key: failed}, {key: "gap"}, wall_seconds=0.1, jobs=1, store_schema=3
+        )
+        assert record["points"][0]["ipc"] is None
+        assert record["summary"]["gaps"] == 1
+        assert record["summary"]["mean_ipc"] is None
+        # NaN must never reach the JSON line.
+        json.dumps(record, allow_nan=False)
+
+    def test_outcome_tally_covers_cache_layers(self):
+        points = {_key("gcc"): _result(), _key("tomcatv"): _result()}
+        outcomes = {_key("gcc"): "memo", _key("tomcatv"): "store"}
+        record = build_record(
+            points, outcomes, wall_seconds=0.5, jobs=2, store_schema=3
+        )
+        assert record["summary"]["memo"] == 1
+        assert record["summary"]["store"] == 1
+        assert record["summary"]["simulated"] == 0
+
+
+class TestRunLedger:
+    def test_append_assigns_sequential_run_ids(self, tmp_path):
+        ledger = RunLedger(tmp_path / "runs.jsonl")
+        first = ledger.append(_record())
+        second = ledger.append(_record())
+        assert first.startswith("r0001-")
+        assert second.startswith("r0002-")
+        assert [r["run_id"] for r in ledger.records()] == [first, second]
+
+    def test_append_is_single_line_json(self, tmp_path):
+        ledger = RunLedger(tmp_path / "runs.jsonl")
+        ledger.append(_record())
+        lines = ledger.path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["schema"] == LEDGER_SCHEMA
+
+    def test_corrupt_lines_are_skipped(self, tmp_path):
+        ledger = RunLedger(tmp_path / "runs.jsonl")
+        ledger.append(_record())
+        with ledger.path.open("a", encoding="utf-8") as handle:
+            handle.write("{torn wri\n")
+            handle.write("[1, 2, 3]\n")
+            handle.write('{"no_plan": true}\n')
+        ledger.append(_record())
+        records = ledger.records()
+        assert len(records) == 2
+        assert all("plan_digest" in r for r in records)
+
+    def test_nan_record_is_rejected_not_written(self, tmp_path):
+        ledger = RunLedger(tmp_path / "runs.jsonl")
+        bad = _record()
+        bad["summary"]["mean_ipc"] = float("nan")
+        assert ledger.append(bad) is None
+        assert ledger.records() == []
+
+    def test_resolve_by_index_id_prefix_and_last(self, tmp_path):
+        ledger = RunLedger(tmp_path / "runs.jsonl")
+        first = ledger.append(_record(workloads=("gcc",)))
+        second = ledger.append(_record(workloads=("tomcatv",)))
+        assert ledger.resolve("last")["run_id"] == second
+        assert ledger.resolve("1")["run_id"] == first
+        assert ledger.resolve("2")["run_id"] == second
+        assert ledger.resolve("-1")["run_id"] == second
+        assert ledger.resolve("-2")["run_id"] == first
+        assert ledger.resolve(first)["run_id"] == first
+        assert ledger.resolve("r0001")["run_id"] == first
+
+    def test_resolve_misses(self, tmp_path):
+        ledger = RunLedger(tmp_path / "runs.jsonl")
+        assert ledger.resolve("last") is None  # empty ledger
+        ledger.append(_record(workloads=("gcc",)))
+        ledger.append(_record(workloads=("gcc",)))
+        assert ledger.resolve("0") is None
+        assert ledger.resolve("99") is None
+        assert ledger.resolve("nope") is None
+        assert ledger.resolve("r000") is None  # ambiguous prefix
+
+    def test_previous_of_same_plan_skips_other_plans(self, tmp_path):
+        ledger = RunLedger(tmp_path / "runs.jsonl")
+        first = ledger.append(_record(workloads=("gcc",)))
+        ledger.append(_record(workloads=("tomcatv",)))
+        last = ledger.append(_record(workloads=("gcc",)))
+        record = ledger.resolve(last)
+        previous = ledger.previous_of_same_plan(record)
+        assert previous["run_id"] == first
+
+    def test_previous_of_same_plan_none_for_first_run(self, tmp_path):
+        ledger = RunLedger(tmp_path / "runs.jsonl")
+        run_id = ledger.append(_record())
+        assert ledger.previous_of_same_plan(ledger.resolve(run_id)) is None
+
+    def test_info_and_clear(self, tmp_path):
+        ledger = RunLedger(tmp_path / "runs.jsonl")
+        assert ledger.info()["runs"] == 0
+        assert ledger.info()["bytes"] == 0
+        run_id = ledger.append(_record())
+        info = ledger.info()
+        assert info["runs"] == 1
+        assert info["last_run_id"] == run_id
+        assert info["bytes"] > 0
+        assert ledger.clear() == 1
+        assert ledger.info()["runs"] == 0
+
+    def test_unwritable_path_returns_none(self, tmp_path):
+        blocker = tmp_path / "flat"
+        blocker.write_text("not a directory", encoding="utf-8")
+        ledger = RunLedger(blocker / "runs.jsonl")
+        assert ledger.append(_record()) is None
+        assert ledger.records() == []
+
+
+class TestCompareRuns:
+    def test_identical_runs_are_clean(self):
+        a, b = _record(), _record()
+        comparison = compare_runs(a, b)
+        assert comparison.clean
+        assert comparison.same_plan
+        assert comparison.matched_points == 2
+        assert comparison.drifts == []
+
+    def test_cycle_drift_is_flagged_per_metric(self):
+        a = _record(cycles=1000)
+        b = _record(cycles=1001)
+        comparison = compare_runs(a, b)
+        assert not comparison.clean
+        metrics = {d.metric for d in comparison.drifts}
+        assert metrics == {"ipc", "cycles"}  # instructions agree
+
+    def test_rel_tol_absorbs_small_drift(self):
+        a = _record(cycles=1000)
+        b = _record(cycles=1001)
+        assert compare_runs(a, b, rel_tol=0.01).clean
+        assert not compare_runs(a, b, rel_tol=1e-6).clean
+
+    def test_gap_appearing_is_drift_even_with_tolerance(self):
+        a = _record(workloads=("gcc",))
+        b = _record(workloads=("gcc",))
+        b["points"][0]["ipc"] = None
+        comparison = compare_runs(a, b, rel_tol=0.5)
+        assert [d.metric for d in comparison.drifts] == ["ipc"]
+
+    def test_disjoint_points_reported_not_compared(self):
+        a = _record(workloads=("gcc",))
+        b = _record(workloads=("tomcatv",))
+        comparison = compare_runs(a, b)
+        assert not comparison.same_plan
+        assert not comparison.clean
+        assert comparison.matched_points == 0
+        assert len(comparison.only_in_a) == 1
+        assert len(comparison.only_in_b) == 1
+
+    def test_drift_render_formats(self):
+        drift = Drift("org / gcc", "ipc", 1.5, None)
+        assert drift.render() == "org / gcc: ipc 1.500000 -> gap"
+        drift = Drift("org / gcc", "cycles", 1000, 1001)
+        assert drift.render() == "org / gcc: cycles 1000 -> 1001"

@@ -1,5 +1,7 @@
 """The profiler and the pipeline-utilization breakdown table."""
 
+import pytest
+
 from repro.core.experiment import ExperimentSettings, run_experiment
 from repro.core.organizations import banked, duplicate
 from repro.cpu.result import SimulationResult
@@ -47,6 +49,109 @@ class TestPhaseProfiler:
 
     def test_empty_summary_is_empty(self):
         assert PhaseProfiler().summary() == ""
+
+
+class TestPhaseRecordMath:
+    def test_events_per_second_guards_zero_wall_clock(self):
+        from repro.observability import PhaseRecord
+
+        record = PhaseRecord("idle")
+        assert record.events_per_second == 0.0
+        record.seconds = 2.0
+        record.events = 500
+        assert record.events_per_second == 250.0
+
+    def test_phase_yields_its_record(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("alpha") as record:
+            assert record.name == "alpha"
+        assert profiler.records() == [record]
+
+    def test_summary_reports_throughput_and_dashes(self):
+        profiler = PhaseProfiler()
+        with tracing(capacity=0) as tracer:
+            with profiler.phase("traced"):
+                for cycle in range(100):
+                    tracer.capture("k", cycle, {})
+        with profiler.phase("quiet"):
+            pass
+        summary = profiler.summary()
+        traced_row = next(
+            line for line in summary.splitlines() if "traced" in line
+        )
+        quiet_row = next(
+            line for line in summary.splitlines() if "quiet" in line
+        )
+        assert "100" in traced_row  # event count column
+        assert "-" in quiet_row  # no events -> dashes, not zeros
+        total_row = next(
+            line for line in summary.splitlines() if "total" in line
+        )
+        assert "100.0%" in total_row
+
+    def test_events_only_counted_while_tracing(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("untraced"):
+            pass
+        assert profiler.records()[0].events == 0
+
+    def test_phase_records_time_even_when_body_raises(self):
+        profiler = PhaseProfiler()
+        with pytest.raises(RuntimeError):
+            with profiler.phase("boom"):
+                raise RuntimeError("body failed")
+        assert [r.name for r in profiler.records()] == ["boom"]
+        assert profiler.records()[0].seconds >= 0.0
+
+
+class TestUtilizationRowMath:
+    def test_zero_cycle_metrics_render_dashes_not_zerodiv(self):
+        rows = utilization_rows({})
+        as_map = {(row[0], row[1]): row[2] for row in rows}
+        assert as_map[("pipeline", "IPC")] == "-"
+        assert as_map[("fetch stalls", "window full")] == "-"
+        assert as_map[("cache ports", "avg wait (cycles)")] == "-"
+
+    def test_served_by_rows_only_for_populated_levels(self):
+        metrics = {
+            "cpu.cycles": 100,
+            "cpu.instructions": 100,
+            "memory.loads": 10,
+            "memory.stores": 0,
+            "memory.served_by.l1": 8,
+            "memory.served_by.memory": 2,
+            "memory.served_by.l2": 0,
+        }
+        rows = utilization_rows(metrics)
+        served = [row[1] for row in rows if row[0] == "data served by"]
+        assert served == ["l1", "memory"]
+
+    def test_bus_rows_require_the_metric_to_exist(self):
+        base = {"cpu.cycles": 100, "cpu.instructions": 100}
+        assert not any(
+            row[0].startswith("bus") for row in utilization_rows(base)
+        )
+        with_bus = dict(
+            base,
+            **{
+                "memory.bus.chip.busy_cycles": 40,
+                "memory.bus.chip.queue_cycles": 5,
+            },
+        )
+        rows = utilization_rows(with_bus)
+        bus_rows = [row for row in rows if row[0] == "bus chip<->L2"]
+        assert ["bus chip<->L2", "busy", "40.0%"] in bus_rows
+        assert ["bus chip<->L2", "queue cycles", "5"] in bus_rows
+
+    def test_line_buffer_hit_rate_row(self):
+        metrics = {
+            "cpu.cycles": 100,
+            "cpu.instructions": 100,
+            "memory.line_buffer.load_lookups": 50,
+            "memory.line_buffer.load_hits": 25,
+        }
+        rows = utilization_rows(metrics)
+        assert ["line buffer", "load hit rate", "50.0%"] in rows
 
 
 class TestUtilization:

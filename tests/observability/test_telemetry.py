@@ -1,0 +1,553 @@
+"""Live sweep telemetry: beacon, hub, display, /metrics endpoint."""
+
+import io
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.experiment import ExperimentSettings
+from repro.core.organizations import duplicate
+from repro.engine.key import ExperimentKey
+from repro.observability import telemetry
+from repro.observability.telemetry import (
+    _BEAT_CALL_MASK,
+    MetricsServer,
+    ProgressDisplay,
+    TelemetryBeacon,
+    TelemetryHub,
+    point_beacon,
+    render_progress_lines,
+    render_prometheus,
+    sweep_telemetry,
+)
+from repro.robustness.watchdog import LivenessMonitor
+
+FAST = ExperimentSettings(
+    instructions=1_500, timing_warmup=300, functional_warmup=20_000
+)
+
+
+def _key(workload: str = "gcc") -> ExperimentKey:
+    return ExperimentKey(duplicate(32 * 1024, line_buffer=True), workload, FAST)
+
+
+def _hub(**kwargs) -> TelemetryHub:
+    return TelemetryHub(**kwargs)
+
+
+class FakeClock:
+    def __init__(self, now: float = 100.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestBeacon:
+    def test_start_and_end_carry_identity(self):
+        sent = []
+        beacon = TelemetryBeacon("abc123", "org / gcc", sent.append, budget=1800)
+        beacon.start()
+        beacon.end("ok")
+        assert [m["type"] for m in sent] == ["start", "end"]
+        assert sent[0]["point"] == "abc123"
+        assert sent[0]["label"] == "org / gcc"
+        assert sent[0]["budget"] == 1800
+        assert sent[0]["worker"].startswith("pid:")
+
+    def test_progress_is_rate_limited_by_call_mask(self):
+        sent = []
+        beacon = TelemetryBeacon("p", "l", sent.append, interval=0.0)
+        beacon.start()
+        for i in range(_BEAT_CALL_MASK):
+            beacon.progress(i, i)
+        assert [m["type"] for m in sent] == ["start"]  # mask swallows all
+        beacon.progress(64, 64)  # call 64: mask passes, interval 0 passes
+        assert sent[-1]["type"] == "beat"
+        assert sent[-1]["instructions"] == 64
+
+    def test_progress_is_rate_limited_by_wall_clock(self):
+        sent = []
+        beacon = TelemetryBeacon("p", "l", sent.append, interval=3600.0)
+        beacon.start()
+        for i in range(5 * (_BEAT_CALL_MASK + 1)):
+            beacon.progress(i, i)
+        # The mask passes five times but the hour-long interval never does.
+        assert [m["type"] for m in sent] == ["start"]
+
+    def test_send_error_disables_beacon_not_simulation(self):
+        calls = []
+
+        def explode(message):
+            calls.append(message)
+            raise OSError("queue torn down")
+
+        beacon = TelemetryBeacon("p", "l", explode, interval=0.0)
+        beacon.start()
+        assert len(calls) == 1
+        beacon.end("ok")  # must not raise, must not retry the send
+        assert len(calls) == 1
+
+    def test_stall_reports_evidence(self):
+        sent = []
+        beacon = TelemetryBeacon("p", "l", sent.append)
+        beacon.progress(500, 900)
+        beacon.stall(cycle=101_000, stalled_cycles=100_000)
+        assert sent[-1]["type"] == "stall"
+        assert sent[-1]["stalled_cycles"] == 100_000
+        assert sent[-1]["instructions"] == 500
+
+    def test_end_carries_error_type(self):
+        sent = []
+        beacon = TelemetryBeacon("p", "l", sent.append)
+        beacon.end("error", "DeadlockError")
+        assert sent[-1] == {
+            "type": "end",
+            "status": "error",
+            "error_type": "DeadlockError",
+            "point": "p",
+            "label": "l",
+            "worker": sent[-1]["worker"],
+        }
+
+
+class TestBeaconGlobals:
+    def test_point_beacon_is_none_when_telemetry_off(self):
+        assert telemetry._WORKER_QUEUE is None
+        assert point_beacon(_key()) is None
+
+    def test_point_beacon_with_explicit_send(self):
+        sent = []
+        beacon = point_beacon(_key(), send=sent.append)
+        assert beacon is not None
+        assert beacon.budget == FAST.timing_warmup + FAST.instructions
+        beacon.start()
+        assert sent[0]["point"] == _key().digest[:12]
+
+    def test_install_and_clear(self):
+        beacon = TelemetryBeacon("p", "l", lambda m: None)
+        telemetry.install_beacon(beacon)
+        try:
+            assert telemetry.beacon() is beacon
+        finally:
+            telemetry.clear_beacon()
+        assert telemetry.beacon() is None
+
+    def test_notify_stall_routes_through_active_beacon(self):
+        sent = []
+        telemetry.install_beacon(TelemetryBeacon("p", "l", sent.append))
+        try:
+            telemetry.notify_stall(5000, 1000)
+        finally:
+            telemetry.clear_beacon()
+        assert sent[-1]["type"] == "stall"
+        telemetry.notify_stall(1, 1)  # no beacon: a no-op, not an error
+
+
+class TestLivenessMonitor:
+    def test_ages_and_status_with_fake_clock(self):
+        clock = FakeClock()
+        monitor = LivenessMonitor(stale_after=10.0, clock=clock)
+        assert monitor.status("w1") == "unknown"
+        assert monitor.age("w1") == float("inf")
+        monitor.beat("w1")
+        assert monitor.status("w1") == "alive"
+        clock.now += 5.0
+        assert monitor.age("w1") == 5.0
+        clock.now += 6.0
+        assert monitor.status("w1") == "stale"
+        assert monitor.stale_workers() == ["w1"]
+        monitor.beat("w1")
+        assert monitor.status("w1") == "alive"
+        assert monitor.workers() == ["w1"]
+
+    def test_rejects_nonpositive_threshold(self):
+        with pytest.raises(ValueError):
+            LivenessMonitor(stale_after=0.0)
+
+
+class TestHubLifecycle:
+    def test_cached_and_finished_points_reach_totals(self):
+        hub = _hub()
+        hub.batch_started(3)
+        hub.point_cached("a" * 12, "org / gcc", "store")
+        hub.point_queued("b" * 12, "org / tomcatv")
+        hub.point_started("b" * 12, "org / tomcatv")
+        hub.point_finished("b" * 12, "org / tomcatv", "simulated")
+        hub.point_started("c" * 12, "org / swim")
+        hub.point_finished("c" * 12, "org / swim", "gap")
+        snapshot = hub.snapshot()
+        assert snapshot["total"] == 3
+        assert snapshot["done"] == 3
+        assert snapshot["cached"] == 1
+        assert snapshot["simulated"] == 1
+        assert snapshot["gaps"] == 1
+        assert snapshot["in_flight"] == []
+
+    def test_heartbeats_track_progress_and_worker_rate(self):
+        clock = FakeClock()
+        hub = _hub(clock=clock)
+        hub.batch_started(1)
+        hub.point_started("p1", "org / gcc")
+        hub.handle(
+            {
+                "type": "start",
+                "point": "p1",
+                "label": "org / gcc",
+                "worker": "pid:1",
+                "budget": 1800,
+                "attempt": 1,
+            }
+        )
+        clock.now += 1.0
+        hub.handle(
+            {
+                "type": "beat",
+                "point": "p1",
+                "label": "org / gcc",
+                "worker": "pid:1",
+                "instructions": 600,
+                "cycle": 400,
+                "budget": 1800,
+                "attempt": 1,
+            }
+        )
+        clock.now += 1.0
+        hub.handle(
+            {
+                "type": "beat",
+                "point": "p1",
+                "label": "org / gcc",
+                "worker": "pid:1",
+                "instructions": 1200,
+                "cycle": 800,
+                "budget": 1800,
+                "attempt": 1,
+            }
+        )
+        snapshot = hub.snapshot()
+        (point,) = snapshot["in_flight"]
+        assert point["status"] == "running"
+        assert point["instructions"] == 1200
+        assert point["fraction"] == pytest.approx(1200 / 1800)
+        assert snapshot["workers"]["pid:1"]["rate"] == pytest.approx(600.0)
+        assert snapshot["workers"]["pid:1"]["alive"] is True
+
+    def test_stall_heartbeat_marks_point_stalled(self):
+        hub = _hub()
+        hub.batch_started(1)
+        hub.point_started("p1", "org / gcc")
+        hub.handle(
+            {
+                "type": "stall",
+                "point": "p1",
+                "label": "org / gcc",
+                "worker": "pid:9",
+                "cycle": 101_000,
+                "stalled_cycles": 100_000,
+            }
+        )
+        snapshot = hub.snapshot()
+        assert snapshot["stalled"] == ["org / gcc"]
+        assert snapshot["in_flight"][0]["stalled_cycles"] == 100_000
+
+    def test_late_heartbeat_cannot_resurrect_terminal_point(self):
+        hub = _hub()
+        hub.batch_started(1)
+        hub.point_started("p1", "org / gcc")
+        hub.point_finished("p1", "org / gcc", "simulated")
+        hub.handle(
+            {
+                "type": "beat",
+                "point": "p1",
+                "label": "org / gcc",
+                "worker": "pid:1",
+                "instructions": 10,
+                "cycle": 10,
+            }
+        )
+        snapshot = hub.snapshot()
+        assert snapshot["done"] == 1
+        assert snapshot["in_flight"] == []
+
+    def test_retry_bumps_attempt(self):
+        hub = _hub()
+        hub.batch_started(1)
+        hub.point_started("p1", "org / gcc")
+        hub.point_retrying("p1", "org / gcc", 2)
+        snapshot = hub.snapshot()
+        assert snapshot["in_flight"][0]["attempt"] == 2
+
+    def test_eta_scales_with_remaining_points(self):
+        clock = FakeClock()
+        hub = _hub(clock=clock)
+        hub.batch_started(4)
+        clock.now += 10.0
+        hub.point_finished("p1", "a", "simulated")
+        snapshot = hub.snapshot()
+        assert snapshot["elapsed"] == 10.0
+        assert snapshot["eta"] == pytest.approx(30.0)
+
+    def test_bad_message_in_handle_is_tolerated_by_drain_contract(self):
+        hub = _hub()
+        # handle() itself may raise on garbage; the drain loop catches it.
+        # The contract tested here: a well-formed-but-unknown type is a
+        # silent no-op, not a crash.
+        hub.handle({"type": "mystery", "point": "p", "label": "l"})
+        assert hub.snapshot()["in_flight"][0]["status"] == "running"
+
+    def test_failure_log_and_store_counters_flow_through(self, tmp_path):
+        from repro.engine.store import ResultStore
+        from repro.robustness.runner import FailureLog, FailureRecord
+
+        store = ResultStore(tmp_path / "cache")
+        store.load(_key())  # a miss
+        log = FailureLog()
+        log.record(
+            FailureRecord(
+                label="org / gcc",
+                workload="gcc",
+                error_type="DeadlockError",
+                message="stall",
+                attempts=2,
+                resolution="gap",
+            )
+        )
+        hub = _hub()
+        hub.attach_store(store)
+        hub.attach_failure_log(log)
+        snapshot = hub.snapshot()
+        assert snapshot["store_misses"] == 1
+        assert snapshot["store_hits"] == 0
+        assert snapshot["failure_log_depth"] == 1
+
+
+class TestPrometheusRendering:
+    def _snapshot(self) -> dict:
+        hub = _hub()
+        hub.batch_started(2)
+        hub.point_cached("p1", "org / gcc", "store")
+        hub.handle(
+            {
+                "type": "beat",
+                "point": "p2",
+                "label": "org / tomcatv",
+                "worker": "pid:7",
+                "instructions": 100,
+                "cycle": 80,
+                "budget": 1800,
+            }
+        )
+        return hub.snapshot()
+
+    def test_required_series_present(self):
+        text = render_prometheus(self._snapshot())
+        for series in (
+            "repro_sweep_points_total 2",
+            "repro_sweep_points_done 1",
+            "repro_sweep_points_cached 1",
+            "repro_sweep_points_in_flight 1",
+            "repro_store_hits_total 0",
+            "repro_failure_log_depth 0",
+            'repro_worker_alive{worker="pid:7"} 1',
+        ):
+            assert series in text, series
+
+    def test_exposition_format_discipline(self):
+        text = render_prometheus(self._snapshot())
+        assert text.endswith("\n")
+        names = set()
+        for line in text.splitlines():
+            if line.startswith("# HELP "):
+                names.add(line.split()[2])
+            elif not line.startswith("#"):
+                bare = line.split("{")[0].split()[0]
+                assert bare in names, f"sample {bare} without HELP/TYPE"
+        # Every HELP has a TYPE.
+        helps = [ln for ln in text.splitlines() if ln.startswith("# HELP")]
+        types = [ln for ln in text.splitlines() if ln.startswith("# TYPE")]
+        assert len(helps) == len(types)
+
+    def test_no_workers_no_worker_series(self):
+        hub = _hub()
+        hub.batch_started(1)
+        text = hub.prometheus()
+        assert "repro_worker_alive" not in text
+
+
+class TestProgressDisplay:
+    def _busy_hub(self) -> TelemetryHub:
+        hub = _hub()
+        hub.batch_started(2)
+        hub.point_cached("p1", "org / gcc", "memo")
+        hub.handle(
+            {
+                "type": "beat",
+                "point": "p2",
+                "label": "org / tomcatv",
+                "worker": "pid:3",
+                "instructions": 900,
+                "cycle": 700,
+                "budget": 1800,
+            }
+        )
+        return hub
+
+    def test_render_lines_summarize_sweep_and_points(self):
+        lines = render_progress_lines(self._busy_hub().snapshot())
+        assert lines[0].startswith("sweep: 1/2 points")
+        assert "1 cached" in lines[0]
+        assert "org / tomcatv" in lines[1]
+        assert "900/1800 instr (50%)" in lines[1]
+
+    def test_stalled_point_is_called_out(self):
+        hub = self._busy_hub()
+        hub.handle(
+            {
+                "type": "stall",
+                "point": "p2",
+                "label": "org / tomcatv",
+                "stalled_cycles": 100_000,
+            }
+        )
+        lines = render_progress_lines(hub.snapshot())
+        assert any(
+            "STALLED: no commit for 100000 cycles" in line for line in lines
+        )
+
+    def test_plain_mode_appends_only_on_done_change(self):
+        hub = self._busy_hub()
+        stream = io.StringIO()
+        display = ProgressDisplay(hub, stream, ansi=False)
+        display.render()
+        display.render()  # same done count: no new line
+        hub.point_finished("p2", "org / tomcatv", "simulated")
+        display.render()
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("sweep: 1/2")
+        assert lines[1].startswith("sweep: 2/2")
+
+    def test_ansi_mode_redraws_in_place(self):
+        hub = self._busy_hub()
+        stream = io.StringIO()
+        display = ProgressDisplay(hub, stream, ansi=True)
+        display.render()
+        first = stream.getvalue()
+        assert "\x1b[2K" in first
+        assert "\x1b[" not in first.split("\x1b[2K")[0]  # no cursor-up yet
+        display.render()
+        assert "\x1b[2F" in stream.getvalue()  # moved up over the 2-line block
+
+    def test_close_is_idempotent_and_renders_final_state(self):
+        hub = self._busy_hub()
+        stream = io.StringIO()
+        display = ProgressDisplay(hub, stream, ansi=False)
+        display.start()
+        display.close()
+        display.close()
+        assert "sweep: 1/2" in stream.getvalue()
+
+
+class TestMetricsServer:
+    def test_metrics_and_healthz_over_http(self):
+        hub = _hub()
+        hub.batch_started(5)
+        server = MetricsServer(hub, 0)  # ephemeral port
+        server.start()
+        try:
+            base = f"http://127.0.0.1:{server.port}"
+            with urllib.request.urlopen(f"{base}/metrics", timeout=5) as resp:
+                assert resp.status == 200
+                assert resp.headers["Content-Type"].startswith(
+                    "text/plain; version=0.0.4"
+                )
+                body = resp.read().decode("utf-8")
+            assert "repro_sweep_points_total 5" in body
+            with urllib.request.urlopen(f"{base}/healthz", timeout=5) as resp:
+                health = json.load(resp)
+            assert health["status"] == "ok"
+            assert health["uptime_seconds"] >= 0
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(f"{base}/nope", timeout=5)
+            assert excinfo.value.code == 404
+        finally:
+            server.close()
+
+
+class TestSweepTelemetryScope:
+    def test_off_state_installs_nothing(self):
+        stream = io.StringIO()  # not a TTY: progress auto-off
+        with sweep_telemetry(stream=stream) as hub:
+            assert hub is None
+            assert telemetry.active_hub() is None
+        assert stream.getvalue() == ""
+
+    def test_explicit_off_beats_tty(self):
+        with sweep_telemetry(progress=False) as hub:
+            assert hub is None
+
+    def test_progress_installs_and_clears_hub(self):
+        stream = io.StringIO()
+        with sweep_telemetry(progress=True, stream=stream) as hub:
+            assert hub is not None
+            assert telemetry.active_hub() is hub
+            hub.batch_started(1)
+            hub.point_finished("p", "org / gcc", "simulated")
+        assert telemetry.active_hub() is None
+        assert "sweep: 1/1 points" in stream.getvalue()
+
+    def test_serve_port_announces_endpoint(self):
+        stream = io.StringIO()
+        with sweep_telemetry(
+            progress=False, serve_port=0, stream=stream
+        ) as hub:
+            assert hub is not None
+            announced = stream.getvalue()
+            assert "/metrics and /healthz on http://127.0.0.1:" in announced
+            port = int(announced.rstrip().rstrip("]").rsplit(":", 1)[1])
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/healthz", timeout=5
+            ) as resp:
+                assert resp.status == 200
+        assert telemetry.active_hub() is None
+
+
+class TestWorkerQueue:
+    def test_queue_round_trip_through_drain_thread(self):
+        import time as time_mod
+
+        hub = _hub()
+        queue = hub.worker_queue()
+        try:
+            if queue is None:
+                pytest.skip("multiprocessing manager unavailable in sandbox")
+            assert hub.worker_queue() is queue  # lazily created once
+            queue.put(
+                {
+                    "type": "beat",
+                    "point": "p1",
+                    "label": "org / gcc",
+                    "worker": "pid:42",
+                    "instructions": 10,
+                    "cycle": 8,
+                    "budget": 100,
+                }
+            )
+            deadline = time_mod.monotonic() + 5.0
+            while time_mod.monotonic() < deadline:
+                if hub.snapshot()["in_flight"]:
+                    break
+                time_mod.sleep(0.05)
+            (point,) = hub.snapshot()["in_flight"]
+            assert point["worker"] == "pid:42"
+            assert point["instructions"] == 10
+        finally:
+            hub.close()
+
+    def test_close_without_queue_is_safe(self):
+        hub = _hub()
+        hub.close()
+        hub.close()
