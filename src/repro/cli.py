@@ -8,8 +8,12 @@ Usage::
     python -m repro headlines --jobs 4
     python -m repro figure8 --jobs 4 --progress --serve-metrics 9100
     python -m repro all
+    python -m repro figure4 --jobs 2 --point-timeout 120
+    python -m repro figure4 --resume
     python -m repro cache info
     python -m repro cache clear
+    python -m repro cache verify
+    python -m repro runs resume last
     python -m repro trace gcc --trace-out gcc.jsonl.gz
     python -m repro trace gcc --format chrome
     python -m repro trace --from-jsonl gcc.jsonl.gz --format chrome
@@ -49,6 +53,20 @@ against the persistent store also appends a record to the run ledger
 ``runs show [ref]`` one record, and ``runs compare [a] [b]`` diffs two
 runs' per-point metrics, flagging any drift beyond ``--rel-tol``
 (default 0.0 -- the golden suite's exact-agreement bar).
+
+Crash safety: every sweep keeps a checkpoint next to the store; SIGINT/
+SIGTERM finish in-flight points, flush checkpoint and ledger, and exit
+with code 4 so ``--resume`` (same command) or ``repro runs resume
+[ref]`` can continue, re-executing only what is missing -- output stays
+byte-identical to an uninterrupted run.  ``--point-timeout SECONDS``
+bounds each design point's wall clock (also via
+``REPRO_POINT_TIMEOUT``): an overrunning point is cancelled and
+recorded as a ``timeout`` gap instead of hanging the sweep.  ``cache
+verify`` scans the store and ledger for torn/corrupt/mis-stamped
+entries and quarantines them under ``.repro-cache/quarantine/``.
+
+Exit codes: 0 -- everything regenerated cleanly; 3 -- finished, but
+with gaps, failures, or drift; 4 -- interrupted, resumable.
 """
 
 from __future__ import annotations
@@ -81,6 +99,39 @@ EXPERIMENTS = (
     "headlines",
     "ablations",
 )
+
+#: Exit code for a gracefully interrupted, resumable run (0 = clean,
+#: 3 = finished with gaps/failures/drift).
+EXIT_INTERRUPTED = 4
+
+
+def _point_timeout_scope(timeout: float | None):
+    """Export ``--point-timeout`` to workers via the environment.
+
+    The deadline rides ``REPRO_POINT_TIMEOUT`` so pool workers inherit
+    it without protocol changes; the previous value is restored on exit
+    (tests call ``main()`` in-process).
+    """
+    from contextlib import contextmanager
+
+    from repro.robustness.deadline import POINT_TIMEOUT_ENV
+
+    @contextmanager
+    def scope():
+        if timeout is None:
+            yield
+            return
+        previous = os.environ.get(POINT_TIMEOUT_ENV)
+        os.environ[POINT_TIMEOUT_ENV] = str(timeout)
+        try:
+            yield
+        finally:
+            if previous is None:
+                os.environ.pop(POINT_TIMEOUT_ENV, None)
+            else:
+                os.environ[POINT_TIMEOUT_ENV] = previous
+
+    return scope()
 
 
 def _settings(args: argparse.Namespace) -> ExperimentSettings:
@@ -384,7 +435,7 @@ def _diagnose_command(args: argparse.Namespace) -> int:
 
 
 def _cache_command(action: str, cache_dir: str | None) -> int:
-    """``python -m repro cache {info,clear}`` against the result store."""
+    """``python -m repro cache {info,clear,verify}`` on the result store."""
     store = ResultStore(cache_dir)
     if action == "info":
         info = store.info()
@@ -395,6 +446,11 @@ def _cache_command(action: str, cache_dir: str | None) -> int:
             f"({info['current_schema_entries']} at the current schema)"
         )
         print(f"size:            {info['bytes']} bytes")
+        if info["checkpoints"]:
+            print(
+                f"checkpoints:     {info['checkpoints']} interrupted "
+                "sweep(s) (see 'repro runs resume')"
+            )
         ledger = info["ledger"]
         if ledger["runs"]:
             print(
@@ -404,6 +460,32 @@ def _cache_command(action: str, cache_dir: str | None) -> int:
             )
         else:
             print("run ledger:      no runs recorded")
+        return 0
+    if action == "verify":
+        report = store.verify()
+        print(
+            f"scanned {report['scanned']} entr"
+            f"{'y' if report['scanned'] == 1 else 'ies'}: "
+            f"{report['ok']} healthy"
+        )
+        for item in report["quarantined"]:
+            print(f"  quarantined {item['path']}: {item['problem']}")
+            if item["moved_to"]:
+                print(f"    -> {item['moved_to']}")
+        ledger_report = report["ledger"]
+        if ledger_report.get("torn"):
+            where = ledger_report.get("fragment_path")
+            print(
+                "  run ledger: excised a torn trailing record"
+                + (f" -> {where}" if where else "")
+            )
+        elif ledger_report.get("healed"):
+            print("  run ledger: completed a record missing its newline")
+        if not report["quarantined"] and not ledger_report.get("torn"):
+            print("no damage found")
+        # Always exit 0: verify's job is to leave the store healthy,
+        # and after quarantining it has.  The next sweep re-simulates
+        # whatever was lost.
         return 0
     removed = store.clear()
     # Run history survives a cache clear on purpose: the ledger is what
@@ -427,6 +509,10 @@ def _run_summary_row(record: dict) -> list[str]:
         outcome_bits.append(f"{summary['recovered']} recovered")
     if summary.get("gaps"):
         outcome_bits.append(f"{summary['gaps']} gaps")
+    if summary.get("timeouts"):
+        outcome_bits.append(f"{summary['timeouts']} timeouts")
+    if record.get("interrupted"):
+        outcome_bits.append("interrupted")
     mean_ipc = summary.get("mean_ipc")
     return [
         record.get("run_id", "?"),
@@ -488,6 +574,11 @@ def _runs_show(ledger, ref: str, fmt: str, parser) -> int:
     )
     mean_ipc = summary.get("mean_ipc")
     print(f"mean IPC:     {f'{mean_ipc:.4f}' if mean_ipc is not None else '-'}")
+    if record.get("interrupted"):
+        print(
+            "interrupted:  yes -- partial record; resume with "
+            "'repro runs resume' or the original command plus --resume"
+        )
     rows = [
         [
             row.get("label", "?"),
@@ -587,8 +678,96 @@ def _runs_compare(ledger, refs: list[str], rel_tol: float, fmt: str, parser) -> 
     return 3
 
 
+def _runs_resume(args: argparse.Namespace, parser) -> int:
+    """``python -m repro runs resume [ref]``: finish an interrupted sweep.
+
+    Rebuilds the interrupted plan from its checkpoint header and
+    executes it whole; points an earlier run completed resolve from the
+    store, so only the missing ones actually simulate.  Exits 0 when
+    everything now holds a result, 3 when gaps remain, 4 when this run
+    was itself interrupted.
+    """
+    from repro.engine.checkpoint import list_checkpoints, resolve_checkpoint
+    from repro.engine.executor import ExecutionPlan
+    from repro.observability.telemetry import sweep_telemetry
+    from repro.robustness.shutdown import ShutdownController, SweepInterrupted
+
+    if len(args.refs) > 1:
+        parser.error("'runs resume' takes at most one checkpoint reference")
+    ref = args.refs[0] if args.refs else "last"
+    store = ResultStore(args.cache_dir)
+    checkpoint = resolve_checkpoint(store.root, ref)
+    if checkpoint is None:
+        available = list_checkpoints(store.root)
+        if not available:
+            print(
+                f"nothing to resume: no checkpoints under {store.root} "
+                "(cleanly completed sweeps delete theirs)",
+                file=sys.stderr,
+            )
+            return 2
+        parser.error(
+            f"no checkpoint matches {ref!r}; choose 'last' or a digest "
+            "prefix from: "
+            + ", ".join(cp.digest[:12] for cp in available)
+        )
+    keys = checkpoint.keys()
+    if not keys:
+        print(
+            f"checkpoint {checkpoint.digest[:12]} has no readable plan "
+            f"header ({checkpoint.path}); delete it and re-run the "
+            "original command",
+            file=sys.stderr,
+        )
+        return 2
+    status = checkpoint.status()
+    print(
+        f"resuming sweep {checkpoint.digest[:12]}: "
+        f"{status['completed']} of {status['planned']} point(s) already "
+        f"done, {status['remaining']} to go"
+    )
+    previous = configure_engine(jobs=args.jobs, store=store)
+    hits_before = store.hits
+    try:
+        with _point_timeout_scope(args.point_timeout):
+            with ShutdownController():
+                with sweep_telemetry(
+                    progress=args.progress,
+                    serve_port=args.serve_metrics,
+                    store=store,
+                ):
+                    with resilient_sweeps() as log:
+                        plan = ExecutionPlan()
+                        for key in keys:
+                            # Checkpoint keys carry already-scaled
+                            # settings; add_key skips re-scaling.
+                            plan.add_key(key)
+                        try:
+                            plan.execute()
+                        except SweepInterrupted as stop:
+                            print(f"[{stop}]", file=sys.stderr)
+                            print(
+                                "[resume again with: python -m repro runs "
+                                f"resume {checkpoint.digest[:12]}]",
+                                file=sys.stderr,
+                            )
+                            return EXIT_INTERRUPTED
+    finally:
+        configure_engine(jobs=previous[0], store=previous[1])
+    served = store.hits - hits_before
+    simulated = len(keys) - served
+    print(
+        f"resume complete: {served} point(s) served from the store, "
+        f"{simulated} executed this run"
+    )
+    summary = log.summary()
+    if summary:
+        print(summary, file=sys.stderr)
+    return 3 if log.records else 0
+
+
 def _runs_command(args: argparse.Namespace, parser) -> int:
-    """``python -m repro runs {list,show,compare}`` against the ledger."""
+    """``python -m repro runs {list,show,compare,resume}``."""
     ledger = ResultStore(args.cache_dir).ledger()
     action = args.action or "list"
     if action == "list":
@@ -604,7 +783,9 @@ def _runs_command(args: argparse.Namespace, parser) -> int:
         return _runs_compare(
             ledger, args.refs, args.rel_tol, args.runs_format, parser
         )
-    parser.error("'runs' takes an action: list, show, or compare")
+    if action == "resume":
+        return _runs_resume(args, parser)
+    parser.error("'runs' takes an action: list, show, compare, or resume")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -646,9 +827,10 @@ def _main(argv: list[str] | None = None) -> int:
         nargs="?",
         default=None,
         help=(
-            "subcommand argument: 'cache' takes 'info' or 'clear'; "
-            "'trace', 'metrics', and 'diagnose' take a benchmark name; "
-            "'runs' takes 'list', 'show', or 'compare'"
+            "subcommand argument: 'cache' takes 'info', 'clear', or "
+            "'verify'; 'trace', 'metrics', and 'diagnose' take a "
+            "benchmark name; 'runs' takes 'list', 'show', 'compare', "
+            "or 'resume'"
         ),
     )
     parser.add_argument(
@@ -676,6 +858,26 @@ def _main(argv: list[str] | None = None) -> int:
         type=int,
         default=1,
         help="worker processes for design points (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--point-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "wall-clock budget per design point (also via "
+            "REPRO_POINT_TIMEOUT); an overrunning point becomes a "
+            "'timeout' gap instead of hanging the sweep"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "continue an interrupted run of the same command: already-"
+            "completed points resolve from the store, only the rest "
+            "re-simulate (output stays identical to an unbroken run)"
+        ),
     )
     parser.add_argument(
         "--no-cache",
@@ -770,6 +972,8 @@ def _main(argv: list[str] | None = None) -> int:
         help="('trace' only) how many trailing events to print (default 10)",
     )
     args = parser.parse_args(argv)
+    if args.point_timeout is not None and args.point_timeout <= 0:
+        parser.error(f"--point-timeout must be positive, got {args.point_timeout}")
 
     experiment = args.experiment.lower()
     if experiment == "runs":
@@ -780,8 +984,8 @@ def _main(argv: list[str] | None = None) -> int:
     if args.refs:
         parser.error(f"unexpected extra argument {args.refs[0]!r}")
     if experiment == "cache":
-        if args.action not in ("info", "clear"):
-            parser.error("'cache' takes an action: info or clear")
+        if args.action not in ("info", "clear", "verify"):
+            parser.error("'cache' takes an action: info, clear, or verify")
         return _cache_command(args.action, args.cache_dir)
     if experiment in ("trace", "metrics", "diagnose"):
         if experiment == "trace":
@@ -846,6 +1050,10 @@ def _main(argv: list[str] | None = None) -> int:
             )
         )
     args.benchmarks = _validated_benchmarks(parser, args.benchmarks)
+    if args.resume and args.no_cache:
+        parser.error(
+            "--resume needs the persistent result store; drop --no-cache"
+        )
 
     profiler = None
     counting_tracer = None
@@ -859,38 +1067,66 @@ def _main(argv: list[str] | None = None) -> int:
             obs_trace.activate(counting_tracer)
 
     from repro.observability.telemetry import sweep_telemetry
+    from repro.robustness.shutdown import ShutdownController, SweepInterrupted
 
     store = None if args.no_cache else ResultStore(args.cache_dir)
+    if args.resume and store is not None:
+        from repro.engine.checkpoint import list_checkpoints
+
+        checkpoints = list_checkpoints(store.root)
+        if checkpoints:
+            status = checkpoints[0].status()
+            print(
+                f"[--resume: checkpoint {status['plan_digest'][:12]} has "
+                f"{status['completed']} of {status['planned']} point(s) "
+                "done; completed points resolve from the store]",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                "[--resume: no checkpoint found; running from scratch "
+                "(the store still serves anything already simulated)]",
+                file=sys.stderr,
+            )
     previous = configure_engine(jobs=args.jobs, store=store)
     names = EXPERIMENTS if experiment == "all" else (experiment,)
     broken: list[str] = []
+    interrupted: SweepInterrupted | None = None
     try:
-        with sweep_telemetry(
-            progress=args.progress,
-            serve_port=args.serve_metrics,
-            store=store,
-        ):
-            with resilient_sweeps() as log:
-                for name in names:
-                    start = time.time()
-                    try:
-                        if profiler is not None:
-                            with profiler.phase(name):
-                                output = _run_one(name, args)
-                        else:
-                            output = _run_one(name, args)
-                    except Exception as error:  # noqa: BLE001 - keep figures alive
-                        broken.append(name)
-                        first_line = (str(error).splitlines() or [repr(error)])[0]
-                        print(
-                            f"[{name} FAILED: {type(error).__name__}: "
-                            f"{first_line}]\n",
-                            file=sys.stderr,
-                        )
-                        continue
-                    elapsed = time.time() - start
-                    print(output)
-                    print(f"[{name} regenerated in {elapsed:.1f}s]\n")
+        with _point_timeout_scope(args.point_timeout):
+            with ShutdownController():
+                with sweep_telemetry(
+                    progress=args.progress,
+                    serve_port=args.serve_metrics,
+                    store=store,
+                ):
+                    with resilient_sweeps() as log:
+                        for name in names:
+                            start = time.time()
+                            try:
+                                if profiler is not None:
+                                    with profiler.phase(name):
+                                        output = _run_one(name, args)
+                                else:
+                                    output = _run_one(name, args)
+                            except SweepInterrupted as stop:
+                                interrupted = stop
+                                print(f"[{name} interrupted: {stop}]", file=sys.stderr)
+                                break
+                            except Exception as error:  # noqa: BLE001 - keep figures alive
+                                broken.append(name)
+                                first_line = (
+                                    str(error).splitlines() or [repr(error)]
+                                )[0]
+                                print(
+                                    f"[{name} FAILED: {type(error).__name__}: "
+                                    f"{first_line}]\n",
+                                    file=sys.stderr,
+                                )
+                                continue
+                            elapsed = time.time() - start
+                            print(output)
+                            print(f"[{name} regenerated in {elapsed:.1f}s]\n")
     finally:
         configure_engine(jobs=previous[0], store=previous[1])
         if counting_tracer is not None:
@@ -909,6 +1145,23 @@ def _main(argv: list[str] | None = None) -> int:
             f"[{len(broken)} experiment(s) failed outright: {', '.join(broken)}]",
             file=sys.stderr,
         )
+    if interrupted is not None:
+        hint = (
+            f"python -m repro {args.experiment} --resume"
+            if interrupted.checkpoint_path
+            else f"python -m repro {args.experiment}"
+        )
+        print(
+            f"[interrupted -- finished work is saved"
+            + (
+                f"; checkpoint: {interrupted.checkpoint_path}"
+                if interrupted.checkpoint_path
+                else ""
+            )
+            + f"; continue with: {hint} (or 'python -m repro runs resume')]",
+            file=sys.stderr,
+        )
+        return EXIT_INTERRUPTED
     return 3 if (broken or log.records) else 0
 
 

@@ -18,6 +18,7 @@ harness can trade time for fidelity without code changes.
 from __future__ import annotations
 
 import os
+import time
 import warnings
 from dataclasses import dataclass, field, replace
 
@@ -138,14 +139,23 @@ def _simulate(
     settings: ExperimentSettings,
 ) -> SimulationResult:
     """One uncached, unguarded simulation of a design point."""
+    from repro.robustness.chaos import ChaosPlan
+
     generator = WorkloadGenerator(spec, settings.seed)
     memory = MemorySystem(organization.memory_config(settings.backside))
+    # Chaos directives (REPRO_CHAOS) ride the same path real faults
+    # would; one env lookup per simulation when off.
+    chaos = ChaosPlan.from_env()
+    if chaos is not None:
+        settings = chaos.prepare(memory, spec, settings)
     if settings.functional_warmup > 0:
         # Steady state of a 100M+ instruction run: the second level
         # holds the footprint, the first level reflects recent traffic.
         memory.prefill_backside(generator.footprint_lines(memory.line_bytes))
         memory.warm(generator.memory_references(settings.functional_warmup))
     core = OutOfOrderCore(settings.cpu, memory)
+    if chaos is not None:
+        chaos.arm(core, spec)
     return core.run(
         generator.instructions(),
         settings.instructions,
@@ -162,6 +172,15 @@ def _failure_message(error: Exception, limit: int = 8) -> str:
     return "\n".join(head)
 
 
+def _emit_point_timeout(label: str, workload: str, message: str) -> None:
+    from repro.observability import trace as obs_trace
+    from repro.observability.events import POINT_TIMEOUT
+
+    obs_trace.emit(
+        POINT_TIMEOUT, 0, label=label, workload=workload, message=message
+    )
+
+
 def _retry_reduced(
     organization: CacheOrganization,
     spec: WorkloadSpec,
@@ -170,15 +189,48 @@ def _retry_reduced(
     error_type: str,
     message: str,
 ) -> SimulationResult:
-    """Resilience tail after a failed first attempt: bounded retries at
-    a shrinking instruction budget, then a marked gap.
+    """Resilience tail after a failed first attempt: bounded, backed-off
+    retries at a shrinking instruction budget, then a marked gap.
 
     Shared by the serial path and the parallel engine (where the first
     attempt happened inside a worker and arrives as ``error_type`` +
     ``message`` strings); retries always run in the calling process.
+
+    A point that overran its wall-clock deadline skips retries entirely
+    and becomes a ``timeout`` gap: it already consumed its whole budget,
+    and re-running a hang -- even at reduced fidelity -- doubles the
+    damage.  Ordinary failures back off exponentially between attempts
+    (deterministic jitter seeded by the point label, so the failure path
+    is as reproducible as the success path), each retry runs under its
+    own fresh deadline, and the whole retry tail is bounded by the
+    log's ``retry_budget_seconds`` wall clock.
     """
+    from repro.robustness.deadline import point_deadline
+    from repro.robustness.errors import DeadlineExceededError
+
+    label = organization.label
+
+    def timeout_gap(attempts: int, detail: str) -> SimulationResult:
+        log.record(
+            FailureRecord(
+                label=label,
+                workload=spec.name,
+                error_type="DeadlineExceededError",
+                message=detail,
+                attempts=attempts,
+                resolution="timeout",
+            )
+        )
+        _emit_point_timeout(label, spec.name, detail)
+        return SimulationResult(instructions=0, cycles=0, failed=True)
+
+    if error_type == "DeadlineExceededError":
+        return timeout_gap(1, message)
+
     attempts = 1
     reduced = settings
+    seed = f"{label}/{spec.name}"
+    retry_started = time.monotonic()
     for _ in range(log.retries):
         reduced = replace(
             reduced,
@@ -187,15 +239,24 @@ def _retry_reduced(
             functional_warmup=reduced.functional_warmup // log.budget_divisor,
         )
         attempts += 1
+        delay = log.backoff(attempts, seed=seed)
+        elapsed = time.monotonic() - retry_started
+        if elapsed + delay > log.retry_budget_seconds:
+            break  # retry wall clock exhausted; the gap below says so
+        if delay > 0.0:
+            time.sleep(delay)
         try:
-            result = _simulate(organization, spec, reduced)
+            with point_deadline():
+                result = _simulate(organization, spec, reduced)
+        except DeadlineExceededError as error:
+            return timeout_gap(attempts, _failure_message(error))
         except Exception:  # noqa: BLE001
             continue
         # Recovered at lower fidelity: usable, but never memoized under
         # the full-budget key and flagged in the summary.
         log.record(
             FailureRecord(
-                label=organization.label,
+                label=label,
                 workload=spec.name,
                 error_type=error_type,
                 message=message,
@@ -207,7 +268,7 @@ def _retry_reduced(
 
     log.record(
         FailureRecord(
-            label=organization.label,
+            label=label,
             workload=spec.name,
             error_type=error_type,
             message=message,

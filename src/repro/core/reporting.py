@@ -203,11 +203,15 @@ def render_failure_summary(records: "list[FailureRecord]") -> str:
         details.append(f"* {r.label} / {r.workload} ({r.resolution}):")
         details.extend(f"    {line}" for line in r.message.splitlines())
     gaps = sum(1 for r in records if r.resolution == "gap")
-    recovered = len(records) - gaps
+    timeouts = sum(1 for r in records if r.resolution == "timeout")
+    recovered = len(records) - gaps - timeouts
     tail = (
         f"{recovered} point(s) recovered at reduced budget, "
-        f"{gaps} left as gaps (IPC reported as NaN)."
+        f"{gaps + timeouts} left as gaps (IPC reported as NaN)"
     )
+    if timeouts:
+        tail += f", {timeouts} of them wall-clock timeouts"
+    tail += "."
     return "\n".join([table, "", *details, "", tail])
 
 

@@ -32,6 +32,7 @@ from repro.observability import events as obs
 from repro.observability import telemetry as obs_telemetry
 from repro.observability import trace as obs_trace
 from repro.observability.metrics import snapshot_simulation
+from repro.robustness import deadline as rb_deadline
 from repro.robustness.dump import dump_window
 from repro.robustness.errors import SimulationInvariantError
 from repro.robustness.watchdog import CommitWatchdog
@@ -110,8 +111,15 @@ class OutOfOrderCore:
         # ``is None`` test.
         tracer = obs_trace._ACTIVE
         beacon = obs_telemetry._BEACON
+        deadline = rb_deadline._DEADLINE
 
         while committed < target and not (trace_done and not window):
+            # Wall-clock budget first: even a loop the cycle-domain
+            # watchdog considers "making progress" must end when the
+            # point's deadline expires.  Off by default; ``tick`` masks
+            # the clock read when on.
+            if deadline is not None:
+                deadline.tick(cycle)
             # Check for deadlock *before* commit: a stuck completion at a
             # far-future cycle would otherwise be reached by the
             # time-jump below and "commit" via time travel.

@@ -46,6 +46,7 @@ from repro.observability.events import (
     ENGINE_CACHE_HIT,
     ENGINE_EXECUTE,
     ENGINE_PLAN,
+    ENGINE_RESUME,
     ENGINE_RUN_RECORD,
 )
 from repro.workloads.catalog import BENCHMARKS, benchmark
@@ -79,6 +80,7 @@ def run_point_payload(key_dict: dict) -> dict:
     as data; the parent owns retry/record policy.
     """
     from repro.core import experiment
+    from repro.robustness.deadline import point_deadline
 
     key = ExperimentKey.from_dict(key_dict)
     # Live telemetry: a beacon exists only when the parent opened a
@@ -90,7 +92,11 @@ def run_point_payload(key_dict: dict) -> dict:
         beacon.start()
     try:
         spec = benchmark(key.workload)
-        result = experiment._simulate(key.organization, spec, key.settings)
+        # Workers self-enforce the wall-clock budget (inherited via
+        # REPRO_POINT_TIMEOUT); the parent's grace kill is the backstop
+        # for a worker too wedged to reach the cooperative check.
+        with point_deadline():
+            result = experiment._simulate(key.organization, spec, key.settings)
     except Exception as error:  # noqa: BLE001 - shipped back, not swallowed
         if beacon is not None:
             beacon.end("error", type(error).__name__)
@@ -114,6 +120,15 @@ class Engine:
         self.jobs = jobs
         self.store = store
         self.memo: dict[ExperimentKey, SimulationResult] = {}
+        #: The active sweep checkpoint, installed by ``ExecutionPlan
+        #: .execute`` for the duration of one batch; ``None`` otherwise.
+        self.checkpoint = None
+
+    def _mark(self, key: ExperimentKey, outcome: str) -> None:
+        """Record one resolved point in the active checkpoint, if any."""
+        checkpoint = self.checkpoint
+        if checkpoint is not None:
+            checkpoint.mark(key, outcome)
 
     # ------------------------------------------------------------------
     # Cache layers
@@ -165,6 +180,7 @@ class Engine:
         (``simulated`` / ``recovered`` / ``gap``) for the run ledger.
         """
         from repro.core import experiment
+        from repro.robustness.deadline import point_deadline
         from repro.robustness.runner import current_failure_log
 
         log = current_failure_log()
@@ -181,7 +197,10 @@ class Engine:
             telemetry.install_beacon(beacon)
             beacon.start()
         try:
-            result = experiment._simulate(key.organization, spec, key.settings)
+            with point_deadline():
+                result = experiment._simulate(
+                    key.organization, spec, key.settings
+                )
         except Exception as error:  # noqa: BLE001 - isolation is the point
             if beacon is not None:
                 beacon.end("error", type(error).__name__)
@@ -201,6 +220,7 @@ class Engine:
         if beacon is not None:
             beacon.end("ok")
         self.remember(key, spec, result)
+        self._mark(key, "simulated")
         if outcomes is not None:
             outcomes[key] = "simulated"
         if hub is not None:
@@ -242,6 +262,7 @@ class Engine:
         outcome = log.records[-1].resolution if log.records else "gap"
         if beacon is not None:
             beacon.end("ok" if outcome == "recovered" else "error", error_type)
+        self._mark(key, outcome)
         if outcomes is not None:
             outcomes[key] = outcome
         if hub is not None:
@@ -252,20 +273,28 @@ class Engine:
         self,
         points: "dict[ExperimentKey, WorkloadSpec]",
         outcomes: "dict[ExperimentKey, str] | None" = None,
+        results: "dict[ExperimentKey, SimulationResult] | None" = None,
     ) -> dict[ExperimentKey, SimulationResult]:
         """Resolve every planned point; simulate only what is missing.
 
         ``outcomes`` (for the run ledger) receives per-key resolution:
         ``memo`` / ``store`` for cache layers, ``simulated`` /
-        ``recovered`` / ``gap`` for fresh work.
+        ``recovered`` / ``gap`` / ``timeout`` for fresh work.
+
+        ``results``, when given, is filled *in place* as points resolve,
+        so a caller catching :class:`~repro.robustness.shutdown.
+        SweepInterrupted` still holds everything that did finish.  A
+        shutdown request stops the batch between design points.
         """
         from repro.robustness.runner import current_failure_log
+        from repro.robustness.shutdown import SweepInterrupted, shutdown_requested
 
         hub = telemetry.active_hub()
         if hub is not None:
             hub.batch_started(len(points))
             hub.attach_failure_log(current_failure_log())
-        results: dict[ExperimentKey, SimulationResult] = {}
+        if results is None:
+            results = {}
         pending: list[tuple[ExperimentKey, WorkloadSpec]] = []
         for key, spec in points.items():
             in_memo = key in self.memo
@@ -273,6 +302,7 @@ class Engine:
             if cached is not None:
                 results[key] = cached
                 layer = "memo" if in_memo else "store"
+                self._mark(key, layer)
                 if outcomes is not None:
                     outcomes[key] = layer
                 if hub is not None:
@@ -295,12 +325,19 @@ class Engine:
             remote = [(k, s) for k, s in pending if _is_catalog_spec(s)]
             local = [(k, s) for k, s in pending if not _is_catalog_spec(s)]
             if len(remote) > 1:
-                results.update(self._run_parallel(remote, outcomes))
+                try:
+                    self._run_parallel(remote, outcomes, results)
+                except SweepInterrupted:
+                    raise SweepInterrupted(
+                        len(results), len(points) - len(results)
+                    ) from None
             else:
                 local = pending
         else:
             local = pending
         for key, spec in local:
+            if shutdown_requested():
+                raise SweepInterrupted(len(results), len(points) - len(results))
             results[key] = self.run_point(key, spec, outcomes)
         return results
 
@@ -308,6 +345,7 @@ class Engine:
         self,
         points: "list[tuple[ExperimentKey, WorkloadSpec]]",
         outcomes: "dict[ExperimentKey, str] | None" = None,
+        results: "dict[ExperimentKey, SimulationResult] | None" = None,
     ) -> dict[ExperimentKey, SimulationResult]:
         """Fan design points out over worker processes.
 
@@ -318,9 +356,26 @@ class Engine:
         the sweep.  With a telemetry hub active, the pool initializer
         hands every worker the heartbeat queue; heartbeats only observe,
         so results stay bit-identical to serial.
+
+        Two wall-clock guards run in the wait loop:
+
+        * with a point timeout configured, a worker silent past the
+          budget *plus grace* is killed (the cooperative in-worker
+          deadline normally fires first; this backstop catches workers
+          wedged where no tick runs, e.g. inside a blocking syscall) --
+          the pool breaks, the dead point becomes a ``timeout`` gap,
+          and the remaining points fall back to in-parent execution,
+          each still under its own deadline;
+        * a shutdown request cancels every not-yet-started future and
+          drains the in-flight ones, then raises
+          :class:`~repro.robustness.shutdown.SweepInterrupted`.
         """
-        from concurrent.futures import ProcessPoolExecutor
+        import time
+        from concurrent.futures import CancelledError, ProcessPoolExecutor
+        from concurrent.futures import TimeoutError as FutureTimeoutError
         from concurrent.futures.process import BrokenProcessPool
+        from repro.robustness.deadline import configured_timeout, grace_seconds
+        from repro.robustness.shutdown import SweepInterrupted, shutdown_requested
 
         initializer = None
         initargs = ()
@@ -330,7 +385,11 @@ class Engine:
             if queue is not None:
                 initializer = telemetry._init_worker
                 initargs = (queue,)
-        results: dict[ExperimentKey, SimulationResult] = {}
+        if results is None:
+            results = {}
+        timeout = configured_timeout()
+        budget = None if timeout is None else timeout + grace_seconds()
+        interrupted = False
         workers = min(self.jobs, len(points))
         with ProcessPoolExecutor(
             max_workers=workers, initializer=initializer, initargs=initargs
@@ -340,12 +399,52 @@ class Engine:
                 for key, spec in points
             ]
             for key, spec, future in submitted:
-                try:
-                    payload = future.result()
-                except BrokenProcessPool:
-                    results[key] = self.run_point(key, spec, outcomes)
-                    continue
-                results[key] = self._absorb(key, spec, payload, outcomes)
+                started_at = None
+                payload = None
+                while True:
+                    if not interrupted and shutdown_requested():
+                        interrupted = True
+                        for _, _, queued in submitted:
+                            queued.cancel()
+                    try:
+                        payload = future.result(timeout=0.25)
+                    except FutureTimeoutError:
+                        now = time.monotonic()
+                        if started_at is None and future.running():
+                            started_at = now
+                        if (
+                            budget is not None
+                            and started_at is not None
+                            and now - started_at > budget
+                        ):
+                            # The worker blew through budget + grace
+                            # without even reporting its own deadline:
+                            # it is wedged.  Kill the pool; this point
+                            # is a timeout, the rest fall back.
+                            for process in list(pool._processes.values()):
+                                process.kill()
+                            payload = {
+                                "status": "error",
+                                "error_type": "DeadlineExceededError",
+                                "message": (
+                                    f"worker exceeded the {timeout:g}s point "
+                                    f"budget plus {budget - timeout:g}s grace "
+                                    "without responding; killed by the parent"
+                                ),
+                            }
+                            break
+                        continue
+                    except CancelledError:
+                        break  # shutdown canceled it before it started
+                    except BrokenProcessPool:
+                        if not interrupted:
+                            results[key] = self.run_point(key, spec, outcomes)
+                        break
+                    break
+                if payload is not None:
+                    results[key] = self._absorb(key, spec, payload, outcomes)
+        if interrupted:
+            raise SweepInterrupted(len(results), len(points) - len(results))
         return results
 
     def _absorb(
@@ -362,6 +461,7 @@ class Engine:
         if payload.get("status") == "ok":
             result = result_from_dict(payload["result"])
             self.remember(key, spec, result)
+            self._mark(key, "simulated")
             if outcomes is not None:
                 outcomes[key] = "simulated"
             if hub is not None:
@@ -470,34 +570,99 @@ class ExecutionPlan:
         """Plan many ``(organization, workload)`` pairs at once."""
         return [self.add(org, workload, settings) for org, workload in points]
 
+    def add_key(self, key: ExperimentKey) -> ExperimentKey:
+        """Plan a point from an existing key (checkpoint resume path).
+
+        The key's settings are already scaled -- going through
+        :meth:`add` would apply ``REPRO_SCALE`` a second time and plan a
+        *different* design point, so this bypasses it.  The workload
+        must come from the catalog (checkpoints only cover such plans).
+        """
+        spec = benchmark(key.workload)
+        if key not in self._points:
+            obs_trace.emit(ENGINE_PLAN, 0, key=key.label)
+        self._points.setdefault(key, spec)
+        return key
+
     def execute(self) -> dict[ExperimentKey, SimulationResult]:
         """Resolve every planned point (missing ones are simulated).
 
         When the engine has a persistent store, every execution also
         appends one record -- plan digest, per-point outcomes, headline
-        summary, wall clock -- to the store's run ledger, so finished
-        runs leave history ``repro runs list|show|compare`` can read.
+        summary, wall clock -- to the store's run ledger, and keeps a
+        crash-safe checkpoint alongside the store while the batch runs:
+        each resolved point appends one mark, a clean completion deletes
+        the file, and an interrupt (or a run that ends with gaps) keeps
+        it so ``--resume`` / ``repro runs resume`` know what remains.
+        A graceful-shutdown request surfaces as
+        :class:`~repro.robustness.shutdown.SweepInterrupted` *after*
+        the partial batch has been recorded in ledger and checkpoint.
         """
         import time
+
+        from repro.engine.checkpoint import SweepCheckpoint
+        from repro.robustness.shutdown import SweepInterrupted
 
         engine = self.engine
         points = dict(self._points)
         outcomes: dict[ExperimentKey, str] = {}
+        results: dict[ExperimentKey, SimulationResult] = {}
+        checkpoint = None
+        if (
+            engine.store is not None
+            and points
+            and all(_is_catalog_spec(spec) for spec in points.values())
+        ):
+            checkpoint = SweepCheckpoint.for_plan(engine.store.root, points)
+            previously = checkpoint.begin(points)
+            if previously:
+                obs_trace.emit(
+                    ENGINE_RESUME,
+                    0,
+                    plan_digest=checkpoint.digest[:12],
+                    skipped=previously,
+                    remaining=len(points) - previously,
+                )
+                hub = telemetry.active_hub()
+                if hub is not None:
+                    hub.sweep_resumed(previously)
         start = time.monotonic()
-        results = engine.run_batch(points, outcomes)
+        engine.checkpoint = checkpoint
+        try:
+            engine.run_batch(points, outcomes, results)
+        except SweepInterrupted as stop:
+            wall = time.monotonic() - start
+            self._results.update(results)
+            if engine.store is not None and results:
+                self._record_run(
+                    engine, results, results, outcomes, wall, interrupted=True
+                )
+            if checkpoint is not None:
+                stop.checkpoint_path = str(checkpoint.path)
+            raise
+        finally:
+            engine.checkpoint = None
         wall = time.monotonic() - start
         self._results.update(results)
         if engine.store is not None and points:
             self._record_run(engine, points, results, outcomes, wall)
+        if checkpoint is not None:
+            clean = all(
+                outcome not in ("gap", "timeout")
+                for outcome in outcomes.values()
+            )
+            if clean:
+                checkpoint.remove()
         return dict(self._results)
 
     def _record_run(
         self,
         engine: Engine,
-        points: "dict[ExperimentKey, WorkloadSpec]",
+        points: "dict[ExperimentKey, object]",
         results: dict[ExperimentKey, SimulationResult],
         outcomes: dict[ExperimentKey, str],
         wall: float,
+        interrupted: bool = False,
     ) -> None:
         """Append this execution to the run ledger (never fails the run)."""
         from repro.engine.ledger import build_record
@@ -509,6 +674,7 @@ class ExecutionPlan:
             wall_seconds=wall,
             jobs=engine.jobs,
             store_schema=SCHEMA_VERSION,
+            interrupted=interrupted,
         )
         run_id = engine.store.ledger().append(record)
         if run_id is not None:

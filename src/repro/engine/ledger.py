@@ -27,6 +27,7 @@ import hashlib
 import json
 import math
 import os
+import warnings
 from dataclasses import dataclass, field
 from datetime import datetime, timezone
 from pathlib import Path
@@ -69,12 +70,15 @@ def build_record(
     jobs: int,
     store_schema: int,
     run_id: str = "",
+    interrupted: bool = False,
 ) -> dict:
     """One ledger record for a finished ``execute()`` batch.
 
     ``outcomes`` maps each key to how it was resolved: ``memo`` /
     ``store`` (cache layers), ``simulated`` (full budget), or the
-    resilience outcomes ``recovered`` / ``gap``.
+    resilience outcomes ``recovered`` / ``gap`` / ``timeout``.
+    ``interrupted`` marks the partial record a graceful shutdown writes
+    before the process exits.
     """
     from repro.core.experiment import scale_factor
 
@@ -93,11 +97,18 @@ def build_record(
                 "cycles": result.cycles,
             }
         )
-    tally = {"memo": 0, "store": 0, "simulated": 0, "recovered": 0, "gap": 0}
+    tally = {
+        "memo": 0,
+        "store": 0,
+        "simulated": 0,
+        "recovered": 0,
+        "gap": 0,
+        "timeout": 0,
+    }
     for row in rows:
         tally[row["outcome"]] = tally.get(row["outcome"], 0) + 1
     ipcs = [row["ipc"] for row in rows if row["ipc"] is not None]
-    return {
+    record = {
         "schema": LEDGER_SCHEMA,
         "run_id": run_id,
         "time_utc": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
@@ -112,13 +123,19 @@ def build_record(
             "store": tally["store"],
             "simulated": tally["simulated"],
             "recovered": tally["recovered"],
-            "gaps": tally["gap"],
+            # A timeout is a gap with a cause attached; "gaps" stays
+            # the total so existing consumers keep adding up.
+            "gaps": tally["gap"] + tally["timeout"],
+            "timeouts": tally["timeout"],
             "mean_ipc": (
                 round(sum(ipcs) / len(ipcs), 6) if ipcs else None
             ),
         },
         "points": rows,
     }
+    if interrupted:
+        record["interrupted"] = True
+    return record
 
 
 class RunLedger:
@@ -159,23 +176,91 @@ class RunLedger:
     # -- read -----------------------------------------------------------
 
     def records(self) -> list[dict]:
-        """Every readable record, oldest first; corrupt lines skipped."""
+        """Every readable record, oldest first; corrupt lines skipped.
+
+        A final line that both fails to parse *and* lacks the trailing
+        newline is the signature of an append torn by a crash or kill;
+        it gets a one-line warning (a mid-file corrupt line stays
+        silent, as before) and is otherwise ignored -- the ledger heals
+        by appending past it, and ``repro cache verify`` can excise it.
+        """
         try:
             text = self.path.read_text(encoding="utf-8")
         except OSError:
             return []
         records = []
-        for line in text.splitlines():
+        lines = text.splitlines()
+        for position, line in enumerate(lines):
             line = line.strip()
             if not line:
                 continue
             try:
                 record = json.loads(line)
             except ValueError:
+                if position == len(lines) - 1 and not text.endswith("\n"):
+                    warnings.warn(
+                        f"run ledger {self.path} ends in a torn, partially "
+                        "written record (interrupted append); ignoring it",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
                 continue
             if isinstance(record, dict) and "plan_digest" in record:
                 records.append(record)
         return records
+
+    def heal(self, quarantine_dir: "Path | None" = None) -> dict:
+        """Repair a torn trailing line, quarantining the fragment.
+
+        Returns a report dict: ``torn`` says whether damage was found,
+        ``healed`` whether the file was fixed, ``fragment_path`` where
+        the torn bytes went (when a quarantine directory was given).
+        A last line that parses but merely lacks its newline is
+        completed in place instead of excised.
+        """
+        report: dict = {"torn": False, "healed": False, "fragment_path": None}
+        try:
+            data = self.path.read_bytes()
+        except OSError:
+            return report
+        if not data or data.endswith(b"\n"):
+            return report
+        cut = data.rfind(b"\n") + 1
+        tail = data[cut:]
+        try:
+            json.loads(tail.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            pass
+        else:
+            # Complete record, missing only its newline: finish the append.
+            try:
+                with self.path.open("ab") as handle:
+                    handle.write(b"\n")
+            except OSError:
+                return report
+            report["healed"] = True
+            return report
+        report["torn"] = True
+        if quarantine_dir is not None:
+            try:
+                quarantine_dir = Path(quarantine_dir)
+                quarantine_dir.mkdir(parents=True, exist_ok=True)
+                fragment = quarantine_dir / f"{self.path.name}.torn"
+                suffix = 0
+                while fragment.exists():
+                    suffix += 1
+                    fragment = quarantine_dir / f"{self.path.name}.torn.{suffix}"
+                fragment.write_bytes(tail)
+                report["fragment_path"] = str(fragment)
+            except OSError:
+                pass
+        try:
+            with self.path.open("r+b") as handle:
+                handle.truncate(cut)
+        except OSError:
+            return report
+        report["healed"] = True
+        return report
 
     def resolve(self, ref: str) -> dict | None:
         """A record by reference: index, run id, id prefix, or ``last``.

@@ -143,13 +143,95 @@ class ResultStore:
         return RunLedger(self.root / LEDGER_NAME)
 
     # ------------------------------------------------------------------
-    # Maintenance: python -m repro cache {info,clear}
+    # Maintenance: python -m repro cache {info,clear,verify}
     # ------------------------------------------------------------------
 
     def _entry_paths(self) -> list[Path]:
         if not self.root.is_dir():
             return []
         return sorted(self.root.glob("v*/??/*.json"))
+
+    @property
+    def quarantine_dir(self) -> Path:
+        """Where ``verify`` moves damaged entries (outside ``v*/??/``,
+        so entry counts and loads never see quarantined files)."""
+        return self.root / "quarantine"
+
+    def _entry_problem(self, path: Path) -> str | None:
+        """What is wrong with one on-disk entry, or ``None`` if healthy.
+
+        The checks mirror what ``_load`` silently treats as a miss, so
+        ``verify`` surfaces exactly the entries loads are quietly paying
+        a re-simulation for.
+        """
+        try:
+            entry = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return "unreadable (truncated or garbled JSON)"
+        if not isinstance(entry, dict):
+            return "not a JSON object"
+        try:
+            expected_schema = int(path.parent.parent.name[1:])
+        except (ValueError, IndexError):
+            expected_schema = None
+        if entry.get("schema") != expected_schema:
+            return (
+                f"schema stamp {entry.get('schema')!r} does not match "
+                f"its v{expected_schema} directory"
+            )
+        if entry.get("digest") != path.stem:
+            return "digest does not match the file name"
+        if "key" not in entry or "result" not in entry:
+            return "missing key/result fields"
+        return None
+
+    def _quarantine(self, path: Path) -> Path | None:
+        """Move a damaged entry aside; returns its new home, or None."""
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            target = self.quarantine_dir / path.name
+            suffix = 0
+            while target.exists():
+                suffix += 1
+                target = self.quarantine_dir / f"{path.name}.{suffix}"
+            os.replace(path, target)
+        except OSError:
+            return None
+        return target
+
+    def verify(self, heal: bool = True) -> dict:
+        """Scan every entry and the ledger for damage; optionally heal.
+
+        Damaged entries (torn writes, garbage bytes, wrong schema stamp,
+        digest/filename mismatch) are quarantined under ``quarantine/``
+        rather than deleted -- the evidence survives for debugging, and
+        the next sweep simply re-simulates the affected points.  With
+        ``heal=False`` the scan only reports.
+        """
+        report: dict = {
+            "scanned": 0,
+            "ok": 0,
+            "quarantined": [],
+            "ledger": {},
+        }
+        for path in self._entry_paths():
+            report["scanned"] += 1
+            problem = self._entry_problem(path)
+            if problem is None:
+                report["ok"] += 1
+                continue
+            moved = self._quarantine(path) if heal else None
+            report["quarantined"].append(
+                {
+                    "path": str(path),
+                    "problem": problem,
+                    "moved_to": str(moved) if moved is not None else None,
+                }
+            )
+        report["ledger"] = self.ledger().heal(
+            self.quarantine_dir if heal else None
+        )
+        return report
 
     def info(self) -> dict:
         """Summary of what is on disk (all schema versions)."""
@@ -161,17 +243,25 @@ class ResultStore:
                 total_bytes += path.stat().st_size
             except OSError:
                 continue
+        from repro.engine.checkpoint import list_checkpoints
+
         return {
             "root": str(self.root),
             "schema": SCHEMA_VERSION,
             "entries": len(entries),
             "current_schema_entries": len(current),
             "bytes": total_bytes,
+            "checkpoints": len(list_checkpoints(self.root)),
             "ledger": self.ledger().info(),
         }
 
     def clear(self) -> int:
-        """Delete every stored entry (all schema versions); returns count."""
+        """Delete every stored entry (all schema versions); returns count.
+
+        Checkpoints go with the entries -- they describe progress against
+        results that no longer exist -- but the run ledger survives: it
+        is history, not cache.
+        """
         entries = self._entry_paths()
         removed = 0
         for path in entries:
@@ -180,6 +270,15 @@ class ResultStore:
                 removed += 1
             except OSError:
                 continue
+        for checkpoint_path in self.root.glob("checkpoints/*.jsonl"):
+            try:
+                checkpoint_path.unlink()
+            except OSError:
+                continue
+        try:
+            (self.root / "checkpoints").rmdir()
+        except OSError:
+            pass
         # Prune now-empty shard/version directories, then the root if bare.
         for directory in sorted(
             (p for p in self.root.glob("v*/*") if p.is_dir()), reverse=True

@@ -56,6 +56,13 @@ ENGINE_CACHE_HIT = "engine.cache_hit"
 #: A run record appended to the persistent ledger
 #: (fields: run_id, plan_digest, points).
 ENGINE_RUN_RECORD = "engine.run_record"
+#: A batch resumed past work already completed by an earlier run
+#: (fields: plan_digest, skipped, remaining).
+ENGINE_RESUME = "engine.resume"
+
+#: A design point overran its wall-clock deadline and became a gap
+#: (fields: label, workload, seconds).
+POINT_TIMEOUT = "point.timeout"
 
 #: A live-telemetry heartbeat reaching the parent-side hub
 #: (fields: type, point, label).
@@ -80,6 +87,8 @@ ALL_KINDS = (
     ENGINE_EXECUTE,
     ENGINE_CACHE_HIT,
     ENGINE_RUN_RECORD,
+    ENGINE_RESUME,
+    POINT_TIMEOUT,
     TELEMETRY_HEARTBEAT,
 )
 

@@ -54,7 +54,7 @@ HEARTBEAT_INTERVAL_SECONDS = 0.25
 _BEAT_CALL_MASK = 63
 
 #: Terminal point states (a late heartbeat must not resurrect them).
-_TERMINAL = frozenset({"done", "cached", "failed", "recovered", "gap"})
+_TERMINAL = frozenset({"done", "cached", "failed", "recovered", "gap", "timeout"})
 
 
 def _point_id(key: "ExperimentKey") -> str:
@@ -345,6 +345,8 @@ class TelemetryHub:
             "simulated": 0,
             "recovered": 0,
             "gaps": 0,
+            "timeouts": 0,
+            "resumed": 0,
         }
         self._store: "ResultStore | None" = None
         self._failure_log: "FailureLog | None" = None
@@ -457,13 +459,19 @@ class TelemetryHub:
             state.updated = self._clock()
 
     def point_finished(self, point: str, label: str, outcome: str) -> None:
-        """Terminal transition: simulated / recovered / gap."""
+        """Terminal transition: simulated / recovered / gap / timeout."""
         with self._lock:
             state = self._state(point, label, "done")
-            state.status = "failed" if outcome == "gap" else "done"
+            state.status = "failed" if outcome in ("gap", "timeout") else "done"
             state.outcome = outcome
             state.updated = self._clock()
-            if outcome == "gap":
+            if outcome == "timeout":
+                # A timeout is a gap (the point is lost) with its own
+                # counter so the display and /metrics can tell a hang
+                # from an ordinary failure.
+                self.totals["gaps"] += 1
+                self.totals["timeouts"] += 1
+            elif outcome == "gap":
                 self.totals["gaps"] += 1
             elif outcome == "recovered":
                 self.totals["recovered"] += 1
@@ -471,6 +479,11 @@ class TelemetryHub:
                 self.totals["simulated"] += 1
             if state.worker is not None:
                 self.liveness.beat(state.worker)
+
+    def sweep_resumed(self, skipped: int) -> None:
+        """A resumed batch skipped ``skipped`` already-completed points."""
+        with self._lock:
+            self.totals["resumed"] += skipped
 
     # -- heartbeat stream ------------------------------------------------
 
@@ -569,6 +582,8 @@ class TelemetryHub:
                 "simulated": self.totals["simulated"],
                 "recovered": self.totals["recovered"],
                 "gaps": self.totals["gaps"],
+                "timeouts": self.totals["timeouts"],
+                "resumed": self.totals["resumed"],
                 "elapsed": elapsed,
                 "eta": eta,
                 "in_flight": in_flight,
@@ -641,6 +656,8 @@ def render_prometheus(snapshot: dict) -> str:
         ("simulated", "Points simulated at full budget"),
         ("recovered", "Points recovered at a reduced budget after a failure"),
         ("gaps", "Points lost to unrecovered failures"),
+        ("timeouts", "Points lost to wall-clock deadline expiry"),
+        ("resumed", "Points skipped because an earlier run completed them"),
     ):
         _metric(
             lines,
@@ -751,10 +768,14 @@ def render_progress_lines(snapshot: dict, width: int = 100) -> list[str]:
     parts = [f"{snapshot['done']}/{snapshot['total']} points"]
     if snapshot["cached"]:
         parts.append(f"{snapshot['cached']} cached")
+    if snapshot.get("resumed"):
+        parts.append(f"{snapshot['resumed']} resumed")
     if snapshot["recovered"]:
         parts.append(f"{snapshot['recovered']} recovered")
     if snapshot["gaps"]:
         parts.append(f"{snapshot['gaps']} FAILED")
+    if snapshot.get("timeouts"):
+        parts.append(f"{snapshot['timeouts']} timed out")
     parts.append(f"elapsed {_human_seconds(snapshot['elapsed'])}")
     if snapshot["eta"]:
         parts.append(f"ETA {_human_seconds(snapshot['eta'])}")

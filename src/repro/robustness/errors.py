@@ -48,3 +48,18 @@ class DeadlockError(RobustnessError):
     stalled instruction window and the MSHR file attached, so the stuck
     resource is visible directly in the error.
     """
+
+
+class DeadlineExceededError(RobustnessError):
+    """A design point overran its wall-clock budget.
+
+    Raised cooperatively by :class:`repro.robustness.deadline.Deadline`
+    from inside the simulation loop (or synthesized by the parent when
+    a worker goes silent past the budget plus grace).  The engine
+    resolves it as a ``timeout`` gap: recorded in ledger and telemetry,
+    never retried -- the point already consumed its whole budget.
+    """
+
+    def __init__(self, message: str, *, seconds: float = 0.0):
+        super().__init__(message)
+        self.seconds = seconds

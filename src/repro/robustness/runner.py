@@ -13,12 +13,47 @@ exits nonzero-but-informative.
 
 from __future__ import annotations
 
+import hashlib
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
 
 #: Process-wide active failure log (``None`` = resilience off, fail fast).
 _ACTIVE_LOG: "FailureLog | None" = None
+
+#: Default backoff shape for in-sweep retries.  The base is small --
+#: retries here are about letting transient pressure (a loaded machine,
+#: a filesystem hiccup around the store) clear, not about remote
+#: services -- and the per-point wall-clock cap keeps a pathological
+#: point from stalling a whole campaign.
+DEFAULT_BACKOFF_BASE = 0.05
+DEFAULT_BACKOFF_CAP = 2.0
+DEFAULT_RETRY_BUDGET_SECONDS = 30.0
+
+
+def retry_backoff(
+    attempt: int,
+    *,
+    base: float = DEFAULT_BACKOFF_BASE,
+    cap: float = DEFAULT_BACKOFF_CAP,
+    seed: str = "",
+) -> float:
+    """Delay before retry ``attempt`` (2 = first retry): exponential
+    backoff with deterministic jitter.
+
+    The jitter is seeded from ``seed`` (the design-point label) and the
+    attempt number through SHA-256, so two runs of the same sweep back
+    off identically -- reproducibility extends to the failure path --
+    while different points de-synchronize instead of thundering in
+    lockstep.  The jittered delay lands in ``[0.75, 1.25) * min(cap,
+    base * 2**(attempt - 2))``.
+    """
+    if attempt < 2:
+        return 0.0
+    nominal = min(cap, base * (2.0 ** (attempt - 2)))
+    digest = hashlib.sha256(f"{seed}#{attempt}".encode("utf-8")).digest()
+    fraction = int.from_bytes(digest[:8], "big") / float(1 << 64)
+    return nominal * (0.75 + 0.5 * fraction)
 
 
 @dataclass
@@ -30,7 +65,8 @@ class FailureRecord:
     error_type: str
     message: str  #: first lines of the structured error, state dump included
     attempts: int
-    resolution: str  #: "recovered" (reduced budget) or "gap" (point lost)
+    resolution: str  #: "recovered" (reduced budget), "gap" (point lost),
+    #: or "timeout" (wall-clock deadline expired -- a gap, never retried)
 
 
 @dataclass
@@ -39,14 +75,31 @@ class FailureLog:
 
     retries: int = 1  #: extra attempts per point, at reduced budget
     budget_divisor: int = 4  #: instruction-budget shrink per retry
+    backoff_base: float = DEFAULT_BACKOFF_BASE  #: first-retry delay, seconds
+    backoff_cap: float = DEFAULT_BACKOFF_CAP  #: per-retry delay ceiling
+    #: Total wall clock one point may spend on retries (delays included);
+    #: when the budget runs out, remaining retries are skipped and the
+    #: point becomes a gap.
+    retry_budget_seconds: float = DEFAULT_RETRY_BUDGET_SECONDS
     records: list[FailureRecord] = field(default_factory=list)
 
     def record(self, record: FailureRecord) -> None:
         self.records.append(record)
 
+    def backoff(self, attempt: int, seed: str = "") -> float:
+        """Deterministic pre-retry delay for this log's backoff shape."""
+        return retry_backoff(
+            attempt, base=self.backoff_base, cap=self.backoff_cap, seed=seed
+        )
+
     @property
     def gaps(self) -> list[FailureRecord]:
-        return [r for r in self.records if r.resolution == "gap"]
+        """Unresolved points (plain gaps and timeout gaps alike)."""
+        return [r for r in self.records if r.resolution in ("gap", "timeout")]
+
+    @property
+    def timeouts(self) -> list[FailureRecord]:
+        return [r for r in self.records if r.resolution == "timeout"]
 
     @property
     def recovered(self) -> list[FailureRecord]:

@@ -57,7 +57,7 @@ class TestKinds:
         assert len(set(ALL_KINDS)) == len(ALL_KINDS)
         for kind in ALL_KINDS:
             prefix = kind.split(".", 1)[0]
-            assert prefix in ("cpu", "mem", "engine", "telemetry")
+            assert prefix in ("cpu", "mem", "engine", "telemetry", "point")
 
 
 class TestInvariantTaps:

@@ -1,0 +1,99 @@
+"""Telemetry for the recovery subsystem: timeout and resume counters."""
+
+from repro.observability.telemetry import (
+    TelemetryHub,
+    render_progress_lines,
+    render_prometheus,
+)
+
+
+class TestTimeoutAccounting:
+    def test_timeout_counts_as_failed_and_gap_and_timeout(self):
+        hub = TelemetryHub()
+        hub.batch_started(2)
+        hub.point_started("p1", "org / gcc")
+        hub.point_finished("p1", "org / gcc", "timeout")
+        hub.point_started("p2", "org / li")
+        hub.point_finished("p2", "org / li", "done")
+        snapshot = hub.snapshot()
+        assert snapshot["done"] == 2
+        assert snapshot["gaps"] == 1
+        assert snapshot["timeouts"] == 1
+        assert snapshot["in_flight"] == []
+
+    def test_resumed_points_surface_in_snapshot(self):
+        hub = TelemetryHub()
+        hub.batch_started(5)
+        hub.sweep_resumed(3)
+        assert hub.snapshot()["resumed"] == 3
+
+    def test_prometheus_exports_both_gauges(self):
+        hub = TelemetryHub()
+        hub.batch_started(1)
+        hub.sweep_resumed(2)
+        hub.point_started("p1", "org / gcc")
+        hub.point_finished("p1", "org / gcc", "timeout")
+        text = render_prometheus(hub.snapshot())
+        assert "repro_sweep_points_timeouts 1" in text
+        assert "repro_sweep_points_resumed 2" in text
+
+    def test_progress_line_names_timeouts_and_resumed(self):
+        hub = TelemetryHub()
+        hub.batch_started(4)
+        hub.sweep_resumed(2)
+        hub.point_started("p1", "org / gcc")
+        hub.point_finished("p1", "org / gcc", "timeout")
+        lines = render_progress_lines(hub.snapshot())
+        joined = "\n".join(lines)
+        assert "1 timed out" in joined
+        assert "2 resumed" in joined
+
+    def test_quiet_runs_stay_quiet(self):
+        hub = TelemetryHub()
+        hub.batch_started(1)
+        hub.point_started("p1", "org / gcc")
+        hub.point_finished("p1", "org / gcc", "done")
+        joined = "\n".join(render_progress_lines(hub.snapshot()))
+        assert "timed out" not in joined
+        assert "resumed" not in joined
+
+
+class TestEventKinds:
+    def test_new_kinds_are_registered(self):
+        from repro.observability.events import (
+            ALL_KINDS,
+            ENGINE_RESUME,
+            POINT_TIMEOUT,
+        )
+
+        assert ENGINE_RESUME == "engine.resume"
+        assert POINT_TIMEOUT == "point.timeout"
+        assert ENGINE_RESUME in ALL_KINDS
+        assert POINT_TIMEOUT in ALL_KINDS
+
+    def test_timeout_gap_emits_point_timeout_event(self):
+        from repro.core.experiment import ExperimentSettings, _retry_reduced
+        from repro.core.organizations import duplicate
+        from repro.observability.events import POINT_TIMEOUT
+        from repro.observability.trace import Tracer, activate, deactivate
+        from repro.robustness.runner import FailureLog
+        from repro.workloads.catalog import benchmark
+
+        tracer = Tracer(capacity=16)
+        activate(tracer)
+        try:
+            log = FailureLog()
+            result = _retry_reduced(
+                duplicate(32 * 1024),
+                benchmark("gcc"),
+                ExperimentSettings(),
+                log,
+                "DeadlineExceededError",
+                "point exceeded its budget",
+            )
+        finally:
+            deactivate()
+        assert result.failed
+        assert log.records[-1].resolution == "timeout"
+        kinds = [event.kind for event in tracer.events()]
+        assert POINT_TIMEOUT in kinds

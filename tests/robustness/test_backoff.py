@@ -1,0 +1,82 @@
+"""Retry backoff: exponential, capped, deterministically jittered."""
+
+from repro.robustness.runner import (
+    DEFAULT_BACKOFF_BASE,
+    DEFAULT_BACKOFF_CAP,
+    DEFAULT_RETRY_BUDGET_SECONDS,
+    FailureLog,
+    FailureRecord,
+    retry_backoff,
+)
+
+
+class TestRetryBackoff:
+    def test_first_attempt_never_waits(self):
+        assert retry_backoff(0) == 0.0
+        assert retry_backoff(1) == 0.0
+
+    def test_deterministic_for_same_seed_and_attempt(self):
+        a = retry_backoff(3, seed="1~ duplicate 32K/gcc")
+        b = retry_backoff(3, seed="1~ duplicate 32K/gcc")
+        assert a == b
+
+    def test_different_seeds_desynchronize(self):
+        delays = {retry_backoff(2, seed=f"point-{i}") for i in range(8)}
+        assert len(delays) > 1  # jitter spreads the herd
+
+    def test_jitter_stays_inside_the_band(self):
+        for attempt in (2, 3, 4):
+            nominal = min(
+                DEFAULT_BACKOFF_CAP,
+                DEFAULT_BACKOFF_BASE * 2.0 ** (attempt - 2),
+            )
+            for seed in ("a", "b", "c"):
+                delay = retry_backoff(attempt, seed=seed)
+                assert 0.75 * nominal <= delay < 1.25 * nominal
+
+    def test_exponential_growth_until_the_cap(self):
+        base, cap = 1.0, 4.0
+        # attempt 2 -> ~1, attempt 3 -> ~2, attempt 4 -> ~4, attempt 9 -> ~4
+        assert retry_backoff(2, base=base, cap=cap, seed="s") < retry_backoff(
+            3, base=base, cap=cap, seed="s"
+        ) * 1.25 / 0.75
+        capped = retry_backoff(9, base=base, cap=cap, seed="s")
+        assert capped < 1.25 * cap
+
+
+class TestFailureLogBackoff:
+    def test_log_delegates_with_its_own_shape(self):
+        log = FailureLog(backoff_base=0.2, backoff_cap=0.3)
+        delay = log.backoff(4, seed="x")
+        assert delay == retry_backoff(4, base=0.2, cap=0.3, seed="x")
+        assert delay < 1.25 * 0.3
+
+    def test_default_retry_budget(self):
+        assert FailureLog().retry_budget_seconds == DEFAULT_RETRY_BUDGET_SECONDS
+
+    def test_timeout_records_count_as_gaps(self):
+        log = FailureLog()
+        log.record(
+            FailureRecord(
+                label="p1",
+                workload="gcc",
+                error_type="DeadlineExceededError",
+                message="overran",
+                attempts=1,
+                resolution="timeout",
+            )
+        )
+        log.record(
+            FailureRecord(
+                label="p2",
+                workload="gcc",
+                error_type="SimulationInvariantError",
+                message="boom",
+                attempts=2,
+                resolution="gap",
+            )
+        )
+        assert len(log.gaps) == 2
+        assert [r.label for r in log.timeouts] == ["p1"]
+        summary = log.summary()
+        assert "1 of them wall-clock timeouts" in summary

@@ -1,0 +1,89 @@
+"""Graceful shutdown: the controller, the flag, and SweepInterrupted."""
+
+import io
+import signal
+
+import pytest
+
+from repro.robustness.shutdown import (
+    ShutdownController,
+    SweepInterrupted,
+    active_controller,
+    shutdown_requested,
+)
+
+
+class TestSweepInterrupted:
+    def test_carries_progress_counts(self):
+        stop = SweepInterrupted(7, 3)
+        assert stop.completed == 7
+        assert stop.remaining == 3
+        assert "7 design point(s) finished" in str(stop)
+        assert "3 not started" in str(stop)
+        assert stop.checkpoint_path is None
+
+
+class TestController:
+    def test_inactive_by_default(self):
+        assert active_controller() is None
+        assert not shutdown_requested()
+
+    def test_context_installs_and_restores(self):
+        with ShutdownController(signals=()) as controller:
+            assert active_controller() is controller
+            assert not shutdown_requested()
+            controller.request()
+            assert shutdown_requested()
+        assert active_controller() is None
+        assert not shutdown_requested()
+
+    def test_first_signal_flips_flag_and_tells_operator(self):
+        stream = io.StringIO()
+        controller = ShutdownController(signals=(), stream=stream)
+        with controller:
+            controller._handle(signal.SIGINT, None)
+            assert controller.requested()
+        message = stream.getvalue()
+        assert "SIGINT" in message
+        assert "checkpoint" in message
+        assert "signal again to abort hard" in message
+
+    def test_second_signal_aborts_hard(self):
+        stream = io.StringIO()
+        controller = ShutdownController(signals=(), stream=stream)
+        with controller:
+            controller._handle(signal.SIGTERM, None)
+            with pytest.raises(KeyboardInterrupt):
+                controller._handle(signal.SIGTERM, None)
+
+    def test_real_handlers_installed_on_main_thread(self):
+        previous = signal.getsignal(signal.SIGTERM)
+        with ShutdownController() as controller:
+            assert signal.getsignal(signal.SIGTERM) == controller._handle
+            assert signal.getsignal(signal.SIGINT) == controller._handle
+        assert signal.getsignal(signal.SIGTERM) == previous
+
+
+class TestEngineIntegration:
+    def test_serial_batch_stops_between_points(self):
+        from repro.core.experiment import ExperimentSettings
+        from repro.engine.executor import ExecutionPlan, configure_engine
+
+        fast = ExperimentSettings(
+            instructions=1_500, timing_warmup=300, functional_warmup=20_000
+        )
+        from repro.core.organizations import duplicate
+
+        previous = configure_engine(jobs=1, store=None)
+        try:
+            with ShutdownController(signals=()) as controller:
+                controller.request()  # requested before the batch starts
+                plan = ExecutionPlan()
+                plan.add(duplicate(32 * 1024), "gcc", fast)
+                plan.add(duplicate(32 * 1024), "li", fast)
+                with pytest.raises(SweepInterrupted) as excinfo:
+                    plan.execute()
+                assert excinfo.value.completed == 0
+                assert excinfo.value.remaining == 2
+        finally:
+            configure_engine(jobs=previous[0], store=previous[1])
