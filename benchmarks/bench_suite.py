@@ -19,13 +19,16 @@ emits ``BENCH_repro.json`` at the repo root:
   the progress display, and the /metrics endpoint all on, gated at
   <10% over the plain headline run (and the headline mode itself
   proves telemetry *off* costs nothing, since it never installs a
-  beacon or hub).
+  beacon or hub);
+* **backend** -- the same headline run on ``--backend fast``: its
+  stdout must be byte-identical to every reference run's, and its
+  speedup over the headline (reference) mean is gated at >= 3x.
 
 ``--check [BASELINE]`` re-measures and compares against the committed
 baseline (default: the repo-root ``BENCH_repro.json``), failing with
 exit 1 on a >15% wall-clock regression (``--tolerance``), attribution
-overhead above 5%, or telemetry overhead above 10% -- the CI perf
-job's gates.
+overhead above 5%, telemetry overhead above 10%, or a fast-backend
+speedup below 3x -- the CI perf job's gates.
 
 Usage::
 
@@ -52,8 +55,10 @@ from pathlib import Path
 
 REPO = Path(__file__).resolve().parents[1]
 
-#: Payload format version of BENCH_repro.json itself.
-BENCH_SCHEMA = 1
+#: Payload format version of BENCH_repro.json itself.  Schema 2 moved
+#: ``jobs`` into the ``engine`` block (it never applied to the headline
+#: modes, which always run ``--jobs 1``) and added the ``backend`` mode.
+BENCH_SCHEMA = 2
 
 #: Relative wall-clock regression tolerated before --check fails.
 DEFAULT_TOLERANCE = 0.15
@@ -64,6 +69,11 @@ ATTRIBUTION_GATE = 0.05
 #: Live telemetry (heartbeats + progress + /metrics) may cost at most
 #: this much on top of the plain headline run.
 TELEMETRY_GATE = 0.10
+
+#: The fast backend must beat the reference headline mean by at least
+#: this factor (a conservative floor well under the measured speedup,
+#: so CI noise does not flake the gate).
+BACKEND_SPEEDUP_GATE = 3.0
 
 
 def _strip_timing(output: str) -> str:
@@ -81,6 +91,7 @@ def _env(cache_dir: Path, scale: float, extra: dict[str, str] | None = None):
     )
     env.pop("REPRO_TRACE", None)
     env.pop("REPRO_ATTRIBUTION", None)
+    env.pop("REPRO_BACKEND", None)
     if extra:
         env.update(extra)
     return env
@@ -107,7 +118,7 @@ def _run_headlines(
     scale: float,
     extra_env: dict[str, str] | None = None,
     extra_args: list[str] | None = None,
-) -> float:
+) -> tuple[float, str]:
     start = time.perf_counter()
     proc = subprocess.run(
         [sys.executable, "-m", "repro", "headlines", "--jobs", "1"]
@@ -121,7 +132,7 @@ def _run_headlines(
     if proc.returncode != 0:
         sys.stderr.write(proc.stderr)
         raise SystemExit(f"repro headlines exited {proc.returncode}")
-    return elapsed
+    return elapsed, proc.stdout
 
 
 def _mode_stats(samples: list[float]) -> dict:
@@ -152,16 +163,26 @@ def measure(jobs: int, scale: float, repeats: int) -> dict:
         tracing: list[float] = []
         attribution: list[float] = []
         telemetry: list[float] = []
+        fast: list[float] = []
+        reference_stdout: str | None = None
         for repeat in range(repeats):
             base = tmp_path / f"repeat{repeat}"
             trace_path = base / "events.jsonl.gz"
-            headline.append(_run_headlines(base / "plain", scale))
+            elapsed, stdout = _run_headlines(base / "plain", scale)
+            headline.append(elapsed)
+            if reference_stdout is None:
+                reference_stdout = stdout
+            elif stdout != reference_stdout:
+                raise SystemExit(
+                    "headline stdout varies across repeats; the simulated "
+                    "numbers are supposed to be deterministic"
+                )
             tracing.append(
                 _run_headlines(
                     base / "traced",
                     scale,
                     {"REPRO_TRACE": str(trace_path)},
-                )
+                )[0]
             )
             attribution.append(
                 _run_headlines(
@@ -171,20 +192,37 @@ def measure(jobs: int, scale: float, repeats: int) -> dict:
                         "REPRO_TRACE": str(trace_path),
                         "REPRO_ATTRIBUTION": "1",
                     },
-                )
+                )[0]
             )
             telemetry.append(
                 _run_headlines(
                     base / "telemetered",
                     scale,
                     extra_args=["--progress", "--serve-metrics", "0"],
-                )
+                )[0]
             )
+            elapsed, stdout = _run_headlines(
+                base / "fast", scale, extra_args=["--backend", "fast"]
+            )
+            fast.append(elapsed)
+            if stdout != reference_stdout:
+                raise SystemExit(
+                    "fast backend stdout differs from the reference "
+                    "backend's -- backends must be bit-identical"
+                )
 
     headline_stats = _mode_stats(headline)
     tracing_stats = _mode_stats(tracing)
     attribution_stats = _mode_stats(attribution)
     telemetry_stats = _mode_stats(telemetry)
+    backend_stats = _mode_stats(fast)
+    backend_stats["command"] = (
+        "python -m repro headlines --jobs 1 --backend fast"
+    )
+    backend_stats["speedup_vs_reference"] = round(
+        headline_stats["mean_seconds"] / backend_stats["mean_seconds"], 2
+    )
+    backend_stats["outputs_identical"] = True
     telemetry_stats["overhead_vs_headline"] = round(
         telemetry_stats["mean_seconds"] / headline_stats["mean_seconds"] - 1.0,
         3,
@@ -200,14 +238,15 @@ def measure(jobs: int, scale: float, repeats: int) -> dict:
         "schema": BENCH_SCHEMA,
         "command": "python -m repro headlines --jobs 1",
         "scale": scale,
-        "jobs": jobs,
         "repeats": repeats,
         "headline": headline_stats,
         "tracing": tracing_stats,
         "attribution": attribution_stats,
         "telemetry": telemetry_stats,
+        "backend": backend_stats,
         "engine": {
-            "command": "python -m repro all",
+            "command": f"python -m repro all --jobs {jobs}",
+            "jobs": jobs,
             "serial_seconds": round(serial_seconds, 2),
             "parallel_seconds": round(parallel_seconds, 2),
             "warm_seconds": round(warm_seconds, 2),
@@ -224,14 +263,16 @@ def compare_payloads(
     tolerance: float = DEFAULT_TOLERANCE,
     attribution_gate: float = ATTRIBUTION_GATE,
     telemetry_gate: float = TELEMETRY_GATE,
+    backend_gate: float = BACKEND_SPEEDUP_GATE,
 ) -> list[str]:
     """Regression check; returns human-readable failures (empty == pass).
 
     Wall-clock means are compared mode by mode against the baseline
     with a relative ``tolerance``; the attribution-over-tracing and
-    telemetry-over-headline overheads are absolute properties of the
-    fresh run, gated regardless of what the baseline recorded (so a
-    baseline from before the telemetry mode existed still compares).
+    telemetry-over-headline overheads and the fast-backend speedup are
+    absolute properties of the fresh run, gated regardless of what the
+    baseline recorded (so a baseline from before a mode existed still
+    compares).
     """
     failures: list[str] = []
     for field in ("schema", "scale", "command"):
@@ -263,6 +304,12 @@ def compare_payloads(
         failures.append(
             f"telemetry overhead {telemetry_overhead:.1%} vs headline "
             f"exceeds the {telemetry_gate:.0%} gate"
+        )
+    speedup = fresh.get("backend", {}).get("speedup_vs_reference")
+    if speedup is not None and speedup < backend_gate:
+        failures.append(
+            f"fast backend speedup {speedup:.2f}x over reference is below "
+            f"the {backend_gate:.1f}x gate"
         )
     return failures
 
@@ -319,7 +366,8 @@ def main() -> int:
         print(
             f"perf check passed (tolerance {args.tolerance:.0%}, "
             f"attribution gate {ATTRIBUTION_GATE:.0%}, "
-            f"telemetry gate {TELEMETRY_GATE:.0%})"
+            f"telemetry gate {TELEMETRY_GATE:.0%}, "
+            f"backend gate {BACKEND_SPEEDUP_GATE:.1f}x)"
         )
     return 0
 

@@ -13,6 +13,14 @@ cycle simulator cannot.  Instead each experiment:
 Instruction budgets scale globally via the ``REPRO_SCALE`` environment
 variable (e.g. ``REPRO_SCALE=4`` quadruples every budget) so the bench
 harness can trade time for fidelity without code changes.
+``REPRO_INSTRUCTIONS`` pins the *measured* instruction count to an
+absolute value (applied after ``REPRO_SCALE``), for runs where the
+measured window matters more than the warm-up proportions.
+
+The simulation itself runs on the selected :mod:`repro.kernel` backend
+(``--backend`` / ``REPRO_BACKEND``); all backends are result-identical,
+so which one ran is provenance, not identity -- it is recorded on the
+result but excluded from cache keys.
 """
 
 from __future__ import annotations
@@ -30,7 +38,7 @@ from repro.memory.hierarchy import MemorySystem
 from repro.core.organizations import CacheOrganization
 from repro.robustness.runner import FailureLog, FailureRecord
 from repro.workloads.catalog import benchmark
-from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
+from repro.workloads.generator import WorkloadSpec
 
 #: Accepted range for ``REPRO_SCALE``; values outside are clamped.
 SCALE_MIN, SCALE_MAX = 0.01, 1000.0
@@ -76,6 +84,50 @@ def scale_factor() -> float:
     return value
 
 
+#: Floor for any measured-instruction budget, scaled or overridden.
+MIN_INSTRUCTIONS = 1_000
+
+
+def instructions_override() -> int | None:
+    """Absolute measured-instruction override from ``REPRO_INSTRUCTIONS``.
+
+    ``None`` when unset.  Unlike ``REPRO_SCALE`` (a multiplier over
+    every budget) this pins the *measured* window to an exact count and
+    leaves the warm-up budgets alone; it is applied after scaling, so
+    setting both means "scale the warm-ups, pin the measurement".
+    Unparsable or non-positive values warn and are ignored; small
+    values clamp to the same floor as scaling.
+    """
+    raw = os.environ.get("REPRO_INSTRUCTIONS")
+    if raw is None or not raw.strip():
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        warnings.warn(
+            f"REPRO_INSTRUCTIONS={raw!r} is not an integer; ignoring",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return None
+    if value <= 0:
+        warnings.warn(
+            f"REPRO_INSTRUCTIONS={raw!r} must be positive; ignoring",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return None
+    if value < MIN_INSTRUCTIONS:
+        warnings.warn(
+            f"REPRO_INSTRUCTIONS={raw!r} below the {MIN_INSTRUCTIONS} "
+            f"floor; clamped",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return MIN_INSTRUCTIONS
+    return value
+
+
 @dataclass(frozen=True)
 class ExperimentSettings:
     """Simulation budgets and machine parameters for one experiment."""
@@ -89,14 +141,22 @@ class ExperimentSettings:
 
     def scaled(self) -> "ExperimentSettings":
         factor = scale_factor()
-        if factor == 1.0:
+        override = instructions_override()
+        if factor == 1.0 and override is None:
             return self
-        return replace(
-            self,
-            instructions=max(1_000, int(self.instructions * factor)),
-            timing_warmup=int(self.timing_warmup * factor),
-            functional_warmup=int(self.functional_warmup * factor),
-        )
+        scaled = self
+        if factor != 1.0:
+            scaled = replace(
+                scaled,
+                instructions=max(
+                    MIN_INSTRUCTIONS, int(scaled.instructions * factor)
+                ),
+                timing_warmup=int(scaled.timing_warmup * factor),
+                functional_warmup=int(scaled.functional_warmup * factor),
+            )
+        if override is not None and override != scaled.instructions:
+            scaled = replace(scaled, instructions=override)
+        return scaled
 
 
 def run_experiment(
@@ -139,28 +199,34 @@ def _simulate(
     settings: ExperimentSettings,
 ) -> SimulationResult:
     """One uncached, unguarded simulation of a design point."""
+    from repro import kernel
     from repro.robustness.chaos import ChaosPlan
 
-    generator = WorkloadGenerator(spec, settings.seed)
-    memory = MemorySystem(organization.memory_config(settings.backside))
     # Chaos directives (REPRO_CHAOS) ride the same path real faults
-    # would; one env lookup per simulation when off.
+    # would; one env lookup per simulation when off.  Fault injection
+    # targets the reference loop's extension points, so chaos runs
+    # always take the reference backend.
     chaos = ChaosPlan.from_env()
+    backend = (
+        kernel.get_backend("reference")
+        if chaos is not None
+        else kernel.active_backend()
+    )
+    memory = MemorySystem(organization.memory_config(settings.backside))
     if chaos is not None:
         settings = chaos.prepare(memory, spec, settings)
-    if settings.functional_warmup > 0:
-        # Steady state of a 100M+ instruction run: the second level
-        # holds the footprint, the first level reflects recent traffic.
-        memory.prefill_backside(generator.footprint_lines(memory.line_bytes))
-        memory.warm(generator.memory_references(settings.functional_warmup))
+    trace = backend.prepare(spec, memory, settings)
     core = OutOfOrderCore(settings.cpu, memory)
     if chaos is not None:
         chaos.arm(core, spec)
-    return core.run(
-        generator.instructions(),
+    result = backend.run(
+        core,
+        trace,
         settings.instructions,
         warmup_instructions=settings.timing_warmup,
     )
+    result.backend = backend.name
+    return result
 
 
 def _failure_message(error: Exception, limit: int = 8) -> str:

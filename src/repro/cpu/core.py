@@ -16,26 +16,27 @@ Cycle-level trace-driven model of the machine in Figure 2:
   the store buffer to the cache after commit at lowest priority.
 
 The 32-entry load/store buffer gates dispatch of memory operations.
+
+The cycle loop itself lives in :mod:`repro.kernel`: :meth:`run`
+dispatches to the selected :class:`~repro.kernel.SimulationBackend`
+(the reference loop moved verbatim to ``repro.kernel.reference``, the
+event-driven one in ``repro.kernel.fast``).  ``_issue`` and
+``_skip_to_next_event`` remain as instance methods because they are
+the established extension points -- the chaos harness patches them per
+instance -- and both backends route through them (the fast backend
+falls back to the reference loop when it finds them patched).
 """
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Iterator
 
 from repro.cpu.branch import BranchStats, make_predictor
 from repro.cpu.config import ProcessorConfig
-from repro.cpu.isa import ADDRESS_CALC_CYCLES, FU_CLASS, MAX_DEP_DISTANCE, MicroOp, Op
+from repro.cpu.isa import MAX_DEP_DISTANCE, MicroOp
 from repro.cpu.result import PipelineStats, SimulationResult
 from repro.memory.hierarchy import MemorySystem
-from repro.observability import events as obs
-from repro.observability import telemetry as obs_telemetry
 from repro.observability import trace as obs_trace
-from repro.observability.metrics import snapshot_simulation
-from repro.robustness import deadline as rb_deadline
-from repro.robustness.dump import dump_window
-from repro.robustness.errors import SimulationInvariantError
-from repro.robustness.watchdog import CommitWatchdog
 
 _NOT_ISSUED = -1
 _RING = 1024
@@ -71,6 +72,7 @@ class OutOfOrderCore:
         max_instructions: int,
         *,
         warmup_instructions: int = 0,
+        backend: str | None = None,
     ) -> SimulationResult:
         """Simulate until ``max_instructions`` commit (post-warmup).
 
@@ -78,227 +80,27 @@ class OutOfOrderCore:
         predictor; statistics are reset when they have committed, so the
         reported IPC covers only the measured region (the paper likewise
         simulates "an interesting portion" of each benchmark).
+
+        ``backend`` names a :mod:`repro.kernel` backend to run on;
+        ``None`` uses the process-wide selection (``REPRO_BACKEND`` /
+        ``--backend``).  All backends produce bit-identical results.
         """
-        if max_instructions <= 0:
-            raise ValueError("max_instructions must be positive")
-        cfg = self.config
-        window: deque[_Slot] = deque()
-        comp = [0] * _RING  # completion cycle by seq; pre-trace state is ready
-        pipeline = PipelineStats()
-        op_counts: dict[str, int] = {}
-        store_lines: dict[int, tuple[int, int]] = {}  # line -> (seq, ready)
+        from repro import kernel
 
-        cycle = 0
-        fetched = 0
-        committed = 0
-        expected_seq = 0
-        commits_since_audit = 0
-        lsq_used = 0
-        watchdog = (
-            CommitWatchdog(cfg.watchdog_stall_cycles)
-            if cfg.watchdog_stall_cycles
-            else None
+        impl = (
+            kernel.active_backend()
+            if backend is None
+            else kernel.get_backend(backend)
         )
-        held: MicroOp | None = None  # fetched but blocked on a full LSQ
-        blocking_branch: _Slot | None = None
-        trace_done = False
-        measuring = warmup_instructions == 0
-        measure_start_cycle = 0
-        measure_start_committed = 0
-        target = warmup_instructions + max_instructions
-        # Hoisted once per run: tracing/telemetry cannot toggle
-        # mid-simulation, so the hot loops below pay a single local
-        # ``is None`` test.
-        tracer = obs_trace._ACTIVE
-        beacon = obs_telemetry._BEACON
-        deadline = rb_deadline._DEADLINE
-
-        while committed < target and not (trace_done and not window):
-            # Wall-clock budget first: even a loop the cycle-domain
-            # watchdog considers "making progress" must end when the
-            # point's deadline expires.  Off by default; ``tick`` masks
-            # the clock read when on.
-            if deadline is not None:
-                deadline.tick(cycle)
-            # Check for deadlock *before* commit: a stuck completion at a
-            # far-future cycle would otherwise be reached by the
-            # time-jump below and "commit" via time travel.
-            if watchdog is not None and window:
-                watchdog.check(cycle, window, self.memory.mshrs)
-
-            # ---------------- commit ----------------
-            n_commit = 0
-            while (
-                window
-                and n_commit < cfg.commit_width
-                and window[0].issued
-                and window[0].complete <= cycle
-            ):
-                slot = window.popleft()
-                if slot.seq != expected_seq:
-                    raise SimulationInvariantError(
-                        f"out-of-order commit: window head has seq {slot.seq}, "
-                        f"expected {expected_seq} at cycle {cycle}",
-                        {"instruction window": dump_window(window, cycle)},
-                    )
-                expected_seq += 1
-                mop = slot.mop
-                if tracer is not None:
-                    tracer.capture(
-                        obs.CPU_COMMIT, cycle, {"seq": slot.seq, "op": mop.op.name}
-                    )
-                if mop.is_memory:
-                    lsq_used -= 1
-                    if lsq_used < 0:
-                        raise SimulationInvariantError(
-                            f"load/store queue underflow committing seq "
-                            f"{slot.seq} at cycle {cycle}",
-                            {"instruction window": dump_window(window, cycle)},
-                        )
-                    if mop.op is Op.STORE:
-                        # Drain after commit, lowest priority (next cycle).
-                        self.memory.store(mop.address, cycle + 1)
-                        entry = store_lines.get(self.memory.line_of(mop.address))
-                        if entry is not None and entry[0] == slot.seq:
-                            del store_lines[self.memory.line_of(mop.address)]
-                if measuring:
-                    name = mop.op.name
-                    op_counts[name] = op_counts.get(name, 0) + 1
-                committed += 1
-                n_commit += 1
-                if committed == warmup_instructions and not measuring:
-                    measuring = True
-                    measure_start_cycle = cycle
-                    measure_start_committed = committed
-                    self._reset_stats()
-                    pipeline = PipelineStats()
-                if committed >= target:
-                    break
-            if n_commit:
-                if watchdog is not None:
-                    watchdog.progress(cycle)
-                if beacon is not None:
-                    beacon.progress(committed, cycle)
-                commits_since_audit += n_commit
-                if (
-                    cfg.audit_interval_commits
-                    and commits_since_audit >= cfg.audit_interval_commits
-                ):
-                    commits_since_audit = 0
-                    self.memory.audit(cycle)
-
-            # ---------------- issue ----------------
-            n_issue = 0
-            fu_free = dict(cfg.fu_limits) if cfg.fu_limits is not None else None
-            for slot in window:
-                if n_issue >= cfg.issue_width:
-                    break
-                if slot.issued:
-                    continue
-                if fu_free is not None:
-                    unit = FU_CLASS[slot.mop.op]
-                    if fu_free.get(unit, 0) <= 0:
-                        continue  # structural hazard: no unit this cycle
-                srcs = slot.mop.srcs
-                ready = 0
-                ok = True
-                seq = slot.seq
-                for distance in srcs:
-                    producer = seq - distance
-                    if producer >= 0:
-                        when = comp[producer & _RING_MASK]
-                        if when < 0:
-                            ok = False
-                            break
-                        if when > ready:
-                            ready = when
-                if not ok or ready > cycle:
-                    continue
-                self._issue(slot, cycle, store_lines, pipeline, tracer)
-                comp[seq & _RING_MASK] = slot.complete
-                n_issue += 1
-                if fu_free is not None:
-                    fu_free[FU_CLASS[slot.mop.op]] -= 1
-
-            # ---------------- fetch ----------------
-            n_fetch = 0
-            if blocking_branch is not None:
-                if blocking_branch.issued:
-                    resume = (
-                        blocking_branch.complete + cfg.mispredict_redirect_penalty
-                    )
-                    if cycle >= resume:
-                        if tracer is not None:
-                            tracer.capture(
-                                obs.CPU_FLUSH,
-                                cycle,
-                                {"seq": blocking_branch.seq, "resume": resume},
-                            )
-                        blocking_branch = None
-                if blocking_branch is not None and measuring:
-                    pipeline.mispredict_stall_cycles += 1
-            if blocking_branch is None and not trace_done:
-                while n_fetch < cfg.fetch_width:
-                    if len(window) >= cfg.window_size:
-                        if measuring:
-                            pipeline.window_full_stalls += 1
-                        break
-                    if held is not None:
-                        mop, held = held, None
-                    else:
-                        mop = next(trace, None)
-                    if mop is None:
-                        trace_done = True
-                        break
-                    if mop.is_memory and lsq_used >= cfg.lsq_size:
-                        if measuring:
-                            pipeline.lsq_full_stalls += 1
-                        held = mop  # retry next cycle
-                        break
-                    slot = _Slot(fetched, mop)
-                    comp[fetched & _RING_MASK] = _NOT_ISSUED
-                    window.append(slot)
-                    fetched += 1
-                    n_fetch += 1
-                    if tracer is not None:
-                        tracer.capture(
-                            obs.CPU_FETCH, cycle, {"seq": slot.seq, "op": mop.op.name}
-                        )
-                    if mop.is_memory:
-                        lsq_used += 1
-                        if lsq_used > cfg.lsq_size:
-                            raise SimulationInvariantError(
-                                f"load/store queue overflow ({lsq_used} > "
-                                f"{cfg.lsq_size}) fetching seq {slot.seq} "
-                                f"at cycle {cycle}",
-                                {"instruction window": dump_window(window, cycle)},
-                            )
-                    if mop.op is Op.BRANCH:
-                        if not self.predictor.observe(mop.pc, mop.taken):
-                            blocking_branch = slot
-                            break
-
-            # ---------------- advance time ----------------
-            if n_commit or n_issue or n_fetch:
-                cycle += 1
-            else:
-                cycle = self._skip_to_next_event(cycle, window, comp, blocking_branch)
-
-        # Final structural audit: catches corruption that accumulated
-        # after the last periodic check (or any at all on short runs).
-        self.memory.audit(cycle)
-
-        result = SimulationResult(
-            instructions=committed - measure_start_committed,
-            cycles=max(1, cycle - measure_start_cycle),
-            op_counts=op_counts,
-            pipeline=pipeline,
-            branches=self.predictor.stats,
-            memory=self.memory.stats,
+        return impl.run(
+            self, trace, max_instructions, warmup_instructions=warmup_instructions
         )
-        result.metrics = snapshot_simulation(result, self.memory)
-        return result
 
+    # ------------------------------------------------------------------
+    # Extension points: both backends issue through ``_issue``, and the
+    # reference loop jumps idle stretches through ``_skip_to_next_event``.
+    # Per-instance replacements (chaos directives, tests) are honored by
+    # every backend -- the fast one by deferring to the reference loop.
     # ------------------------------------------------------------------
 
     def _issue(
@@ -309,80 +111,23 @@ class OutOfOrderCore:
         pipeline: PipelineStats,
         tracer: "obs_trace.Tracer | None" = None,
     ) -> None:
-        mop = slot.mop
-        op = mop.op
-        if op is Op.LOAD:
-            address_ready = cycle + ADDRESS_CALC_CYCLES
-            if self.config.store_forwarding:
-                line = self.memory.line_of(mop.address)
-                entry = store_lines.get(line)
-                if entry is not None:
-                    pipeline.store_forwards += 1
-                    slot.complete = max(address_ready + 1, entry[1] + 1)
-                    slot.issued = True
-                    if tracer is not None:
-                        tracer.capture(
-                            obs.CPU_ISSUE,
-                            cycle,
-                            {
-                                "seq": slot.seq,
-                                "op": op.name,
-                                "complete": slot.complete,
-                                "fwd": True,
-                            },
-                        )
-                    return
-            result = self.memory.load(mop.address, address_ready)
-            slot.complete = result.completion_cycle
-        elif op is Op.STORE:
-            slot.complete = cycle + ADDRESS_CALC_CYCLES
-            if self.config.store_forwarding:
-                line = self.memory.line_of(mop.address)
-                store_lines[line] = (slot.seq, slot.complete)
-        else:
-            slot.complete = cycle + mop.latency
-        slot.issued = True
-        if tracer is not None:
-            tracer.capture(
-                obs.CPU_ISSUE,
-                cycle,
-                {"seq": slot.seq, "op": op.name, "complete": slot.complete},
-            )
+        from repro.kernel import reference
+
+        reference.issue_slot(self, slot, cycle, store_lines, pipeline, tracer)
 
     def _skip_to_next_event(
         self,
         cycle: int,
-        window: deque[_Slot],
+        window,
         comp: list[int],
         blocking_branch: _Slot | None,
     ) -> int:
         """Nothing happened this cycle: jump to the next interesting one."""
-        horizon: int | None = None
-        for slot in window:
-            if slot.issued:
-                candidate = slot.complete
-            else:
-                candidate = None
-                ready = 0
-                for distance in slot.mop.srcs:
-                    producer = slot.seq - distance
-                    if producer >= 0:
-                        when = comp[producer & _RING_MASK]
-                        if when < 0:
-                            ready = -1
-                            break
-                        ready = max(ready, when)
-                if ready >= 0:
-                    candidate = max(cycle + 1, ready)
-            if candidate is not None and (horizon is None or candidate < horizon):
-                horizon = candidate
-        if blocking_branch is not None and blocking_branch.issued:
-            resume = blocking_branch.complete + self.config.mispredict_redirect_penalty
-            if horizon is None or resume < horizon:
-                horizon = resume
-        if horizon is None or horizon <= cycle:
-            return cycle + 1
-        return horizon
+        from repro.kernel import reference
+
+        return reference.skip_to_next_event(
+            self, cycle, window, comp, blocking_branch
+        )
 
     def _reset_stats(self) -> None:
         """Zero every statistics object after cache warmup."""

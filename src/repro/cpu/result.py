@@ -36,6 +36,11 @@ class SimulationResult:
     #: meaningless and :attr:`ipc` reports NaN so downstream figure math
     #: shows a visible gap instead of a fabricated number
     failed: bool = False
+    #: which :mod:`repro.kernel` backend produced this result.  Pure
+    #: provenance: backends are result-identical by contract, so the
+    #: experiment cache deliberately ignores this field (entries are
+    #: shared across backends) while the run ledger records it.
+    backend: str = ""
 
     @property
     def ipc(self) -> float:

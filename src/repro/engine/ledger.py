@@ -95,6 +95,11 @@ def build_record(
                 "ipc": _finite(result.ipc),
                 "instructions": result.instructions,
                 "cycles": result.cycles,
+                # Provenance: which kernel backend produced the numbers
+                # ("" for cache hits predating the seam).  Deliberately
+                # NOT in _COMPARED_METRICS -- backends are
+                # result-identical, so a backend change is not drift.
+                "backend": result.backend,
             }
         )
     tally = {

@@ -251,6 +251,7 @@ def result_to_dict(result: SimulationResult) -> dict:
         "memory": memory_stats_to_dict(result.memory),
         "metrics": dict(result.metrics),
         "failed": result.failed,
+        "backend": result.backend,
     }
 
 
@@ -265,4 +266,8 @@ def result_from_dict(data: dict) -> SimulationResult:
         memory=memory_stats_from_dict(data["memory"]),
         metrics=dict(data.get("metrics") or {}),
         failed=data["failed"],
+        # Provenance only; pre-seam store entries simply have no record
+        # of which backend ran (tolerant read, no schema bump -- the
+        # measurements themselves are backend-independent by contract).
+        backend=data.get("backend", ""),
     )

@@ -396,6 +396,14 @@ class MemorySystem:
             if dirty:
                 self.l1.lookup(line, write=True)  # mark dirty once filled
             result = AccessResult(max(grant.pending_ready, detect), served, port_start)
+            if not self.l1.probe(line):
+                # The allocating miss installed this line, but it was
+                # evicted again while its fill is still in flight.  The
+                # arriving fill lands in the L1 regardless, so model
+                # that -- it is also what keeps the line-buffer
+                # coherence invariant (LB lines reside in the L1): a
+                # load caller buffers this line right after this return.
+                self._install(line, result.completion_cycle, dirty=dirty)
             merge_wait = result.completion_cycle - detect
             tail = (("mshr_merge", merge_wait),) if merge_wait else ()
             return result, "miss_merged", tail

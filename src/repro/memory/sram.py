@@ -40,17 +40,21 @@ class SetAssociativeCache:
         if self.num_sets & (self.num_sets - 1):
             raise ValueError(f"number of sets must be a power of two: {self.num_sets}")
         self._set_mask = self.num_sets - 1
-        # Per set: list of tags in MRU-first order, and the set of dirty tags.
+        self._tag_shift = self.num_sets.bit_length() - 1
+        # Per set: list of tags in MRU-first order.  Dirty lines live in
+        # one flat set of line addresses (cheap to snapshot and to probe;
+        # after warm-up only a small fraction of lines is dirty).
         self._ways: list[list[int]] = [[] for _ in range(self.num_sets)]
-        self._dirty: list[set[int]] = [set() for _ in range(self.num_sets)]
+        self._dirty: set[int] = set()
+        self._count = 0  # resident lines, maintained for O(1) __len__
 
     def _locate(self, line: int) -> tuple[int, int]:
-        return line & self._set_mask, line >> self.num_sets.bit_length() - 1
+        return line & self._set_mask, line >> self._tag_shift
 
     def lookup(self, line: int, *, write: bool = False) -> bool:
         """Reference a line; returns hit/miss and updates LRU (and dirty)."""
-        index, tag = self._locate(line)
-        ways = self._ways[index]
+        ways = self._ways[line & self._set_mask]
+        tag = line >> self._tag_shift
         try:
             pos = ways.index(tag)
         except ValueError:
@@ -58,13 +62,12 @@ class SetAssociativeCache:
         if pos:
             ways.insert(0, ways.pop(pos))
         if write:
-            self._dirty[index].add(tag)
+            self._dirty.add(line)
         return True
 
     def probe(self, line: int) -> bool:
         """Check presence without touching LRU state."""
-        index, tag = self._locate(line)
-        return tag in self._ways[index]
+        return line >> self._tag_shift in self._ways[line & self._set_mask]
 
     def fill(self, line: int, *, dirty: bool = False) -> Eviction | None:
         """Install a line (MRU position); returns the victim, if any.
@@ -73,36 +76,58 @@ class SetAssociativeCache:
         (this happens when a merged MSHR response races a prefetch-like
         refill) and returns ``None``.
         """
-        index, tag = self._locate(line)
+        index = line & self._set_mask
+        tag = line >> self._tag_shift
         ways = self._ways[index]
         if tag in ways:
             self.lookup(line, write=dirty)
             return None
         evicted: Eviction | None = None
         if len(ways) >= self.associativity:
-            victim_tag = ways.pop()
-            victim_dirty = victim_tag in self._dirty[index]
-            self._dirty[index].discard(victim_tag)
-            victim_line = (victim_tag << self.num_sets.bit_length() - 1) | index
+            victim_line = (ways.pop() << self._tag_shift) | index
+            victim_dirty = victim_line in self._dirty
+            self._dirty.discard(victim_line)
             evicted = Eviction(victim_line, victim_dirty)
+        else:
+            self._count += 1
         ways.insert(0, tag)
         if dirty:
-            self._dirty[index].add(tag)
+            self._dirty.add(line)
         return evicted
 
     def invalidate(self, line: int) -> bool:
         """Drop a line if present; returns whether it was present."""
-        index, tag = self._locate(line)
-        ways = self._ways[index]
+        ways = self._ways[line & self._set_mask]
+        tag = line >> self._tag_shift
         if tag not in ways:
             return False
         ways.remove(tag)
-        self._dirty[index].discard(tag)
+        self._dirty.discard(line)
+        self._count -= 1
         return True
 
+    def snapshot_state(self) -> tuple:
+        """An immutable-by-convention copy of contents, LRU, and dirty
+        bits -- pair with :meth:`restore_state` to clone warmed caches."""
+        return (
+            [list(ways) for ways in self._ways],
+            set(self._dirty),
+            self._count,
+        )
+
+    def restore_state(self, state: tuple) -> None:
+        """Replace all contents with a copy of a snapshot's."""
+        ways, dirty, count = state
+        if len(ways) != self.num_sets:
+            raise ValueError(
+                f"snapshot has {len(ways)} sets, cache has {self.num_sets}"
+            )
+        self._ways = list(map(list, ways))
+        self._dirty = set(dirty)
+        self._count = count
+
     def is_dirty(self, line: int) -> bool:
-        index, tag = self._locate(line)
-        return tag in self._dirty[index]
+        return line in self._dirty
 
     def resident_lines(self) -> list[int]:
         """All currently valid line addresses (testing/inspection aid)."""
@@ -121,7 +146,9 @@ class SetAssociativeCache:
         carry dirty bits for tags that are not resident.
         """
         problems: list[str] = []
+        resident = 0
         for index, ways in enumerate(self._ways):
+            resident += len(ways)
             if len(ways) > self.associativity:
                 problems.append(
                     f"{name} set {index}: {len(ways)} ways exceed "
@@ -129,15 +156,20 @@ class SetAssociativeCache:
                 )
             if len(set(ways)) != len(ways):
                 problems.append(f"{name} set {index}: duplicate tag in LRU order")
-            phantom = self._dirty[index] - set(ways)
-            if phantom:
-                problems.append(
-                    f"{name} set {index}: dirty bits for absent tags {sorted(phantom)}"
-                )
+        phantom = self._dirty - set(self.resident_lines())
+        if phantom:
+            problems.append(
+                f"{name}: dirty bits for absent lines {sorted(phantom)}"
+            )
+        if resident != self._count:
+            problems.append(
+                f"{name}: resident count {self._count} does not match "
+                f"{resident} lines in LRU state"
+            )
         return problems
 
     def __len__(self) -> int:
-        return sum(len(ways) for ways in self._ways)
+        return self._count
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -183,6 +215,15 @@ class FullyAssociativeCache:
             self._lines.remove(line)
             return True
         return False
+
+    def snapshot_state(self) -> list[int]:
+        """Copy of the contents in LRU order (see
+        :meth:`SetAssociativeCache.snapshot_state`)."""
+        return list(self._lines)
+
+    def restore_state(self, state: list[int]) -> None:
+        """Replace all contents with a copy of a snapshot's."""
+        self._lines = list(state)
 
     def clear(self) -> None:
         self._lines.clear()

@@ -14,6 +14,21 @@ memory: once full, the oldest events fall off and ``dropped`` counts
 them.  A ``capacity`` of 0 keeps only the per-kind counts -- the cheap
 "counting" mode the ``--profile`` flag uses.  An optional sink receives
 every event as one JSON line, for offline analysis of full streams.
+
+Two levers keep the tracing-*enabled* overhead proportionate to what
+the tracer actually keeps:
+
+* ``kinds`` restricts capture to an explicit set of event kinds,
+  resolved once into a frozenset at construction; a filtered kind
+  costs one set-membership test and is neither counted nor written.
+  Emit points that build expensive field dicts can hoist
+  :meth:`Tracer.wants` out of their loops and skip even that.
+* Sink lines are buffered and written in batches (and gzip sinks
+  compress at level 1, not 9) -- the stream is consumed by offline
+  tooling, so per-event write syscalls and maximum compression bought
+  nothing but the 80% wall-clock overhead the benchmark suite used to
+  record.  ``tracing()`` flushes on scope exit; direct users call
+  :meth:`Tracer.flush` before reading the sink.
 """
 
 from __future__ import annotations
@@ -21,11 +36,16 @@ from __future__ import annotations
 import json
 from collections import deque
 from contextlib import contextmanager
-from typing import IO, Iterator, NamedTuple
+from typing import IO, Iterable, Iterator, NamedTuple
 
 #: Default ring capacity: enough for the tail of any short run while
 #: bounding a full-length simulation to a few MB of event tuples.
 DEFAULT_CAPACITY = 65_536
+
+#: Sink lines buffered between writes.  Full traces run to millions of
+#: events; batching turns per-event ``write`` calls (and, for ``.gz``
+#: sinks, per-event deflate calls) into one call per batch.
+SINK_BATCH_LINES = 1024
 
 
 class TraceEvent(NamedTuple):
@@ -51,12 +71,19 @@ class Tracer:
         "emitted",
         "by_kind",
         "overflow_points",
+        "enabled_kinds",
         "_ring",
         "_sink",
+        "_buffer",
         "_dropped_marked",
     )
 
-    def __init__(self, capacity: int = DEFAULT_CAPACITY, sink: IO[str] | None = None):
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        sink: IO[str] | None = None,
+        kinds: "Iterable[str] | None" = None,
+    ):
         if capacity < 0:
             raise ValueError(f"ring capacity cannot be negative: {capacity}")
         self.capacity = capacity
@@ -64,18 +91,45 @@ class Tracer:
         self.by_kind: dict[str, int] = {}
         #: Design points that overflowed the ring (see :meth:`note_point`).
         self.overflow_points = 0
+        #: Kinds this tracer captures; ``None`` means every kind.
+        self.enabled_kinds: frozenset[str] | None = (
+            None if kinds is None else frozenset(kinds)
+        )
         self._ring: deque[TraceEvent] = deque(maxlen=capacity)
         self._sink = sink
+        self._buffer: list[str] = []
         self._dropped_marked = 0
+
+    def wants(self, kind: str) -> bool:
+        """Whether :meth:`capture` would record ``kind``.
+
+        Hot loops hoist this per kind so a filtered emit point skips
+        even building its fields dict.
+        """
+        enabled = self.enabled_kinds
+        return enabled is None or kind in enabled
 
     def capture(self, kind: str, cycle: int, fields: dict) -> None:
         """Record one event (ring + per-kind count + optional sink)."""
+        enabled = self.enabled_kinds
+        if enabled is not None and kind not in enabled:
+            return
         self.emitted += 1
         self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
         event = TraceEvent(cycle, kind, fields)
         self._ring.append(event)
         if self._sink is not None:
-            self._sink.write(event.to_json() + "\n")
+            self._buffer.append(event.to_json())
+            if len(self._buffer) >= SINK_BATCH_LINES:
+                self._sink.write("\n".join(self._buffer) + "\n")
+                self._buffer.clear()
+
+    def flush(self) -> None:
+        """Write buffered sink lines out.  ``tracing()`` calls this on
+        scope exit; call it directly before reading a sink mid-run."""
+        if self._sink is not None and self._buffer:
+            self._sink.write("\n".join(self._buffer) + "\n")
+            self._buffer.clear()
 
     @property
     def dropped(self) -> int:
@@ -124,11 +178,14 @@ def open_sink(path: str) -> IO[str]:
     Full-length traces run to hundreds of MB of JSON lines, and gzip
     shrinks the highly repetitive stream ~20x, so both ``REPRO_TRACE``
     and ``--trace-out`` accept a ``.gz`` suffix and route through here.
+    Level 1 already captures most of that ratio on this stream; the
+    default level 9 cost several times the deflate CPU of the whole
+    simulation for a few percent smaller file.
     """
     if str(path).endswith(".gz"):
         import gzip
 
-        return gzip.open(path, "wt", encoding="utf-8")
+        return gzip.open(path, "wt", encoding="utf-8", compresslevel=1)
     return open(path, "w", encoding="utf-8")
 
 
@@ -155,22 +212,28 @@ def deactivate() -> None:
 
 @contextmanager
 def tracing(
-    capacity: int = DEFAULT_CAPACITY, sink: IO[str] | None = None
+    capacity: int = DEFAULT_CAPACITY,
+    sink: IO[str] | None = None,
+    kinds: Iterable[str] | None = None,
 ) -> Iterator[Tracer]:
     """Scope with tracing enabled; restores the prior state on exit::
 
         with tracing(capacity=10_000) as tracer:
             run_experiment(...)
         loads = tracer.count(events.MEM_LOAD)
+
+    ``kinds`` restricts capture to those event kinds (``None`` = all).
+    Buffered sink lines are flushed when the scope exits.
     """
     global _ACTIVE
     previous = _ACTIVE
-    tracer = Tracer(capacity, sink)
+    tracer = Tracer(capacity, sink, kinds=kinds)
     _ACTIVE = tracer
     try:
         yield tracer
     finally:
         _ACTIVE = previous
+        tracer.flush()
 
 
 def emit(kind: str, cycle: int, /, **fields) -> None:

@@ -148,7 +148,8 @@ def inject_corrupt_lru(memory: "MemorySystem", *, phantom_dirty: bool = False) -
     for index, ways in enumerate(l1._ways):
         if ways:
             if phantom_dirty:
-                l1._dirty[index].add(max(ways) + 1)
+                phantom_line = ((max(ways) + 1) << l1._tag_shift) | index
+                l1._dirty.add(phantom_line)
             else:
                 ways.append(ways[0])
             return

@@ -18,8 +18,14 @@ from __future__ import annotations
 
 import random
 import zlib
+from array import array
 from dataclasses import dataclass, field
 from typing import Iterator
+
+try:  # optional: vectorizes footprint math; generation stays pure Python
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
 
 from repro.cpu.isa import MicroOp, Op
 from repro.workloads.branches import BranchModel, BranchProfile
@@ -196,12 +202,31 @@ class WorkloadGenerator:
     def footprint_lines(self, line_bytes: int = 32) -> list[int]:
         """All cache lines the workload's regions span, across every
         address space (processes + kernel).  Feed to
-        :meth:`repro.memory.hierarchy.MemorySystem.prefill_backside`."""
-        lines: list[int] = []
-        for space in self._user_spaces:
-            lines.extend(space.memory.all_lines(line_bytes))
+        :meth:`repro.memory.hierarchy.MemorySystem.prefill_backside`.
+
+        Pure span arithmetic over the region layout -- no randomness --
+        so the multiprogrammed footprints (hundreds of thousands of
+        lines) vectorize through numpy when available; the pure-Python
+        fallback produces the identical list.
+        """
+        spaces = list(self._user_spaces)
         if self._kernel_space is not None:
-            lines.extend(self._kernel_space.memory.all_lines(line_bytes))
+            spaces.append(self._kernel_space)
+        spans = [
+            span
+            for space in spaces
+            for span in space.memory.line_spans(line_bytes)
+        ]
+        if _np is not None and spans:
+            return _np.concatenate(
+                [
+                    _np.arange(first, last + 1, dtype=_np.int64)
+                    for first, last in spans
+                ]
+            ).tolist()
+        lines: list[int] = []
+        for first, last in spans:
+            lines.extend(range(first, last + 1))
         return lines
 
     def memory_references(self, instructions: int) -> list[tuple[bool, int]]:
@@ -216,6 +241,24 @@ class WorkloadGenerator:
             mop = next(stream)
             if mop.is_memory:
                 refs.append((mop.op is Op.STORE, mop.address))
+        return refs
+
+    def packed_references(self, instructions: int) -> array:
+        """:meth:`memory_references`, packed one reference per word.
+
+        Each entry is ``address << 1 | is_store``: an ``array('Q')`` is
+        ~10x smaller than the tuple list, which is what lets the fast
+        backend's trace cache hold several benchmarks' warm-up streams
+        at once.  Consumes the generator state exactly like
+        :meth:`memory_references` (same stream, same RNG draws).
+        """
+        refs = array("Q")
+        append = refs.append
+        stream = self.instructions()
+        for _ in range(instructions):
+            mop = next(stream)
+            if mop.is_memory:
+                append((mop.address << 1) | (mop.op is Op.STORE))
         return refs
 
 

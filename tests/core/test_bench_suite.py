@@ -100,6 +100,19 @@ class TestComparePayloads:
         fresh = _payload(headline=5.0, tracing=5.5, attribution=5.6, overhead=0.02)
         assert bench_suite.compare_payloads(fresh, _payload()) == []
 
+    def test_backend_gate_is_absolute_and_optional(self):
+        # The committed baseline may predate the backend mode; the
+        # speedup is a property of the fresh run alone.
+        fresh = _payload()
+        fresh["backend"] = {"mean_seconds": 4.0, "speedup_vs_reference": 2.5}
+        failures = bench_suite.compare_payloads(fresh, _payload())
+        assert len(failures) == 1
+        assert "fast backend speedup" in failures[0]
+        assert "3.0x gate" in failures[0]
+        fresh["backend"]["speedup_vs_reference"] = 4.8
+        assert bench_suite.compare_payloads(fresh, _payload()) == []
+        assert bench_suite.compare_payloads(_payload(), _payload()) == []
+
     @pytest.mark.parametrize(
         "kwargs",
         [
@@ -144,9 +157,11 @@ class TestEnv:
     def test_env_strips_trace_and_attribution(self, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_TRACE", "/tmp/leak.jsonl")
         monkeypatch.setenv("REPRO_ATTRIBUTION", "1")
+        monkeypatch.setenv("REPRO_BACKEND", "fast")
         env = bench_suite._env(tmp_path, 0.5)
         assert "REPRO_TRACE" not in env
         assert "REPRO_ATTRIBUTION" not in env
+        assert "REPRO_BACKEND" not in env
         assert env["REPRO_CACHE_DIR"] == str(tmp_path)
 
     def test_env_extras_reapply(self, tmp_path):

@@ -1,0 +1,125 @@
+"""Backend parity: the fast kernel must be bit-identical to reference.
+
+Every figure grid plus the headline numbers are computed once per
+backend (with the engine memo, the disk store, and the trace cache all
+cleared in between -- a shared cache would make the comparison
+vacuous) and compared for **exact** equality: same floats, same ints,
+same structure.  This is the contract that lets backends share the
+result cache and the golden snapshots.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import kernel
+from repro.core import figures
+from repro.core.experiment import ExperimentSettings, _simulate
+from repro.core import organizations
+from repro.engine.executor import get_engine
+from repro.kernel import tracecache
+from repro.workloads.catalog import benchmark
+
+#: Tiny budget: parity must hold at every budget, so use one that keeps
+#: the double simulation of six grids affordable.
+SETTINGS = ExperimentSettings(
+    instructions=1_000, timing_warmup=200, functional_warmup=10_000
+)
+
+BENCHMARKS = ("gcc", "database")
+
+#: name -> zero-argument callable producing that figure's full result
+#: structure at the test budget.  Grids are trimmed but keep every
+#: organization style (ports, banks, line buffer, duplicate, DRAM).
+GRIDS = {
+    "figure4": lambda: figures.figure4(
+        BENCHMARKS, ports=(1, 2, 4), hit_times=(1, 3), settings=SETTINGS
+    ),
+    "figure5": lambda: figures.figure5(
+        BENCHMARKS, bank_counts=(1, 4, 128), hit_times=(1, 3), settings=SETTINGS
+    ),
+    "figure6": lambda: figures.figure6(
+        BENCHMARKS, hit_times=(1, 2), settings=SETTINGS
+    ),
+    "figure7": lambda: figures.figure7(
+        BENCHMARKS, dram_hit_times=(6, 8), settings=SETTINGS
+    ),
+    "figure8": lambda: figures.figure8(
+        BENCHMARKS,
+        sizes=(4096, 32768, 262144),
+        hit_times=(1, 2),
+        settings=SETTINGS,
+    ),
+    "figure9": lambda: figures.figure9(
+        BENCHMARKS, cycle_times=(10.0, 30.0), settings=SETTINGS
+    ),
+    "headlines": lambda: figures.headline_numbers(BENCHMARKS, settings=SETTINGS),
+}
+
+
+def _fresh_run(backend: str, compute):
+    """Run ``compute`` on ``backend`` with every cache layer cold."""
+    get_engine().memo.clear()
+    tracecache.clear()
+    with kernel.use_backend(backend):
+        return compute()
+
+
+class TestFigureParity:
+    @pytest.mark.parametrize("name", sorted(GRIDS))
+    def test_grid_identical_across_backends(self, name):
+        compute = GRIDS[name]
+        reference = _fresh_run("reference", compute)
+        fast = _fresh_run("fast", compute)
+        assert reference == fast
+
+
+class TestPointParity:
+    @pytest.mark.parametrize(
+        "org",
+        [
+            organizations.ideal_ports(ports=2),
+            organizations.banked(banks=8),
+            organizations.duplicate(16384, 1, True),
+            organizations.dram_cache(line_buffer=True),
+        ],
+        ids=("ports", "banked", "duplicate+lb", "dram+lb"),
+    )
+    def test_full_result_identical(self, org):
+        spec = benchmark("su2cor")
+        results = {}
+        for name in kernel.BACKEND_NAMES:
+            tracecache.clear()
+            with kernel.use_backend(name):
+                result = _simulate(org, spec, SETTINGS)
+            assert result.backend == name
+            payload = dataclasses.asdict(result)
+            payload.pop("backend")  # provenance, deliberately differs
+            results[name] = payload
+        assert results["reference"] == results["fast"]
+
+    def test_core_run_backend_argument(self):
+        spec = benchmark("gcc")
+        from repro.cpu.config import ProcessorConfig
+        from repro.cpu.core import OutOfOrderCore
+        from repro.memory.hierarchy import MemorySystem
+
+        payloads = {}
+        for name in kernel.BACKEND_NAMES:
+            tracecache.clear()
+            backend = kernel.get_backend(name)
+            org = organizations.ideal_ports()
+            memory = MemorySystem(org.memory_config(SETTINGS.backside))
+            trace = backend.prepare(spec, memory, SETTINGS)
+            core = OutOfOrderCore(ProcessorConfig(), memory)
+            result = core.run(
+                trace,
+                SETTINGS.instructions,
+                warmup_instructions=SETTINGS.timing_warmup,
+                backend=name,
+            )
+            assert result.backend == name
+            payload = dataclasses.asdict(result)
+            payload.pop("backend")
+            payloads[name] = payload
+        assert payloads["reference"] == payloads["fast"]

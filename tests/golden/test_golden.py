@@ -24,8 +24,11 @@ from pathlib import Path
 
 import pytest
 
+from repro import kernel
 from repro.core import figures
 from repro.core.experiment import ExperimentSettings
+from repro.engine.executor import get_engine
+from repro.kernel import tracecache
 
 GOLDEN_DIR = Path(__file__).parent
 
@@ -38,6 +41,20 @@ SETTINGS = ExperimentSettings(
 BENCHMARKS = ("gcc", "tomcatv", "database")
 
 pytestmark = pytest.mark.golden
+
+
+@pytest.fixture(params=kernel.BACKEND_NAMES)
+def backend(request):
+    """Every snapshot holds for every backend -- one golden truth.
+
+    The engine memo and the trace cache are cleared first so the second
+    backend actually simulates instead of replaying the first's
+    memoized results.
+    """
+    get_engine().memo.clear()
+    tracecache.clear()
+    with kernel.use_backend(request.param):
+        yield request.param
 
 
 # ---------------------------------------------------------------------------
@@ -124,37 +141,37 @@ def check_golden(request, name: str, data, rel_tol: float = 0.0) -> None:
 
 
 class TestFigureGoldens:
-    def test_figure4_ideal_ports(self, request):
+    def test_figure4_ideal_ports(self, request, backend):
         check_golden(
             request, "figure4", figures.figure4(BENCHMARKS, settings=SETTINGS)
         )
 
-    def test_figure5_banked(self, request):
+    def test_figure5_banked(self, request, backend):
         check_golden(
             request, "figure5", figures.figure5(BENCHMARKS, settings=SETTINGS)
         )
 
-    def test_figure6_line_buffer(self, request):
+    def test_figure6_line_buffer(self, request, backend):
         check_golden(
             request, "figure6", figures.figure6(BENCHMARKS, settings=SETTINGS)
         )
 
-    def test_figure7_dram_cache(self, request):
+    def test_figure7_dram_cache(self, request, backend):
         check_golden(
             request, "figure7", figures.figure7(BENCHMARKS, settings=SETTINGS)
         )
 
-    def test_figure8_size_sweeps(self, request):
+    def test_figure8_size_sweeps(self, request, backend):
         check_golden(
             request, "figure8", figures.figure8(BENCHMARKS, settings=SETTINGS)
         )
 
-    def test_figure9_execution_time(self, request):
+    def test_figure9_execution_time(self, request, backend):
         check_golden(
             request, "figure9", figures.figure9(BENCHMARKS, settings=SETTINGS)
         )
 
-    def test_headline_numbers(self, request):
+    def test_headline_numbers(self, request, backend):
         check_golden(
             request,
             "headlines",

@@ -52,10 +52,32 @@ class TestTracer:
         tracer = Tracer(capacity=1, sink=sink)
         tracer.capture("mem.load", 5, {"line": 3, "outcome": "l1_hit"})
         tracer.capture("mem.load", 6, {"line": 4, "outcome": "lb_hit"})
+        tracer.flush()  # sink writes are batched
         lines = sink.getvalue().splitlines()
         assert len(lines) == 2  # the sink sees dropped events too
         first = json.loads(lines[0])
         assert first == {"cycle": 5, "kind": "mem.load", "line": 3, "outcome": "l1_hit"}
+
+    def test_sink_flushes_automatically_at_batch_size(self):
+        sink = io.StringIO()
+        tracer = Tracer(capacity=4, sink=sink)
+        for i in range(trace.SINK_BATCH_LINES):
+            tracer.capture("k", i, {})
+        assert len(sink.getvalue().splitlines()) == trace.SINK_BATCH_LINES
+
+    def test_kind_filter_skips_capture_entirely(self):
+        tracer = Tracer(kinds=("keep",))
+        assert tracer.wants("keep") and not tracer.wants("drop")
+        tracer.capture("keep", 1, {"x": 1})
+        tracer.capture("drop", 2, {"x": 2})
+        assert tracer.emitted == 1
+        assert tracer.count("drop") == 0  # filtered kinds are not counted
+        assert [e.kind for e in tracer.events()] == ["keep"]
+
+    def test_unfiltered_tracer_wants_everything(self):
+        tracer = Tracer()
+        assert tracer.enabled_kinds is None
+        assert tracer.wants("anything")
 
 
 class TestActivation:
