@@ -22,13 +22,23 @@ emits ``BENCH_repro.json`` at the repo root:
   beacon or hub);
 * **backend** -- the same headline run on ``--backend fast``: its
   stdout must be byte-identical to every reference run's, and its
-  speedup over the headline (reference) mean is gated at >= 3x.
+  speedup over the headline (reference) mean is gated at >= 3x;
+* **scaling** -- the headline sweep on the fast backend at ``--jobs
+  1``, ``2`` and ``4`` (each against an empty store, stdout asserted
+  byte-identical across all three): the parallel executor's speedup
+  and per-core efficiency, plus the host core count so the gate knows
+  what the hardware could possibly deliver.
 
 ``--check [BASELINE]`` re-measures and compares against the committed
 baseline (default: the repo-root ``BENCH_repro.json``), failing with
 exit 1 on a >15% wall-clock regression (``--tolerance``), attribution
-overhead above 5%, telemetry overhead above 10%, or a fast-backend
-speedup below 3x -- the CI perf job's gates.
+overhead above 5%, telemetry overhead above 10%, a fast-backend
+speedup below 3x, or a scaling failure -- the CI perf job's gates.
+The scaling gate is **core-aware**: with >= 2 cores the ``--jobs 2``
+speedup must reach 1.5x; on a single core no speedup is physically
+possible, so the gate flips to bounding the parallel machinery's
+*overhead* (``--jobs 2`` wall <= serial wall x 1.25) instead of
+demanding magic.
 
 Usage::
 
@@ -57,8 +67,10 @@ REPO = Path(__file__).resolve().parents[1]
 
 #: Payload format version of BENCH_repro.json itself.  Schema 2 moved
 #: ``jobs`` into the ``engine`` block (it never applied to the headline
-#: modes, which always run ``--jobs 1``) and added the ``backend`` mode.
-BENCH_SCHEMA = 2
+#: modes, which always run ``--jobs 1``) and added the ``backend``
+#: mode.  Schema 3 added the ``scaling`` mode (parallel speedup at
+#: ``--jobs {1,2,4}`` with the host core count).
+BENCH_SCHEMA = 3
 
 #: Relative wall-clock regression tolerated before --check fails.
 DEFAULT_TOLERANCE = 0.15
@@ -74,6 +86,19 @@ TELEMETRY_GATE = 0.10
 #: this factor (a conservative floor well under the measured speedup,
 #: so CI noise does not flake the gate).
 BACKEND_SPEEDUP_GATE = 3.0
+
+#: Job counts the scaling mode measures.
+SCALING_JOBS = (1, 2, 4)
+
+#: With >= 2 cores, --jobs 2 must beat --jobs 1 by this factor.
+SCALING_SPEEDUP_GATE = 1.5
+
+#: On a single core a speedup is impossible; instead the parallel
+#: machinery (pool, pickling, dispatch, mark traffic) may cost at most
+#: this much on top of the serial wall clock.  Deliberately coarse: two
+#: workers time-slicing one core add genuine scheduler overhead, and
+#: the gate exists to catch pathological serialization, not noise.
+SCALING_OVERHEAD_GATE = 0.25
 
 
 def _strip_timing(output: str) -> str:
@@ -118,10 +143,11 @@ def _run_headlines(
     scale: float,
     extra_env: dict[str, str] | None = None,
     extra_args: list[str] | None = None,
+    jobs: int = 1,
 ) -> tuple[float, str]:
     start = time.perf_counter()
     proc = subprocess.run(
-        [sys.executable, "-m", "repro", "headlines", "--jobs", "1"]
+        [sys.executable, "-m", "repro", "headlines", "--jobs", str(jobs)]
         + (extra_args or []),
         env=_env(cache_dir, scale, extra_env),
         cwd=REPO,
@@ -211,6 +237,25 @@ def measure(jobs: int, scale: float, repeats: int) -> dict:
                     "backend's -- backends must be bit-identical"
                 )
 
+        scaling_walls: dict[int, float] = {}
+        scaling_stdout: str | None = None
+        for n in SCALING_JOBS:
+            elapsed, stdout = _run_headlines(
+                tmp_path / f"scaling-jobs{n}",
+                scale,
+                extra_args=["--backend", "fast"],
+                jobs=n,
+            )
+            scaling_walls[n] = elapsed
+            if scaling_stdout is None:
+                scaling_stdout = stdout
+            elif stdout != scaling_stdout:
+                raise SystemExit(
+                    f"--jobs {n} stdout differs from --jobs "
+                    f"{SCALING_JOBS[0]} -- parallel execution must be "
+                    "bit-identical to serial"
+                )
+
     headline_stats = _mode_stats(headline)
     tracing_stats = _mode_stats(tracing)
     attribution_stats = _mode_stats(attribution)
@@ -234,6 +279,26 @@ def measure(jobs: int, scale: float, repeats: int) -> dict:
         attribution_stats["mean_seconds"] / tracing_stats["mean_seconds"] - 1.0,
         3,
     )
+    cores = os.cpu_count() or 1
+    serial_wall = scaling_walls[SCALING_JOBS[0]]
+    scaling_stats = {
+        "command": "python -m repro headlines --backend fast --jobs N",
+        "cores": cores,
+        "walls": {
+            str(n): round(wall, 2) for n, wall in scaling_walls.items()
+        },
+        "speedups": {
+            str(n): round(serial_wall / scaling_walls[n], 2)
+            for n in SCALING_JOBS
+        },
+        "efficiency": {
+            str(n): round(
+                (serial_wall / scaling_walls[n]) / min(n, cores), 2
+            )
+            for n in SCALING_JOBS
+        },
+        "outputs_identical": True,
+    }
     return {
         "schema": BENCH_SCHEMA,
         "command": "python -m repro headlines --jobs 1",
@@ -244,6 +309,7 @@ def measure(jobs: int, scale: float, repeats: int) -> dict:
         "attribution": attribution_stats,
         "telemetry": telemetry_stats,
         "backend": backend_stats,
+        "scaling": scaling_stats,
         "engine": {
             "command": f"python -m repro all --jobs {jobs}",
             "jobs": jobs,
@@ -264,15 +330,20 @@ def compare_payloads(
     attribution_gate: float = ATTRIBUTION_GATE,
     telemetry_gate: float = TELEMETRY_GATE,
     backend_gate: float = BACKEND_SPEEDUP_GATE,
+    scaling_gate: float = SCALING_SPEEDUP_GATE,
+    scaling_overhead_gate: float = SCALING_OVERHEAD_GATE,
 ) -> list[str]:
     """Regression check; returns human-readable failures (empty == pass).
 
     Wall-clock means are compared mode by mode against the baseline
     with a relative ``tolerance``; the attribution-over-tracing and
-    telemetry-over-headline overheads and the fast-backend speedup are
-    absolute properties of the fresh run, gated regardless of what the
-    baseline recorded (so a baseline from before a mode existed still
-    compares).
+    telemetry-over-headline overheads, the fast-backend speedup and
+    the parallel-scaling gate are absolute properties of the fresh
+    run, gated regardless of what the baseline recorded (so a baseline
+    from before a mode existed still compares).  The scaling gate uses
+    the fresh run's own core count: multi-core hosts must show the
+    ``--jobs 2`` speedup, a single-core host must show the parallel
+    path costing no more than ``scaling_overhead_gate`` over serial.
     """
     failures: list[str] = []
     for field in ("schema", "scale", "command"):
@@ -311,6 +382,28 @@ def compare_payloads(
             f"fast backend speedup {speedup:.2f}x over reference is below "
             f"the {backend_gate:.1f}x gate"
         )
+    scaling = fresh.get("scaling")
+    if scaling:
+        cores = scaling.get("cores") or 1
+        walls = scaling.get("walls", {})
+        serial_wall = walls.get("1")
+        jobs2_wall = walls.get("2")
+        jobs2_speedup = scaling.get("speedups", {}).get("2")
+        if cores >= 2:
+            if jobs2_speedup is not None and jobs2_speedup < scaling_gate:
+                failures.append(
+                    f"--jobs 2 speedup {jobs2_speedup:.2f}x on a "
+                    f"{cores}-core host is below the "
+                    f"{scaling_gate:.1f}x gate"
+                )
+        elif serial_wall and jobs2_wall:
+            limit = serial_wall * (1.0 + scaling_overhead_gate)
+            if jobs2_wall > limit:
+                failures.append(
+                    f"--jobs 2 wall {jobs2_wall:.2f}s on a single-core "
+                    f"host exceeds serial {serial_wall:.2f}s by more "
+                    f"than the {scaling_overhead_gate:.0%} overhead gate"
+                )
     return failures
 
 
@@ -367,7 +460,9 @@ def main() -> int:
             f"perf check passed (tolerance {args.tolerance:.0%}, "
             f"attribution gate {ATTRIBUTION_GATE:.0%}, "
             f"telemetry gate {TELEMETRY_GATE:.0%}, "
-            f"backend gate {BACKEND_SPEEDUP_GATE:.1f}x)"
+            f"backend gate {BACKEND_SPEEDUP_GATE:.1f}x, "
+            f"scaling gate {SCALING_SPEEDUP_GATE:.1f}x on multi-core / "
+            f"{SCALING_OVERHEAD_GATE:.0%} overhead on one core)"
         )
     return 0
 

@@ -83,7 +83,7 @@ import time
 
 from repro.core import ExperimentSettings, figures
 from repro.core import reporting
-from repro.engine.executor import configure_engine
+from repro.engine.executor import configure_engine, get_engine
 from repro.engine.store import ResultStore
 from repro.observability import trace as obs_trace
 from repro.robustness.runner import resilient_sweeps
@@ -777,6 +777,7 @@ def _runs_resume(args: argparse.Namespace, parser) -> int:
                             )
                             return EXIT_INTERRUPTED
     finally:
+        get_engine().shutdown_pool()
         configure_engine(jobs=previous[0], store=previous[1])
     served = store.hits - hits_before
     simulated = len(keys) - served
@@ -1189,6 +1190,10 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
                                 file=sys.stderr,
                             )
     finally:
+        # The persistent worker pool lives for the whole invocation
+        # (reused across figures); tear it down before handing the
+        # engine back.
+        get_engine().shutdown_pool()
         configure_engine(jobs=previous[0], store=previous[1])
         if counting_tracer is not None:
             obs_trace.deactivate()

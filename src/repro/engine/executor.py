@@ -15,16 +15,27 @@ workload:
 * **resolve** -- :meth:`ExecutionPlan.resolve` hands back the
   :class:`~repro.cpu.result.SimulationResult` for a key.
 
-Worker protocol: a worker receives the key's dict form, rebuilds the
-design point (the workload comes from the benchmark catalog by name),
-runs the bare simulation, and ships the result back as a dict -- or a
-``{"status": "error", ...}`` payload carrying the failure.  The parent
-then applies exactly the same resilience policy as a serial run: retry
-at a reduced instruction budget, record a
-:class:`~repro.robustness.runner.FailureRecord` in the active failure
-log, and fall back to a NaN gap sentinel.  Results are bit-identical to
-serial execution because the simulation itself is deterministic and the
-serialization round trip is exact.
+Worker protocol: a worker receives one *chunk* of keys in dict form,
+rebuilds each design point (the workload comes from the benchmark
+catalog by name), runs the bare simulations, and ships the results back
+as dict payloads -- ``{"status": "ok", ...}`` or ``{"status": "error",
+...}`` carrying a failure.  Chunks are planned largest-estimated-cost
+first (:mod:`repro.engine.dispatch`) and self-scheduled: idle workers
+pull the next chunk from the pool's shared queue, which balances load
+like work stealing without per-worker deques.  The pool itself is
+*persistent* -- created once per engine configuration and reused across
+every figure of a CLI invocation -- and workers stream lightweight
+``point-start`` / ``point-done`` marks to the parent over a plain
+``multiprocessing.Queue`` for the wedge backstop, per-worker
+utilization counters, and live progress.
+
+Chunk results complete out of order; determinism is re-imposed at
+resolve time: successful payloads are absorbed immediately (results are
+keyed, the ledger sorts rows by digest, checkpoint marks are a set),
+while failure payloads are buffered and replayed through the parent's
+retry policy *in plan order* -- the exact order a serial run would have
+hit them -- so failure-log records, retries, and gap sentinels are
+bit-identical to serial execution.
 
 Points whose :class:`~repro.workloads.generator.WorkloadSpec` is not
 the catalog entry for its name (custom workloads) cannot be rebuilt in
@@ -113,6 +124,105 @@ def run_point_payload(key_dict: dict) -> dict:
     return {"status": "ok", "result": result_to_dict(result)}
 
 
+# ---------------------------------------------------------------------------
+# Worker-side pool channel
+# ---------------------------------------------------------------------------
+
+#: Set by the pool initializer in each worker: (mark queue, stop event).
+_POOL_CHANNEL = None
+
+
+def _init_pool_worker(queue, stop_event, telemetry_on: bool) -> None:
+    """Initializer for persistent-pool workers.
+
+    Installs the dispatch channel (``point-start`` / ``point-done``
+    marks plus the cooperative stop flag).  The heartbeat queue is only
+    wired up when the parent actually runs with live telemetry: an
+    untelemetered run never builds a beacon, so its workers pay nothing
+    per committed instruction -- and the parent never pays for a
+    ``multiprocessing.Manager`` at all (marks and heartbeats share this
+    one plain queue).
+    """
+    global _POOL_CHANNEL
+    _POOL_CHANNEL = (queue, stop_event)
+    if telemetry_on:
+        telemetry._init_worker(queue)
+
+
+def _channel_send(queue, message: dict) -> None:
+    """Best-effort mark delivery: marks observe, they never fail work."""
+    try:
+        queue.put(message)
+    except Exception:  # noqa: BLE001
+        pass
+
+
+def run_chunk_payload(chunk_id: int, key_dicts: list[dict]) -> dict:
+    """Worker entry point: simulate one chunk of design points.
+
+    Streams ``point-start`` / ``point-done`` marks to the parent (wedge
+    backstop, per-worker utilization, live progress) and returns the
+    authoritative payload list.  A set stop event turns a graceful
+    shutdown around between points: the in-flight point finishes, the
+    rest of the chunk is abandoned -- the same between-points check the
+    serial loop performs.
+    """
+    import os
+    import time
+
+    channel = _POOL_CHANNEL
+    queue, stop_event = channel if channel is not None else (None, None)
+    worker = f"pid:{os.getpid()}"
+    entries: list[dict] = []
+    for key_dict in key_dicts:
+        if stop_event is not None and stop_event.is_set():
+            break
+        key = ExperimentKey.from_dict(key_dict)
+        if queue is not None:
+            _channel_send(
+                queue,
+                {
+                    "type": "point-start",
+                    "chunk": chunk_id,
+                    "digest": key.digest,
+                    "label": key.label,
+                    "worker": worker,
+                },
+            )
+        started = time.monotonic()
+        payload = run_point_payload(key_dict)
+        busy = time.monotonic() - started
+        if queue is not None:
+            _channel_send(
+                queue,
+                {
+                    "type": "point-done",
+                    "chunk": chunk_id,
+                    "digest": key.digest,
+                    "worker": worker,
+                    "ok": payload.get("status") == "ok",
+                    "busy": busy,
+                },
+            )
+        entries.append({"digest": key.digest, "payload": payload})
+    return {"chunk": chunk_id, "worker": worker, "entries": entries}
+
+
+class _PoolHandle:
+    """One persistent worker pool plus its parent<->worker channel."""
+
+    __slots__ = ("pool", "queue", "stop", "fingerprint", "workers", "broken", "owner_pid")
+
+    def __init__(self, pool, queue, stop, fingerprint, workers, owner_pid):
+        self.pool = pool
+        self.queue = queue
+        self.stop = stop
+        self.fingerprint = fingerprint
+        self.workers = workers
+        self.broken = False
+        self.owner_pid = owner_pid
+
+
 class Engine:
     """Process-wide execution state: memo, store, and parallelism."""
 
@@ -123,6 +233,140 @@ class Engine:
         #: The active sweep checkpoint, installed by ``ExecutionPlan
         #: .execute`` for the duration of one batch; ``None`` otherwise.
         self.checkpoint = None
+        #: The persistent worker pool (created on first parallel batch,
+        #: reused across batches until the configuration changes).
+        self._pool: _PoolHandle | None = None
+        #: Dispatch instrumentation of the most recent parallel batch.
+        self.last_dispatch = None
+
+    # ------------------------------------------------------------------
+    # Persistent worker pool
+    # ------------------------------------------------------------------
+
+    def _pool_fingerprint(self, telemetry_on: bool) -> tuple:
+        """What must match for an existing pool to be reusable.
+
+        Workers snapshot the environment (and, under ``fork``, parent
+        memory) at pool creation, so every ``REPRO_*`` variable --
+        backend, chaos plan, deadlines, scale -- participates: a change
+        invalidates the pool rather than running new work against stale
+        worker state.
+        """
+        import os
+
+        env = tuple(
+            sorted(
+                (name, value)
+                for name, value in os.environ.items()
+                if name.startswith("REPRO_")
+            )
+        )
+        return (self.jobs, telemetry_on, env)
+
+    def _acquire_pool(self, telemetry_on: bool, points, profile) -> _PoolHandle:
+        """Reuse the persistent pool, or (re)create it when stale."""
+        import multiprocessing
+        import os
+        import time
+        from concurrent.futures import ProcessPoolExecutor
+
+        fingerprint = self._pool_fingerprint(telemetry_on)
+        handle = self._pool
+        if (
+            handle is not None
+            and not handle.broken
+            and handle.fingerprint == fingerprint
+        ):
+            handle.stop.clear()
+            profile.pool_reused = True
+            return handle
+        self.shutdown_pool()
+        start = time.monotonic()
+        self._prewarm_worker_state(points, profile)
+        queue = multiprocessing.Queue()
+        stop = multiprocessing.Event()
+        pool = ProcessPoolExecutor(
+            max_workers=self.jobs,
+            initializer=_init_pool_worker,
+            initargs=(queue, stop, telemetry_on),
+        )
+        handle = _PoolHandle(
+            pool, queue, stop, fingerprint, self.jobs, os.getpid()
+        )
+        self._pool = handle
+        profile.pool_create_seconds = (
+            time.monotonic() - start - profile.prewarm_seconds
+        )
+        return handle
+
+    def _prewarm_worker_state(self, points, profile) -> None:
+        """Materialize shared read-only workload artifacts pre-fork.
+
+        With the fast backend under the ``fork`` start method, the
+        functional-warm-up reference streams (the bulk of a cold
+        point's setup) are generated once in the parent immediately
+        before the pool forks, so every worker inherits them
+        copy-on-write instead of regenerating them per process.
+        """
+        import multiprocessing
+        import time
+
+        from repro import kernel
+
+        if kernel.selected_name() != "fast":
+            return
+        if multiprocessing.get_start_method(allow_none=False) != "fork":
+            return
+        start = time.monotonic()
+        try:
+            from repro.kernel import tracecache
+
+            identities: dict[tuple, tuple] = {}
+            for key, spec in points:
+                settings = key.settings
+                if settings.functional_warmup > 0:
+                    identities.setdefault(
+                        (spec, settings.seed, settings.functional_warmup),
+                        (spec, settings),
+                    )
+            # Stay under the LRU capacity so prewarming never evicts
+            # what it just generated.
+            for spec, settings in list(identities.values())[
+                : tracecache.CACHE_ENTRIES
+            ]:
+                tracecache.artifacts_for(
+                    spec, settings.seed, settings.functional_warmup
+                ).warm_references()
+        except Exception:  # noqa: BLE001 - prewarm is an optimization only
+            pass
+        profile.prewarm_seconds = time.monotonic() - start
+
+    def shutdown_pool(self, wait: bool = True) -> None:
+        """Tear down the persistent worker pool, if this process owns one."""
+        import os
+
+        handle = self._pool
+        if handle is None:
+            return
+        self._pool = None
+        if handle.owner_pid != os.getpid():
+            return  # a forked child inherited the reference; not ours
+        try:
+            handle.stop.set()
+            handle.pool.shutdown(wait=wait, cancel_futures=True)
+        except Exception:  # noqa: BLE001 - teardown must never raise
+            pass
+        try:
+            handle.queue.close()
+            handle.queue.cancel_join_thread()
+        except Exception:  # noqa: BLE001
+            pass
+
+    def __del__(self):  # pragma: no cover - interpreter-dependent timing
+        try:
+            self.shutdown_pool(wait=False)
+        except Exception:  # noqa: BLE001
+            pass
 
     def _mark(self, key: ExperimentKey, outcome: str) -> None:
         """Record one resolved point in the active checkpoint, if any."""
@@ -347,105 +591,257 @@ class Engine:
         outcomes: "dict[ExperimentKey, str] | None" = None,
         results: "dict[ExperimentKey, SimulationResult] | None" = None,
     ) -> dict[ExperimentKey, SimulationResult]:
-        """Fan design points out over worker processes.
+        """Fan design points out over the persistent worker pool.
 
-        Futures are consumed in submission order so retries, failure
-        records, and results are ordered exactly as a serial run would
-        order them.  A broken pool (worker killed by the OS) degrades to
-        in-parent execution for the affected points instead of aborting
-        the sweep.  With a telemetry hub active, the pool initializer
-        hands every worker the heartbeat queue; heartbeats only observe,
-        so results stay bit-identical to serial.
+        The batch is packed into cost-sorted chunks
+        (:mod:`repro.engine.dispatch`) and self-scheduled: every chunk
+        is submitted up front, idle workers pull the next one from the
+        shared queue, and chunk futures are absorbed *as they
+        complete*, in any order.  Determinism is restored at resolve
+        time: successes land in keyed caches (order-free by
+        construction), failures are buffered and replayed through the
+        serial retry policy in plan order, so failure-log records and
+        gap sentinels match a serial run exactly.
 
-        Two wall-clock guards run in the wait loop:
+        Three guards run in the wait loop:
 
-        * with a point timeout configured, a worker silent past the
-          budget *plus grace* is killed (the cooperative in-worker
-          deadline normally fires first; this backstop catches workers
-          wedged where no tick runs, e.g. inside a blocking syscall) --
-          the pool breaks, the dead point becomes a ``timeout`` gap,
-          and the remaining points fall back to in-parent execution,
-          each still under its own deadline;
-        * a shutdown request cancels every not-yet-started future and
-          drains the in-flight ones, then raises
+        * with a point timeout configured, a point silent past budget
+          *plus grace* (tracked per point via the workers' mark stream)
+          means a wedged worker: the pool is killed, the wedged point
+          becomes a ``timeout`` gap, and every other unfinished point
+          falls back to in-parent execution under its own deadline;
+        * a broken pool (worker killed by the OS) likewise degrades the
+          chunk's unabsorbed points to in-parent execution instead of
+          aborting the sweep;
+        * a shutdown request cancels not-yet-started chunks, sets the
+          cooperative stop event so running chunks return after their
+          in-flight point, then raises
           :class:`~repro.robustness.shutdown.SweepInterrupted`.
         """
         import time
-        from concurrent.futures import CancelledError, ProcessPoolExecutor
-        from concurrent.futures import TimeoutError as FutureTimeoutError
-        from concurrent.futures.process import BrokenProcessPool
+        from concurrent.futures import FIRST_COMPLETED, CancelledError, wait
+
+        from repro.engine.dispatch import CostModel, DispatchProfile, plan_chunks
+        from repro.observability.events import ENGINE_DISPATCH
         from repro.robustness.deadline import configured_timeout, grace_seconds
         from repro.robustness.shutdown import SweepInterrupted, shutdown_requested
 
-        initializer = None
-        initargs = ()
-        hub = telemetry.active_hub()
-        if hub is not None:
-            queue = hub.worker_queue()
-            if queue is not None:
-                initializer = telemetry._init_worker
-                initargs = (queue,)
         if results is None:
             results = {}
+        hub = telemetry.active_hub()
+        batch_start = time.monotonic()
+        profile = DispatchProfile(len(points), self.jobs)
+        self.last_dispatch = profile
+        handle = self._acquire_pool(hub is not None, points, profile)
+        chunks = plan_chunks(
+            points, CostModel.for_engine(self).estimate, handle.workers
+        )
+        profile.chunks = len(chunks)
+        by_digest = {key.digest: (key, spec) for key, spec in points}
+
+        submit_start = time.monotonic()
+        futures: dict = {}
+        try:
+            for chunk_id, chunk in enumerate(chunks):
+                future = handle.pool.submit(
+                    run_chunk_payload,
+                    chunk_id,
+                    [key.to_dict() for key, _ in chunk],
+                )
+                futures[future] = chunk_id
+        except Exception:  # noqa: BLE001 - a dead pool degrades to serial
+            handle.broken = True
+        profile.submit_seconds = time.monotonic() - submit_start
+
         timeout = configured_timeout()
         budget = None if timeout is None else timeout + grace_seconds()
+        absorbed: set[str] = set()
+        errors: dict[str, dict] = {}
+        #: chunk id -> (digest, label, started_at) of its in-flight point.
+        current: dict[int, tuple[str, str, float]] = {}
+        chunks_started: set[int] = set()
+        running_since: dict[int, float] = {}
         interrupted = False
-        workers = min(self.jobs, len(points))
-        with ProcessPoolExecutor(
-            max_workers=workers, initializer=initializer, initargs=initargs
-        ) as pool:
-            submitted = [
-                (key, spec, pool.submit(run_point_payload, key.to_dict()))
-                for key, spec in points
-            ]
-            for key, spec, future in submitted:
-                started_at = None
-                payload = None
-                while True:
-                    if not interrupted and shutdown_requested():
-                        interrupted = True
-                        for _, _, queued in submitted:
-                            queued.cancel()
-                    try:
-                        payload = future.result(timeout=0.25)
-                    except FutureTimeoutError:
-                        now = time.monotonic()
-                        if started_at is None and future.running():
-                            started_at = now
-                        if (
-                            budget is not None
-                            and started_at is not None
-                            and now - started_at > budget
-                        ):
-                            # The worker blew through budget + grace
-                            # without even reporting its own deadline:
-                            # it is wedged.  Kill the pool; this point
-                            # is a timeout, the rest fall back.
-                            for process in list(pool._processes.values()):
-                                process.kill()
-                            payload = {
-                                "status": "error",
-                                "error_type": "DeadlineExceededError",
-                                "message": (
-                                    f"worker exceeded the {timeout:g}s point "
-                                    f"budget plus {budget - timeout:g}s grace "
-                                    "without responding; killed by the parent"
-                                ),
-                            }
-                            break
+        drain_start = time.monotonic()
+        pending = set(futures)
+        while pending:
+            if not interrupted and shutdown_requested():
+                interrupted = True
+                handle.stop.set()
+                for future in pending:
+                    future.cancel()
+            done, pending = wait(
+                pending, timeout=0.25, return_when=FIRST_COMPLETED
+            )
+            self._drain_dispatch_queue(
+                handle, hub, profile, current, chunks_started
+            )
+            for future in done:
+                chunk_id = futures[future]
+                try:
+                    outcome = future.result()
+                except CancelledError:
+                    continue  # shutdown canceled it before it started
+                except Exception:  # noqa: BLE001 - BrokenProcessPool et al.
+                    # Worker death: the chunk's unabsorbed points fall
+                    # back to the in-parent tail below.
+                    handle.broken = True
+                    current.pop(chunk_id, None)
+                    continue
+                current.pop(chunk_id, None)
+                for entry in outcome["entries"]:
+                    digest = entry["digest"]
+                    if digest in absorbed:
                         continue
-                    except CancelledError:
-                        break  # shutdown canceled it before it started
-                    except BrokenProcessPool:
-                        if not interrupted:
-                            results[key] = self.run_point(key, spec, outcomes)
-                        break
-                    break
-                if payload is not None:
-                    results[key] = self._absorb(key, spec, payload, outcomes)
+                    absorbed.add(digest)
+                    key, spec = by_digest[digest]
+                    payload = entry["payload"]
+                    if payload.get("status") == "ok":
+                        results[key] = self._absorb(
+                            key, spec, payload, outcomes
+                        )
+                    else:
+                        errors[digest] = payload
+            if budget is not None and pending and not interrupted:
+                wedged = self._find_wedged_point(
+                    budget, current, absorbed, pending, futures,
+                    chunks, running_since,
+                )
+                if wedged is not None:
+                    # The worker blew through budget + grace without
+                    # even reporting its own deadline: it is wedged.
+                    # Kill the pool; this point is a timeout, the rest
+                    # fall back.
+                    for process in list(handle.pool._processes.values()):
+                        process.kill()
+                    handle.broken = True
+                    absorbed.add(wedged)
+                    errors[wedged] = {
+                        "status": "error",
+                        "error_type": "DeadlineExceededError",
+                        "message": (
+                            f"worker exceeded the {timeout:g}s point "
+                            f"budget plus {budget - timeout:g}s grace "
+                            "without responding; killed by the parent"
+                        ),
+                    }
+                    profile.timeout_points += 1
+        profile.drain_seconds = time.monotonic() - drain_start
+
+        # Deterministic re-sequencing: the serial-policy tail walks the
+        # batch in plan order, replaying worker failures through the
+        # parent retry path and running pool-casualty points in-parent,
+        # so the failure log reads exactly as a serial run's would.
+        retry_start = time.monotonic()
+        for key, spec in points:
+            digest = key.digest
+            payload = errors.get(digest)
+            if payload is not None:
+                results[key] = self._absorb(key, spec, payload, outcomes)
+            elif digest not in absorbed and not interrupted:
+                if shutdown_requested():
+                    interrupted = True
+                    continue
+                profile.fallback_points += 1
+                results[key] = self.run_point(key, spec, outcomes)
+        profile.retry_seconds = time.monotonic() - retry_start
+        profile.interrupted = interrupted
+        profile.wall_seconds = time.monotonic() - batch_start
+        if hub is not None:
+            hub.record_dispatch(profile.as_dict())
+        obs_trace.emit(
+            ENGINE_DISPATCH,
+            0,
+            points=len(points),
+            chunks=profile.chunks,
+            workers=handle.workers,
+            reused=profile.pool_reused,
+            steals=profile.total_steals,
+            fallback=profile.fallback_points,
+            utilization=round(profile.utilization(), 3),
+        )
         if interrupted:
             raise SweepInterrupted(len(results), len(points) - len(results))
         return results
+
+    def _drain_dispatch_queue(
+        self, handle: _PoolHandle, hub, profile, current, chunks_started
+    ) -> None:
+        """Absorb queued worker marks (and heartbeats) without blocking."""
+        import queue as queue_mod
+        import time
+
+        while True:
+            try:
+                message = handle.queue.get_nowait()
+            except (queue_mod.Empty, EOFError, OSError):
+                return
+            except Exception:  # noqa: BLE001 - a torn queue ends the drain
+                return
+            if not isinstance(message, dict):
+                continue
+            kind = message.get("type")
+            if kind == "point-start":
+                chunk_id = message.get("chunk")
+                worker = message.get("worker", "?")
+                digest = message.get("digest", "")
+                current[chunk_id] = (
+                    digest,
+                    message.get("label", ""),
+                    time.monotonic(),
+                )
+                if chunk_id not in chunks_started:
+                    chunks_started.add(chunk_id)
+                    profile.chunk_started(worker)
+                if hub is not None:
+                    hub.point_started(digest[:12], message.get("label", ""))
+            elif kind == "point-done":
+                chunk_id = message.get("chunk")
+                entry = current.get(chunk_id)
+                if entry is not None and entry[0] == message.get("digest"):
+                    current.pop(chunk_id, None)
+                profile.point_done(
+                    message.get("worker", "?"),
+                    float(message.get("busy") or 0.0),
+                )
+            elif hub is not None:
+                try:
+                    hub.handle(message)
+                except Exception:  # noqa: BLE001 - observer only
+                    pass
+
+    @staticmethod
+    def _find_wedged_point(
+        budget, current, absorbed, pending, futures, chunks, running_since
+    ) -> str | None:
+        """The digest of a point silent past budget + grace, if any.
+
+        Normally the mark stream pins the in-flight point of every
+        running chunk, so the budget applies per point.  If the stream
+        went silent (queue torn down with the pool still nominally up),
+        degrade to whole-chunk budgets keyed off when the chunk's
+        future was first observed running.
+        """
+        import time
+
+        now = time.monotonic()
+        for digest, _label, since in current.values():
+            if digest not in absorbed and now - since > budget:
+                return digest
+        for future in pending:
+            chunk_id = futures[future]
+            if chunk_id in current:
+                continue
+            if future.running() and chunk_id not in running_since:
+                running_since[chunk_id] = now
+            since = running_since.get(chunk_id)
+            if since is None:
+                continue
+            if now - since > budget * max(1, len(chunks[chunk_id])):
+                for key, _spec in chunks[chunk_id]:
+                    if key.digest not in absorbed:
+                        return key.digest
+        return None
 
     def _absorb(
         self,

@@ -59,6 +59,9 @@ ENGINE_RUN_RECORD = "engine.run_record"
 #: A batch resumed past work already completed by an earlier run
 #: (fields: plan_digest, skipped, remaining).
 ENGINE_RESUME = "engine.resume"
+#: One parallel batch's dispatch summary (fields: points, chunks,
+#: workers, reused, steals, fallback, utilization).
+ENGINE_DISPATCH = "engine.dispatch"
 
 #: A design point overran its wall-clock deadline and became a gap
 #: (fields: label, workload, seconds).
@@ -88,6 +91,7 @@ ALL_KINDS = (
     ENGINE_CACHE_HIT,
     ENGINE_RUN_RECORD,
     ENGINE_RESUME,
+    ENGINE_DISPATCH,
     POINT_TIMEOUT,
     TELEMETRY_HEARTBEAT,
 )

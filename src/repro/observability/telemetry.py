@@ -10,10 +10,12 @@ through the engine's worker protocol:
   instructions committed, current cycle, attempt number -- rate-limited
   by wall clock so the hot loop pays one ``is None`` check when
   telemetry is off and a cheap counter mask when it is on;
-* worker processes ship heartbeats to the parent over a
-  ``multiprocessing`` manager queue installed by the pool initializer;
-  the parent drains the queue on a background thread into a
-  :class:`TelemetryHub`;
+* worker processes ship heartbeats to the parent over the engine's
+  pool channel -- the same plain ``multiprocessing.Queue`` that carries
+  dispatch marks -- installed by the pool initializer *only when a hub
+  is active*; the executor's wait loop drains it into
+  :class:`TelemetryHub.handle` (no manager process, no extra thread,
+  and the no-telemetry path never wires a queue into beacons at all);
 * the hub aggregates per-point and per-worker state (status, progress,
   instructions/second, heartbeat recency via
   :class:`~repro.robustness.watchdog.LivenessMonitor`) and serves three
@@ -350,7 +352,11 @@ class TelemetryHub:
         }
         self._store: "ResultStore | None" = None
         self._failure_log: "FailureLog | None" = None
-        # Parallel channel state (created lazily, only for jobs > 1).
+        #: Dispatch summary of the engine's latest parallel batch.
+        self._dispatch: dict | None = None
+        # Legacy parallel channel state: the engine now forwards worker
+        # heartbeats from its own pool channel, so the manager queue is
+        # only built when a caller explicitly asks for worker_queue().
         self._manager = None
         self._queue = None
         self._drain: threading.Thread | None = None
@@ -365,12 +371,16 @@ class TelemetryHub:
         self._failure_log = log
 
     def worker_queue(self):
-        """The heartbeat queue for worker processes (created lazily).
+        """A standalone heartbeat queue (created lazily; legacy path).
 
-        The first parallel batch pays for a manager process and a drain
-        thread; serial runs never reach this.  Returns ``None`` if the
-        multiprocessing manager cannot start (telemetry then degrades
-        to parent-side lifecycle events only).
+        The engine's persistent pool now shares its dispatch-mark queue
+        with the beacons and forwards heartbeats to :meth:`handle`
+        directly, so ordinary sweeps never call this -- no manager
+        process, no drain thread, nothing paid when telemetry is off.
+        Kept for external callers that feed a hub from their own worker
+        processes.  Returns ``None`` if the multiprocessing manager
+        cannot start (telemetry then degrades to parent-side lifecycle
+        events only).
         """
         with self._lock:
             if self._queue is not None:
@@ -485,6 +495,16 @@ class TelemetryHub:
         with self._lock:
             self.totals["resumed"] += skipped
 
+    def record_dispatch(self, dispatch: dict) -> None:
+        """The engine's dispatch profile for its latest parallel batch.
+
+        Carries per-worker utilization/steal counters (see
+        :class:`repro.engine.dispatch.DispatchProfile`) into the
+        ``--progress`` display and ``/metrics``.
+        """
+        with self._lock:
+            self._dispatch = dispatch
+
     # -- heartbeat stream ------------------------------------------------
 
     def handle(self, message: dict) -> None:
@@ -578,6 +598,7 @@ class TelemetryHub:
             return {
                 "total": total,
                 "done": done,
+                "dispatch": self._dispatch,
                 "cached": self.totals["cached"],
                 "simulated": self.totals["simulated"],
                 "recovered": self.totals["recovered"],
@@ -747,6 +768,61 @@ def render_prometheus(snapshot: dict) -> str:
                 f'repro_worker_heartbeat_age_seconds{{worker="{worker}"}} '
                 f'{stats["age"]:.3f}'
             )
+    dispatch = snapshot.get("dispatch")
+    if dispatch:
+        _metric(
+            lines,
+            "repro_dispatch_chunks_total",
+            "Work chunks planned for the latest parallel batch",
+            "gauge",
+            dispatch.get("chunks", 0),
+        )
+        _metric(
+            lines,
+            "repro_dispatch_steals_total",
+            "Chunks workers pulled from the shared queue beyond their first",
+            "gauge",
+            dispatch.get("steals", 0),
+        )
+        _metric(
+            lines,
+            "repro_dispatch_utilization",
+            "Aggregate worker busy time over the batch wall clock x workers",
+            "gauge",
+            float(dispatch.get("utilization", 0.0)),
+        )
+        worker_stats = dispatch.get("worker_stats") or {}
+        if worker_stats:
+            lines.append(
+                "# HELP repro_worker_points_total Design points each worker "
+                "simulated in the latest parallel batch"
+            )
+            lines.append("# TYPE repro_worker_points_total gauge")
+            for worker, stats in sorted(worker_stats.items()):
+                lines.append(
+                    f'repro_worker_points_total{{worker="{worker}"}} '
+                    f'{stats["points"]}'
+                )
+            lines.append(
+                "# HELP repro_worker_busy_seconds_total Seconds each worker "
+                "spent simulating in the latest parallel batch"
+            )
+            lines.append("# TYPE repro_worker_busy_seconds_total gauge")
+            for worker, stats in sorted(worker_stats.items()):
+                lines.append(
+                    f'repro_worker_busy_seconds_total{{worker="{worker}"}} '
+                    f'{stats["busy_seconds"]:g}'
+                )
+            lines.append(
+                "# HELP repro_worker_steals_total Chunks each worker pulled "
+                "beyond its first in the latest parallel batch"
+            )
+            lines.append("# TYPE repro_worker_steals_total gauge")
+            for worker, stats in sorted(worker_stats.items()):
+                lines.append(
+                    f'repro_worker_steals_total{{worker="{worker}"}} '
+                    f'{stats["steals"]}'
+                )
     return "\n".join(lines) + "\n"
 
 
@@ -780,6 +856,18 @@ def render_progress_lines(snapshot: dict, width: int = 100) -> list[str]:
     if snapshot["eta"]:
         parts.append(f"ETA {_human_seconds(snapshot['eta'])}")
     lines = ["sweep: " + " · ".join(parts)]
+    dispatch = snapshot.get("dispatch")
+    if dispatch:
+        pool = [
+            f"{dispatch.get('workers', 0)} workers",
+            f"{dispatch.get('chunks', 0)} chunks",
+        ]
+        if dispatch.get("steals"):
+            pool.append(f"{dispatch['steals']} steals")
+        pool.append(f"{float(dispatch.get('utilization', 0.0)):.0%} busy")
+        if not dispatch.get("pool_reused", True):
+            pool.append("pool cold")
+        lines.append(("  pool: " + " · ".join(pool))[:width])
     for point in snapshot["in_flight"]:
         if point["status"] == "stalled":
             detail = (

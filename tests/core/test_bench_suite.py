@@ -142,6 +142,72 @@ class TestComparePayloads:
         assert "baseline mismatch" in failures[0]
 
 
+def _scaling(cores=4, walls=None, speedups=None):
+    walls = walls or {"1": 30.0, "2": 16.0, "4": 9.0}
+    speedups = speedups or {
+        jobs: round(walls["1"] / wall, 2) for jobs, wall in walls.items()
+    }
+    return {"cores": cores, "walls": walls, "speedups": speedups}
+
+
+class TestScalingGate:
+    def test_scaling_section_is_optional(self):
+        # A baseline (or run) from before the mode existed still passes.
+        assert bench_suite.compare_payloads(_payload(), _payload()) == []
+
+    def test_multicore_speedup_above_gate_passes(self):
+        fresh = _payload()
+        fresh["scaling"] = _scaling(cores=4)
+        assert bench_suite.compare_payloads(fresh, _payload()) == []
+
+    def test_multicore_speedup_below_gate_fails(self):
+        fresh = _payload()
+        fresh["scaling"] = _scaling(
+            cores=4, walls={"1": 30.0, "2": 25.0, "4": 24.0}
+        )
+        failures = bench_suite.compare_payloads(fresh, _payload())
+        assert len(failures) == 1
+        assert "--jobs 2 speedup" in failures[0]
+        assert "1.5x gate" in failures[0]
+
+    def test_single_core_is_gated_on_overhead_not_speedup(self):
+        # 1.0x "speedup" on one core is the physical ceiling; it must
+        # not fail the multi-core gate.
+        fresh = _payload()
+        fresh["scaling"] = _scaling(
+            cores=1, walls={"1": 30.0, "2": 31.0, "4": 31.5}
+        )
+        assert bench_suite.compare_payloads(fresh, _payload()) == []
+
+    def test_single_core_excess_overhead_fails(self):
+        fresh = _payload()
+        fresh["scaling"] = _scaling(
+            cores=1, walls={"1": 30.0, "2": 40.0, "4": 41.0}
+        )
+        failures = bench_suite.compare_payloads(fresh, _payload())
+        assert len(failures) == 1
+        assert "single-core" in failures[0]
+        assert "overhead gate" in failures[0]
+
+    def test_single_core_overhead_gate_is_configurable(self):
+        fresh = _payload()
+        fresh["scaling"] = _scaling(
+            cores=1, walls={"1": 30.0, "2": 33.0, "4": 33.5}
+        )
+        failures = bench_suite.compare_payloads(
+            fresh, _payload(), scaling_overhead_gate=0.05
+        )
+        assert failures and "overhead gate" in failures[0]
+
+    def test_multicore_gate_is_configurable(self):
+        fresh = _payload()
+        fresh["scaling"] = _scaling(cores=4)  # 1.88x at --jobs 2
+        failures = bench_suite.compare_payloads(
+            fresh, _payload(), scaling_gate=1.95
+        )
+        assert failures and "speedup" in failures[0]
+
+
 class TestModeStats:
     def test_mean_and_stddev(self):
         stats = bench_suite._mode_stats([10.0, 11.0, 12.0])

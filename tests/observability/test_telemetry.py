@@ -451,6 +451,87 @@ class TestProgressDisplay:
         assert "sweep: 1/2" in stream.getvalue()
 
 
+class TestDispatchSurface:
+    """The engine's dispatch profile flows through every telemetry view."""
+
+    _PROFILE = {
+        "points": 6,
+        "chunks": 4,
+        "workers": 2,
+        "steals": 2,
+        "utilization": 0.913,
+        "pool_reused": False,
+        "worker_stats": {
+            "pid:11": {"points": 4, "busy_seconds": 2.5, "steals": 2},
+            "pid:12": {"points": 2, "busy_seconds": 1.25, "steals": 0},
+        },
+    }
+
+    def _hub_with_dispatch(self) -> TelemetryHub:
+        hub = _hub()
+        hub.batch_started(6)
+        hub.record_dispatch(dict(self._PROFILE))
+        return hub
+
+    def test_record_dispatch_round_trips_through_snapshot(self):
+        snapshot = self._hub_with_dispatch().snapshot()
+        assert snapshot["dispatch"] == self._PROFILE
+
+    def test_no_dispatch_recorded_means_none_in_snapshot(self):
+        hub = _hub()
+        hub.batch_started(1)
+        assert hub.snapshot()["dispatch"] is None
+
+    def test_prometheus_exposes_dispatch_and_worker_series(self):
+        text = render_prometheus(self._hub_with_dispatch().snapshot())
+        for series in (
+            "repro_dispatch_chunks_total 4",
+            "repro_dispatch_steals_total 2",
+            "repro_dispatch_utilization 0.913",
+            'repro_worker_points_total{worker="pid:11"} 4',
+            'repro_worker_points_total{worker="pid:12"} 2',
+            'repro_worker_busy_seconds_total{worker="pid:11"} 2.5',
+            'repro_worker_steals_total{worker="pid:12"} 0',
+        ):
+            assert series in text, series
+
+    def test_prometheus_omits_dispatch_series_without_a_profile(self):
+        hub = _hub()
+        hub.batch_started(1)
+        text = render_prometheus(hub.snapshot())
+        assert "repro_dispatch_" not in text
+        assert "repro_worker_points_total" not in text
+
+    def test_dispatch_series_keep_exposition_discipline(self):
+        text = render_prometheus(self._hub_with_dispatch().snapshot())
+        helps = [ln for ln in text.splitlines() if ln.startswith("# HELP")]
+        types = [ln for ln in text.splitlines() if ln.startswith("# TYPE")]
+        assert len(helps) == len(types)
+
+    def test_progress_block_gains_a_pool_line(self):
+        lines = render_progress_lines(self._hub_with_dispatch().snapshot())
+        pool = [line for line in lines if line.startswith("  pool:")]
+        assert len(pool) == 1
+        assert "2 workers" in pool[0]
+        assert "4 chunks" in pool[0]
+        assert "2 steals" in pool[0]
+        assert "91% busy" in pool[0]
+        assert "pool cold" in pool[0]  # pool_reused is False
+
+    def test_warm_pool_with_no_steals_renders_lean(self):
+        profile = dict(self._PROFILE, steals=0, pool_reused=True)
+        hub = _hub()
+        hub.batch_started(6)
+        hub.record_dispatch(profile)
+        (pool,) = [
+            line
+            for line in render_progress_lines(hub.snapshot())
+            if line.startswith("  pool:")
+        ]
+        assert "steals" not in pool
+        assert "pool cold" not in pool
+
+
 class TestMetricsServer:
     def test_metrics_and_healthz_over_http(self):
         hub = _hub()
