@@ -20,6 +20,10 @@ emits ``BENCH_repro.json`` at the repo root:
   <10% over the plain headline run (and the headline mode itself
   proves telemetry *off* costs nothing, since it never installs a
   beacon or hub);
+* **spans** -- the telemetry run plus ``--spans-out`` (the sweep-scope
+  orchestration span trace): the span recorder rides the telemetry
+  mark channel, so its marginal cost over telemetry alone is gated at
+  <5%;
 * **backend** -- the same headline run on ``--backend fast``: its
   stdout must be byte-identical to every reference run's, and its
   speedup over the headline (reference) mean is gated at >= 3x;
@@ -81,6 +85,10 @@ ATTRIBUTION_GATE = 0.05
 #: Live telemetry (heartbeats + progress + /metrics) may cost at most
 #: this much on top of the plain headline run.
 TELEMETRY_GATE = 0.10
+
+#: Sweep span recording may cost at most this much on top of the
+#: telemetry run it piggybacks on.
+SPANS_GATE = 0.05
 
 #: The fast backend must beat the reference headline mean by at least
 #: this factor (a conservative floor well under the measured speedup,
@@ -189,6 +197,7 @@ def measure(jobs: int, scale: float, repeats: int) -> dict:
         tracing: list[float] = []
         attribution: list[float] = []
         telemetry: list[float] = []
+        spanned: list[float] = []
         fast: list[float] = []
         reference_stdout: str | None = None
         for repeat in range(repeats):
@@ -227,6 +236,19 @@ def measure(jobs: int, scale: float, repeats: int) -> dict:
                     extra_args=["--progress", "--serve-metrics", "0"],
                 )[0]
             )
+            spanned.append(
+                _run_headlines(
+                    base / "spanned",
+                    scale,
+                    extra_args=[
+                        "--progress",
+                        "--serve-metrics",
+                        "0",
+                        "--spans-out",
+                        str(base / "spans.jsonl.gz"),
+                    ],
+                )[0]
+            )
             elapsed, stdout = _run_headlines(
                 base / "fast", scale, extra_args=["--backend", "fast"]
             )
@@ -260,6 +282,7 @@ def measure(jobs: int, scale: float, repeats: int) -> dict:
     tracing_stats = _mode_stats(tracing)
     attribution_stats = _mode_stats(attribution)
     telemetry_stats = _mode_stats(telemetry)
+    spans_stats = _mode_stats(spanned)
     backend_stats = _mode_stats(fast)
     backend_stats["command"] = (
         "python -m repro headlines --jobs 1 --backend fast"
@@ -270,6 +293,10 @@ def measure(jobs: int, scale: float, repeats: int) -> dict:
     backend_stats["outputs_identical"] = True
     telemetry_stats["overhead_vs_headline"] = round(
         telemetry_stats["mean_seconds"] / headline_stats["mean_seconds"] - 1.0,
+        3,
+    )
+    spans_stats["overhead_vs_telemetry"] = round(
+        spans_stats["mean_seconds"] / telemetry_stats["mean_seconds"] - 1.0,
         3,
     )
     tracing_stats["overhead_vs_headline"] = round(
@@ -308,6 +335,7 @@ def measure(jobs: int, scale: float, repeats: int) -> dict:
         "tracing": tracing_stats,
         "attribution": attribution_stats,
         "telemetry": telemetry_stats,
+        "spans": spans_stats,
         "backend": backend_stats,
         "scaling": scaling_stats,
         "engine": {
@@ -329,6 +357,7 @@ def compare_payloads(
     tolerance: float = DEFAULT_TOLERANCE,
     attribution_gate: float = ATTRIBUTION_GATE,
     telemetry_gate: float = TELEMETRY_GATE,
+    spans_gate: float = SPANS_GATE,
     backend_gate: float = BACKEND_SPEEDUP_GATE,
     scaling_gate: float = SCALING_SPEEDUP_GATE,
     scaling_overhead_gate: float = SCALING_OVERHEAD_GATE,
@@ -375,6 +404,12 @@ def compare_payloads(
         failures.append(
             f"telemetry overhead {telemetry_overhead:.1%} vs headline "
             f"exceeds the {telemetry_gate:.0%} gate"
+        )
+    spans_overhead = fresh.get("spans", {}).get("overhead_vs_telemetry")
+    if spans_overhead is not None and spans_overhead > spans_gate:
+        failures.append(
+            f"spans overhead {spans_overhead:.1%} vs telemetry exceeds "
+            f"the {spans_gate:.0%} gate"
         )
     speedup = fresh.get("backend", {}).get("speedup_vs_reference")
     if speedup is not None and speedup < backend_gate:
@@ -460,6 +495,7 @@ def main() -> int:
             f"perf check passed (tolerance {args.tolerance:.0%}, "
             f"attribution gate {ATTRIBUTION_GATE:.0%}, "
             f"telemetry gate {TELEMETRY_GATE:.0%}, "
+            f"spans gate {SPANS_GATE:.0%}, "
             f"backend gate {BACKEND_SPEEDUP_GATE:.1f}x, "
             f"scaling gate {SCALING_SPEEDUP_GATE:.1f}x on multi-core / "
             f"{SCALING_OVERHEAD_GATE:.0%} overhead on one core)"

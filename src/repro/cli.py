@@ -25,6 +25,9 @@ Usage::
     python -m repro runs list
     python -m repro runs show last
     python -m repro runs compare
+    python -m repro figure4 --jobs 4 --spans-out sweep.jsonl.gz
+    python -m repro spans last
+    python -m repro spans --from-jsonl sweep.jsonl.gz --format chrome
 
 Instruction budgets can also be scaled globally with ``REPRO_SCALE``
 (a multiplier) or pinned with ``REPRO_INSTRUCTIONS`` (absolute measured
@@ -58,6 +61,16 @@ against the persistent store also appends a record to the run ledger
 ``runs show [ref]`` one record, and ``runs compare [a] [b]`` diffs two
 runs' per-point metrics, flagging any drift beyond ``--rel-tol``
 (default 0.0 -- the golden suite's exact-agreement bar).
+
+Sweep spans: ``--spans-out PATH`` (or ``REPRO_SPANS=PATH``) records a
+hierarchical span trace of the *orchestration* -- plan lookup, cost
+pricing, chunk packing, queue wait, per-point worker execution,
+absorption, store writes, ledger append -- as JSONL (gzipped for
+``.gz`` paths).  ``repro spans [ref]`` resolves a recorded run through
+the ledger (default ``last``) and prints its critical path with a
+speedup verdict; ``--format json`` emits the full analysis,
+``--format chrome`` writes Perfetto-loadable orchestration tracks
+(one per worker), and ``--from-jsonl`` analyzes a span file offline.
 
 Crash safety: every sweep keeps a checkpoint next to the store; SIGINT/
 SIGTERM finish in-flight points, flush checkpoint and ledger, and exit
@@ -135,6 +148,51 @@ def _point_timeout_scope(timeout: float | None):
                 os.environ.pop(POINT_TIMEOUT_ENV, None)
             else:
                 os.environ[POINT_TIMEOUT_ENV] = previous
+
+    return scope()
+
+
+def _spans_scope(args: argparse.Namespace):
+    """Collect orchestration spans when ``--spans-out``/``REPRO_SPANS`` ask.
+
+    Only sweep-shaped invocations (the figures, ``all``, ``runs
+    resume``) open a collector -- ``trace``/``metrics`` run one point
+    and have no orchestration to span.  The path is exported as
+    ``REPRO_SPANS`` (and restored afterwards -- tests drive ``main()``
+    in-process), and the closing status line goes to stderr so stdout
+    stays byte-identical with spans on or off.
+    """
+    from contextlib import contextmanager
+
+    from repro.observability import spans as obs_spans
+
+    experiment = args.experiment.lower()
+    sweeping = (
+        experiment in EXPERIMENTS
+        or experiment == "all"
+        or (experiment == "runs" and args.action == "resume")
+    )
+    path = args.spans_out or os.environ.get(obs_spans.SPANS_ENV)
+
+    @contextmanager
+    def scope():
+        if not sweeping or not path:
+            yield
+            return
+        previous = os.environ.get(obs_spans.SPANS_ENV)
+        os.environ[obs_spans.SPANS_ENV] = path
+        try:
+            with obs_spans.collecting(path) as recorder:
+                yield
+        finally:
+            if previous is None:
+                os.environ.pop(obs_spans.SPANS_ENV, None)
+            else:
+                os.environ[obs_spans.SPANS_ENV] = previous
+        print(
+            f"[spans: {recorder.recorded} span(s) -> {path}]",
+            file=sys.stderr,
+        )
 
     return scope()
 
@@ -610,17 +668,30 @@ def _runs_show(ledger, ref: str, fmt: str, parser) -> int:
             f"{row['ipc']:.4f}" if row.get("ipc") is not None else "gap",
             f"{row.get('instructions', 0)}",
             f"{row.get('cycles', 0)}",
+            f"{row['seconds']:.2f}s" if row.get("seconds") is not None else "-",
         ]
         for row in record.get("points", [])
     ]
     print()
     print(
         reporting.format_table(
-            ["design point", "outcome", "IPC", "instructions", "cycles"],
+            ["design point", "outcome", "IPC", "instructions", "cycles", "wall"],
             rows,
             f"{summary.get('points', len(rows))} design point(s)",
         )
     )
+    spans_info = record.get("spans")
+    if spans_info and spans_info.get("recorded"):
+        print()
+        trace_ref = spans_info.get("trace", "?")
+        print(f"spans:        {spans_info['recorded']} recorded, trace {trace_ref}")
+        for entry in spans_info.get("top") or []:
+            print(f"              {entry['seconds']:8.3f}s  {entry['name']}")
+        if spans_info.get("path"):
+            print(
+                f"              file: {spans_info['path']} "
+                f"(analyze with 'repro spans {record.get('run_id', 'last')}')"
+            )
     return 0
 
 
@@ -791,6 +862,92 @@ def _runs_resume(args: argparse.Namespace, parser) -> int:
     return 3 if log.records else 0
 
 
+def _spans_command(args: argparse.Namespace, parser) -> int:
+    """``python -m repro spans [ref]``: critical-path analysis of a sweep.
+
+    Resolves the span file through the run ledger (``last`` by default)
+    or reads one directly with ``--from-jsonl``.  ``--format chrome``
+    exports the Perfetto orchestration tracks instead of the report.
+    """
+    from repro.observability.spans import analyze, read_spans, render_analysis
+
+    if args.refs:
+        parser.error("'spans' takes at most one run reference")
+    source = args.from_jsonl
+    trace_id = None
+    if source is not None:
+        if args.action is not None:
+            parser.error(
+                "--from-jsonl reads a span file directly; "
+                "drop the run reference"
+            )
+    else:
+        ledger = ResultStore(args.cache_dir).ledger()
+        ref = args.action or "last"
+        record = ledger.resolve(ref)
+        if record is None:
+            print(
+                f"no run matches {ref!r} in {ledger.path} "
+                "(use an index, a run id or prefix, or 'last')",
+                file=sys.stderr,
+            )
+            return 2
+        run_id = record.get("run_id", "?")
+        info = record.get("spans")
+        if not info or not info.get("recorded"):
+            print(
+                f"run {run_id} recorded no spans; re-run the sweep with "
+                "--spans-out PATH (or REPRO_SPANS=PATH)",
+                file=sys.stderr,
+            )
+            return 2
+        source = info.get("path")
+        trace_id = info.get("trace")
+        if not source:
+            print(
+                f"run {run_id} recorded {info['recorded']} span(s) but no "
+                "sink file; re-run with --spans-out PATH to keep them",
+                file=sys.stderr,
+            )
+            return 2
+    if not os.path.exists(source):
+        print(f"span file {source} does not exist", file=sys.stderr)
+        return 2
+    spans = read_spans(source)
+    if not spans:
+        print(f"no spans in {source}", file=sys.stderr)
+        return 2
+    if args.spans_format == "chrome":
+        from repro.observability.chrometrace import write_chrome_spans
+
+        selected = (
+            [s for s in spans if s.get("trace") == trace_id]
+            if trace_id is not None
+            else spans
+        )
+        out = args.trace_out
+        if out is None:
+            stem = source[: -len(".gz")] if source.endswith(".gz") else source
+            if stem.endswith(".jsonl"):
+                stem = stem[: -len(".jsonl")]
+            out = stem + ".trace.json"
+        count = write_chrome_spans(selected or spans, out)
+        print(
+            f"wrote {count} Chrome trace event(s) to {out} "
+            "(open in Perfetto or chrome://tracing)"
+        )
+        return 0
+    analysis = analyze(spans, trace_id=trace_id)
+    if analysis is None:
+        print(f"no complete trace found in {source}", file=sys.stderr)
+        return 2
+    if args.spans_format == "json":
+        _print_json(analysis)
+        return 0
+    print(render_analysis(analysis))
+    return 0
+
+
 def _runs_command(args: argparse.Namespace, parser) -> int:
     """``python -m repro runs {list,show,compare,resume}``."""
     ledger = ResultStore(args.cache_dir).ledger()
@@ -843,8 +1000,8 @@ def _main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         help=(
-            "which table/figure to regenerate "
-            "(or 'all', 'cache', 'trace', 'metrics', 'diagnose', 'runs')"
+            "which table/figure to regenerate (or 'all', 'cache', "
+            "'trace', 'metrics', 'diagnose', 'runs', 'spans')"
         ),
     )
     parser.add_argument(
@@ -855,7 +1012,7 @@ def _main(argv: list[str] | None = None) -> int:
             "subcommand argument: 'cache' takes 'info', 'clear', or "
             "'verify'; 'trace', 'metrics', and 'diagnose' take a "
             "benchmark name; 'runs' takes 'list', 'show', 'compare', "
-            "or 'resume'"
+            "or 'resume'; 'spans' takes a run reference (default 'last')"
         ),
     )
     parser.add_argument(
@@ -941,9 +1098,19 @@ def _main(argv: list[str] | None = None) -> int:
         "--trace-out",
         default=None,
         help=(
-            "('trace' only) output file: the JSONL event stream "
+            "('trace'/'spans') output file: the JSONL event stream "
             "(gzipped when the name ends in .gz), or the Chrome trace "
             "with --format chrome"
+        ),
+    )
+    parser.add_argument(
+        "--spans-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "record orchestration spans of every sweep in this run to "
+            "PATH as JSON lines (gzipped when the name ends in .gz; "
+            "also via REPRO_SPANS); analyze with 'repro spans last'"
         ),
     )
     parser.add_argument(
@@ -952,7 +1119,8 @@ def _main(argv: list[str] | None = None) -> int:
         default=None,
         help=(
             "output format: jsonl (default) or chrome for 'trace'; "
-            "table (default) or json for 'metrics' and 'runs'"
+            "table (default) or json for 'metrics' and 'runs'; "
+            "report (default), json, or chrome for 'spans'"
         ),
     )
     parser.add_argument(
@@ -988,8 +1156,8 @@ def _main(argv: list[str] | None = None) -> int:
         "--from-jsonl",
         default=None,
         help=(
-            "('trace' only) convert an existing JSONL/JSONL.gz trace "
-            "to --format chrome instead of running a simulation"
+            "('trace'/'spans') read an existing JSONL/JSONL.gz file "
+            "instead of running a simulation or resolving the ledger"
         ),
     )
     parser.add_argument(
@@ -1025,8 +1193,10 @@ def _main(argv: list[str] | None = None) -> int:
         from repro import kernel
 
         with kernel.use_backend(args.backend):
-            return _dispatch(parser, args)
-    return _dispatch(parser, args)
+            with _spans_scope(args):
+                return _dispatch(parser, args)
+    with _spans_scope(args):
+        return _dispatch(parser, args)
 
 
 def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
@@ -1036,6 +1206,11 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
             parser, args.fmt, verb="runs", allowed=("table", "json")
         )
         return _runs_command(args, parser)
+    if experiment == "spans":
+        args.spans_format = _resolve_format(
+            parser, args.fmt, verb="spans", allowed=("report", "json", "chrome")
+        )
+        return _spans_command(args, parser)
     if args.refs:
         parser.error(f"unexpected extra argument {args.refs[0]!r}")
     if experiment == "cache":
@@ -1091,7 +1266,8 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
             configure_engine(jobs=previous[0], store=previous[1])
     if args.fmt is not None:
         parser.error(
-            "--format applies to the 'trace', 'metrics', and 'runs' verbs"
+            "--format applies to the 'trace', 'metrics', 'runs', "
+            "and 'spans' verbs"
         )
     if args.action is not None:
         parser.error(f"unexpected extra argument {args.action!r}")
@@ -1101,7 +1277,8 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
         parser.error(
             f"unknown experiment {args.experiment!r}; choose from: "
             + ", ".join(
-                EXPERIMENTS + ("all", "cache", "trace", "metrics", "diagnose")
+                EXPERIMENTS
+                + ("all", "cache", "trace", "metrics", "diagnose", "runs", "spans")
             )
         )
     args.benchmarks = _validated_benchmarks(parser, args.benchmarks)

@@ -51,6 +51,7 @@ from repro.cpu.result import SimulationResult
 from repro.engine.key import ExperimentKey
 from repro.engine.serialize import result_from_dict, result_to_dict
 from repro.engine.store import ResultStore
+from repro.observability import spans as obs_spans
 from repro.observability import telemetry
 from repro.observability import trace as obs_trace
 from repro.observability.events import (
@@ -90,10 +91,13 @@ def run_point_payload(key_dict: dict) -> dict:
     never re-apply ``REPRO_SCALE``.  Failures are captured and returned
     as data; the parent owns retry/record policy.
     """
+    import time
+
     from repro.core import experiment
     from repro.robustness.deadline import point_deadline
 
     key = ExperimentKey.from_dict(key_dict)
+    started = time.monotonic()
     # Live telemetry: a beacon exists only when the parent opened a
     # heartbeat channel (pool initializer installed the queue); it
     # observes commits but never influences the simulation.
@@ -102,11 +106,12 @@ def run_point_payload(key_dict: dict) -> dict:
         telemetry.install_beacon(beacon)
         beacon.start()
     try:
-        spec = benchmark(key.workload)
+        with obs_spans.span("point.prepare"):
+            spec = benchmark(key.workload)
         # Workers self-enforce the wall-clock budget (inherited via
         # REPRO_POINT_TIMEOUT); the parent's grace kill is the backstop
         # for a worker too wedged to reach the cooperative check.
-        with point_deadline():
+        with obs_spans.span("point.run"), point_deadline():
             result = experiment._simulate(key.organization, spec, key.settings)
     except Exception as error:  # noqa: BLE001 - shipped back, not swallowed
         if beacon is not None:
@@ -115,13 +120,20 @@ def run_point_payload(key_dict: dict) -> dict:
             "status": "error",
             "error_type": type(error).__name__,
             "message": experiment._failure_message(error),
+            "seconds": time.monotonic() - started,
         }
     finally:
         if beacon is not None:
             telemetry.clear_beacon()
     if beacon is not None:
         beacon.end("ok")
-    return {"status": "ok", "result": result_to_dict(result)}
+    with obs_spans.span("point.serialize"):
+        payload = result_to_dict(result)
+    return {
+        "status": "ok",
+        "result": payload,
+        "seconds": time.monotonic() - started,
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -132,7 +144,9 @@ def run_point_payload(key_dict: dict) -> dict:
 _POOL_CHANNEL = None
 
 
-def _init_pool_worker(queue, stop_event, telemetry_on: bool) -> None:
+def _init_pool_worker(
+    queue, stop_event, telemetry_on: bool, spans_on: bool = False
+) -> None:
     """Initializer for persistent-pool workers.
 
     Installs the dispatch channel (``point-start`` / ``point-done``
@@ -141,12 +155,18 @@ def _init_pool_worker(queue, stop_event, telemetry_on: bool) -> None:
     untelemetered run never builds a beacon, so its workers pay nothing
     per committed instruction -- and the parent never pays for a
     ``multiprocessing.Manager`` at all (marks and heartbeats share this
-    one plain queue).
+    one plain queue).  Span recording rides the same queue: when the
+    parent runs with spans on, workers get an emit-only recorder whose
+    finished spans travel back as ``span`` marks.
     """
     global _POOL_CHANNEL
     _POOL_CHANNEL = (queue, stop_event)
     if telemetry_on:
         telemetry._init_worker(queue)
+    if spans_on:
+        obs_spans.install_worker(
+            lambda data: _channel_send(queue, {"type": "span", "data": data})
+        )
 
 
 def _channel_send(queue, message: dict) -> None:
@@ -157,7 +177,21 @@ def _channel_send(queue, message: dict) -> None:
         pass
 
 
-def run_chunk_payload(chunk_id: int, key_dicts: list[dict]) -> dict:
+def _close_chunk_span(chunk_spans, chunk_waits, chunk_id, **attrs) -> None:
+    """Close a chunk's parent-side spans (wait first), tolerating repeats."""
+    wait_span = chunk_waits.pop(chunk_id, None)
+    if wait_span is not None:
+        wait_span.close()
+    chunk_span = chunk_spans.pop(chunk_id, None)
+    if chunk_span is not None:
+        if attrs:
+            chunk_span.set(**attrs)
+        chunk_span.close()
+
+
+def run_chunk_payload(
+    chunk_id: int, key_dicts: list[dict], span_ctx: dict | None = None
+) -> dict:
     """Worker entry point: simulate one chunk of design points.
 
     Streams ``point-start`` / ``point-done`` marks to the parent (wedge
@@ -166,6 +200,10 @@ def run_chunk_payload(chunk_id: int, key_dicts: list[dict]) -> dict:
     shutdown around between points: the in-flight point finishes, the
     rest of the chunk is abandoned -- the same between-points check the
     serial loop performs.
+
+    ``span_ctx`` -- the coordinator's (trace id, chunk span id) pair --
+    is adopted for the chunk's lifetime when spans are on, so worker
+    ``point`` spans nest under the right chunk in the sweep trace.
     """
     import os
     import time
@@ -174,37 +212,47 @@ def run_chunk_payload(chunk_id: int, key_dicts: list[dict]) -> dict:
     queue, stop_event = channel if channel is not None else (None, None)
     worker = f"pid:{os.getpid()}"
     entries: list[dict] = []
-    for key_dict in key_dicts:
-        if stop_event is not None and stop_event.is_set():
-            break
-        key = ExperimentKey.from_dict(key_dict)
-        if queue is not None:
-            _channel_send(
-                queue,
-                {
-                    "type": "point-start",
-                    "chunk": chunk_id,
-                    "digest": key.digest,
-                    "label": key.label,
-                    "worker": worker,
-                },
-            )
-        started = time.monotonic()
-        payload = run_point_payload(key_dict)
-        busy = time.monotonic() - started
-        if queue is not None:
-            _channel_send(
-                queue,
-                {
-                    "type": "point-done",
-                    "chunk": chunk_id,
-                    "digest": key.digest,
-                    "worker": worker,
-                    "ok": payload.get("status") == "ok",
-                    "busy": busy,
-                },
-            )
-        entries.append({"digest": key.digest, "payload": payload})
+    with obs_spans.adopt(span_ctx):
+        for key_dict in key_dicts:
+            if stop_event is not None and stop_event.is_set():
+                break
+            key = ExperimentKey.from_dict(key_dict)
+            if queue is not None:
+                _channel_send(
+                    queue,
+                    {
+                        "type": "point-start",
+                        "chunk": chunk_id,
+                        "digest": key.digest,
+                        "label": key.label,
+                        "worker": worker,
+                        # Epoch time: the coordinator closes this
+                        # chunk's queue-wait span at the moment work
+                        # began, not at the (laggy) drain.
+                        "t": time.time(),
+                    },
+                )
+            started = time.monotonic()
+            with obs_spans.span(
+                "point", digest=key.digest[:12], label=key.label, chunk=chunk_id
+            ) as pspan:
+                payload = run_point_payload(key_dict)
+                if pspan is not None:
+                    pspan.set(ok=payload.get("status") == "ok")
+            busy = time.monotonic() - started
+            if queue is not None:
+                _channel_send(
+                    queue,
+                    {
+                        "type": "point-done",
+                        "chunk": chunk_id,
+                        "digest": key.digest,
+                        "worker": worker,
+                        "ok": payload.get("status") == "ok",
+                        "busy": busy,
+                    },
+                )
+            entries.append({"digest": key.digest, "payload": payload})
     return {"chunk": chunk_id, "worker": worker, "entries": entries}
 
 
@@ -238,6 +286,10 @@ class Engine:
         self._pool: _PoolHandle | None = None
         #: Dispatch instrumentation of the most recent parallel batch.
         self.last_dispatch = None
+        #: Per-point wall-clock seconds of the most recent batch
+        #: (parent-measured for serial points, worker-reported for
+        #: parallel ones); feeds the run ledger's point rows.
+        self.point_seconds: dict[ExperimentKey, float] = {}
 
     # ------------------------------------------------------------------
     # Persistent worker pool
@@ -261,7 +313,10 @@ class Engine:
                 if name.startswith("REPRO_")
             )
         )
-        return (self.jobs, telemetry_on, env)
+        # Span recording changes the worker initializer's behavior the
+        # same way telemetry does, so toggling it invalidates the pool.
+        spans_on = obs_spans.active() is not None
+        return (self.jobs, telemetry_on, spans_on, env)
 
     def _acquire_pool(self, telemetry_on: bool, points, profile) -> _PoolHandle:
         """Reuse the persistent pool, or (re)create it when stale."""
@@ -288,7 +343,7 @@ class Engine:
         pool = ProcessPoolExecutor(
             max_workers=self.jobs,
             initializer=_init_pool_worker,
-            initargs=(queue, stop, telemetry_on),
+            initargs=(queue, stop, telemetry_on, obs_spans.active() is not None),
         )
         handle = _PoolHandle(
             pool, queue, stop, fingerprint, self.jobs, os.getpid()
@@ -372,7 +427,8 @@ class Engine:
         """Record one resolved point in the active checkpoint, if any."""
         checkpoint = self.checkpoint
         if checkpoint is not None:
-            checkpoint.mark(key, outcome)
+            with obs_spans.span("checkpoint.mark", outcome=outcome):
+                checkpoint.mark(key, outcome)
 
     # ------------------------------------------------------------------
     # Cache layers
@@ -399,7 +455,8 @@ class Engine:
     ) -> None:
         self.memo[key] = result
         if self.store is not None and _is_catalog_spec(spec):
-            self.store.save(key, result)
+            with obs_spans.span("store.write", digest=key.digest[:12]):
+                self.store.save(key, result)
 
     # ------------------------------------------------------------------
     # Execution
@@ -423,6 +480,23 @@ class Engine:
         ``outcomes``, when given, receives how the point resolved
         (``simulated`` / ``recovered`` / ``gap``) for the run ledger.
         """
+        import time
+
+        started = time.monotonic()
+        try:
+            with obs_spans.span(
+                "point", digest=key.digest[:12], label=key.label, where="parent"
+            ):
+                return self._run_point_inner(key, spec, outcomes)
+        finally:
+            self.point_seconds[key] = time.monotonic() - started
+
+    def _run_point_inner(
+        self,
+        key: ExperimentKey,
+        spec: "WorkloadSpec",
+        outcomes: "dict[ExperimentKey, str] | None" = None,
+    ) -> SimulationResult:
         from repro.core import experiment
         from repro.robustness.deadline import point_deadline
         from repro.robustness.runner import current_failure_log
@@ -540,21 +614,24 @@ class Engine:
         if results is None:
             results = {}
         pending: list[tuple[ExperimentKey, WorkloadSpec]] = []
-        for key, spec in points.items():
-            in_memo = key in self.memo
-            cached = self.lookup(key, spec)
-            if cached is not None:
-                results[key] = cached
-                layer = "memo" if in_memo else "store"
-                self._mark(key, layer)
-                if outcomes is not None:
-                    outcomes[key] = layer
-                if hub is not None:
-                    hub.point_cached(telemetry._point_id(key), key.label, layer)
-            else:
-                pending.append((key, spec))
-                if hub is not None:
-                    hub.point_queued(telemetry._point_id(key), key.label)
+        with obs_spans.span("plan.lookup", planned=len(points)) as lspan:
+            for key, spec in points.items():
+                in_memo = key in self.memo
+                cached = self.lookup(key, spec)
+                if cached is not None:
+                    results[key] = cached
+                    layer = "memo" if in_memo else "store"
+                    self._mark(key, layer)
+                    if outcomes is not None:
+                        outcomes[key] = layer
+                    if hub is not None:
+                        hub.point_cached(telemetry._point_id(key), key.label, layer)
+                else:
+                    pending.append((key, spec))
+                    if hub is not None:
+                        hub.point_queued(telemetry._point_id(key), key.label)
+            if lspan is not None:
+                lspan.set(cached=len(results), pending=len(pending))
         obs_trace.emit(
             ENGINE_EXECUTE,
             0,
@@ -629,24 +706,54 @@ class Engine:
         if results is None:
             results = {}
         hub = telemetry.active_hub()
+        # A recorder without an open trace means no sweep root span
+        # exists (a bare run_batch outside execute()); skip the
+        # per-chunk bookkeeping entirely in that case, same as off.
+        recorder = obs_spans.active()
+        if recorder is not None and recorder.trace_id is None:
+            recorder = None
         batch_start = time.monotonic()
         profile = DispatchProfile(len(points), self.jobs)
         self.last_dispatch = profile
         handle = self._acquire_pool(hub is not None, points, profile)
-        chunks = plan_chunks(
-            points, CostModel.for_engine(self).estimate, handle.workers
-        )
+        with obs_spans.span("dispatch.price", points=len(points)):
+            estimate = CostModel.for_engine(self).estimate
+        with obs_spans.span("dispatch.pack", workers=handle.workers) as pspan:
+            chunks = plan_chunks(points, estimate, handle.workers)
+            if pspan is not None:
+                pspan.set(chunks=len(chunks))
         profile.chunks = len(chunks)
         by_digest = {key.digest: (key, spec) for key, spec in points}
+
+        #: Parent-side spans covering each chunk's whole lifetime and
+        #: its queue wait (submit -> first point-start), closed out of
+        #: order as workers report in.
+        chunk_spans: dict[int, object] = {}
+        chunk_waits: dict[int, object] = {}
+        span_state = (recorder, chunk_waits, profile) if recorder is not None else None
 
         submit_start = time.monotonic()
         futures: dict = {}
         try:
             for chunk_id, chunk in enumerate(chunks):
+                span_ctx = None
+                if recorder is not None:
+                    cspan = recorder.open(
+                        "chunk", chunk=chunk_id, points=len(chunk)
+                    )
+                    chunk_spans[chunk_id] = cspan
+                    chunk_waits[chunk_id] = recorder.open(
+                        "chunk.wait", parent=cspan.span_id, chunk=chunk_id
+                    )
+                    span_ctx = {
+                        "trace": recorder.trace_id,
+                        "parent": cspan.span_id,
+                    }
                 future = handle.pool.submit(
                     run_chunk_payload,
                     chunk_id,
                     [key.to_dict() for key, _ in chunk],
+                    span_ctx,
                 )
                 futures[future] = chunk_id
         except Exception:  # noqa: BLE001 - a dead pool degrades to serial
@@ -674,34 +781,50 @@ class Engine:
                 pending, timeout=0.25, return_when=FIRST_COMPLETED
             )
             self._drain_dispatch_queue(
-                handle, hub, profile, current, chunks_started
+                handle, hub, profile, current, chunks_started, span_state
             )
             for future in done:
                 chunk_id = futures[future]
                 try:
                     outcome = future.result()
                 except CancelledError:
+                    _close_chunk_span(
+                        chunk_spans, chunk_waits, chunk_id, cancelled=True
+                    )
                     continue  # shutdown canceled it before it started
                 except Exception:  # noqa: BLE001 - BrokenProcessPool et al.
                     # Worker death: the chunk's unabsorbed points fall
                     # back to the in-parent tail below.
                     handle.broken = True
                     current.pop(chunk_id, None)
+                    _close_chunk_span(
+                        chunk_spans, chunk_waits, chunk_id, error="BrokenPool"
+                    )
                     continue
                 current.pop(chunk_id, None)
-                for entry in outcome["entries"]:
-                    digest = entry["digest"]
-                    if digest in absorbed:
-                        continue
-                    absorbed.add(digest)
-                    key, spec = by_digest[digest]
-                    payload = entry["payload"]
-                    if payload.get("status") == "ok":
-                        results[key] = self._absorb(
-                            key, spec, payload, outcomes
-                        )
-                    else:
-                        errors[digest] = payload
+                _close_chunk_span(
+                    chunk_spans,
+                    chunk_waits,
+                    chunk_id,
+                    worker=outcome.get("worker"),
+                    entries=len(outcome["entries"]),
+                )
+                with obs_spans.span(
+                    "absorb", chunk=chunk_id, entries=len(outcome["entries"])
+                ):
+                    for entry in outcome["entries"]:
+                        digest = entry["digest"]
+                        if digest in absorbed:
+                            continue
+                        absorbed.add(digest)
+                        key, spec = by_digest[digest]
+                        payload = entry["payload"]
+                        if payload.get("status") == "ok":
+                            results[key] = self._absorb(
+                                key, spec, payload, outcomes
+                            )
+                        else:
+                            errors[digest] = payload
             if budget is not None and pending and not interrupted:
                 wedged = self._find_wedged_point(
                     budget, current, absorbed, pending, futures,
@@ -728,22 +851,46 @@ class Engine:
                     profile.timeout_points += 1
         profile.drain_seconds = time.monotonic() - drain_start
 
+        if recorder is not None:
+            # Worker span marks can trail the chunk futures (the queue
+            # is asynchronous); give stragglers a bounded settle window
+            # -- two consecutive quiet drains or ~1s, whichever first.
+            quiet = 0
+            settle_deadline = time.monotonic() + 1.0
+            while quiet < 2 and time.monotonic() < settle_deadline:
+                before = recorder.recorded
+                self._drain_dispatch_queue(
+                    handle, hub, profile, current, chunks_started, span_state
+                )
+                if recorder.recorded == before:
+                    quiet += 1
+                    time.sleep(0.02)
+                else:
+                    quiet = 0
+            # Close whatever the loop never saw finish (broken pool,
+            # interrupt) so the trace has no dangling open spans.
+            for chunk_id in list(chunk_spans):
+                _close_chunk_span(chunk_spans, chunk_waits, chunk_id)
+
         # Deterministic re-sequencing: the serial-policy tail walks the
         # batch in plan order, replaying worker failures through the
         # parent retry path and running pool-casualty points in-parent,
         # so the failure log reads exactly as a serial run's would.
         retry_start = time.monotonic()
-        for key, spec in points:
-            digest = key.digest
-            payload = errors.get(digest)
-            if payload is not None:
-                results[key] = self._absorb(key, spec, payload, outcomes)
-            elif digest not in absorbed and not interrupted:
-                if shutdown_requested():
-                    interrupted = True
-                    continue
-                profile.fallback_points += 1
-                results[key] = self.run_point(key, spec, outcomes)
+        with obs_spans.span(
+            "resequence", errors=len(errors), absorbed=len(absorbed)
+        ):
+            for key, spec in points:
+                digest = key.digest
+                payload = errors.get(digest)
+                if payload is not None:
+                    results[key] = self._absorb(key, spec, payload, outcomes)
+                elif digest not in absorbed and not interrupted:
+                    if shutdown_requested():
+                        interrupted = True
+                        continue
+                    profile.fallback_points += 1
+                    results[key] = self.run_point(key, spec, outcomes)
         profile.retry_seconds = time.monotonic() - retry_start
         profile.interrupted = interrupted
         profile.wall_seconds = time.monotonic() - batch_start
@@ -765,12 +912,22 @@ class Engine:
         return results
 
     def _drain_dispatch_queue(
-        self, handle: _PoolHandle, hub, profile, current, chunks_started
+        self, handle: _PoolHandle, hub, profile, current, chunks_started,
+        span_state=None,
     ) -> None:
-        """Absorb queued worker marks (and heartbeats) without blocking."""
+        """Absorb queued worker marks (and heartbeats) without blocking.
+
+        ``span_state`` -- ``(recorder, chunk_waits, profile)`` when the
+        sweep span recorder is live -- lets the drain fold worker span
+        marks into the trace, close a chunk's queue-wait span on its
+        first ``point-start``, and stamp steal instants.
+        """
         import queue as queue_mod
         import time
 
+        recorder = chunk_waits = None
+        if span_state is not None:
+            recorder, chunk_waits, _ = span_state
         while True:
             try:
                 message = handle.queue.get_nowait()
@@ -781,6 +938,10 @@ class Engine:
             if not isinstance(message, dict):
                 continue
             kind = message.get("type")
+            if kind == "span":
+                if recorder is not None:
+                    recorder.record(message.get("data"))
+                continue
             if kind == "point-start":
                 chunk_id = message.get("chunk")
                 worker = message.get("worker", "?")
@@ -793,6 +954,20 @@ class Engine:
                 if chunk_id not in chunks_started:
                     chunks_started.add(chunk_id)
                     profile.chunk_started(worker)
+                    if recorder is not None:
+                        wait_span = chunk_waits.pop(chunk_id, None)
+                        if wait_span is not None:
+                            wait_span.set(worker=worker)
+                            started_at = message.get("t")
+                            wait_span.close(
+                                end=float(started_at) if started_at else None
+                            )
+                        # A worker picking up its second chunk is a
+                        # steal in this self-scheduling scheme.
+                        if profile.worker_stats(worker).chunks > 1:
+                            recorder.instant(
+                                "chunk.steal", chunk=chunk_id, worker=worker
+                            )
                 if hub is not None:
                     hub.point_started(digest[:12], message.get("label", ""))
             elif kind == "point-done":
@@ -854,6 +1029,9 @@ class Engine:
         from repro.robustness.runner import current_failure_log
 
         hub = telemetry.active_hub()
+        seconds = payload.get("seconds")
+        if seconds is not None:
+            self.point_seconds[key] = float(seconds)
         if payload.get("status") == "ok":
             result = result_from_dict(payload["result"])
             self.remember(key, spec, result)
@@ -1024,14 +1202,43 @@ class ExecutionPlan:
                     hub.sweep_resumed(previously)
         start = time.monotonic()
         engine.checkpoint = checkpoint
+        engine.point_seconds = {}
+        # The sweep span recorder (``--spans-out`` / REPRO_SPANS): every
+        # store-backed batch becomes one trace rooted at a ``sweep``
+        # span whose id derives from the plan digest.
+        recorder = obs_spans.active()
+        trace_id = None
+        if recorder is not None and points:
+            from repro.engine.ledger import plan_digest
+
+            trace_id = obs_spans.next_trace_id(plan_digest(points))
         try:
-            engine.run_batch(points, outcomes, results)
+            if trace_id is not None:
+                try:
+                    with recorder.trace(
+                        trace_id, "sweep", points=len(points), jobs=engine.jobs
+                    ):
+                        engine.run_batch(points, outcomes, results)
+                finally:
+                    hub = telemetry.active_hub()
+                    if hub is not None:
+                        hub.record_spans(
+                            recorder.summary(trace_id=trace_id)
+                        )
+            else:
+                engine.run_batch(points, outcomes, results)
         except SweepInterrupted as stop:
             wall = time.monotonic() - start
             self._results.update(results)
             if engine.store is not None and results:
                 self._record_run(
-                    engine, results, results, outcomes, wall, interrupted=True
+                    engine,
+                    results,
+                    results,
+                    outcomes,
+                    wall,
+                    interrupted=True,
+                    span_trace=trace_id,
                 )
             if checkpoint is not None:
                 stop.checkpoint_path = str(checkpoint.path)
@@ -1041,7 +1248,9 @@ class ExecutionPlan:
         wall = time.monotonic() - start
         self._results.update(results)
         if engine.store is not None and points:
-            self._record_run(engine, points, results, outcomes, wall)
+            self._record_run(
+                engine, points, results, outcomes, wall, span_trace=trace_id
+            )
         if checkpoint is not None:
             clean = all(
                 outcome not in ("gap", "timeout")
@@ -1059,11 +1268,16 @@ class ExecutionPlan:
         outcomes: dict[ExperimentKey, str],
         wall: float,
         interrupted: bool = False,
+        span_trace: str | None = None,
     ) -> None:
         """Append this execution to the run ledger (never fails the run)."""
         from repro.engine.ledger import build_record
         from repro.engine.store import SCHEMA_VERSION
 
+        recorder = obs_spans.active()
+        spans_info = None
+        if recorder is not None and span_trace is not None:
+            spans_info = recorder.run_info(trace_id=span_trace)
         record = build_record(
             {key: results[key] for key in points},
             outcomes,
@@ -1071,8 +1285,22 @@ class ExecutionPlan:
             jobs=engine.jobs,
             store_schema=SCHEMA_VERSION,
             interrupted=interrupted,
+            point_seconds=engine.point_seconds,
+            spans=spans_info,
         )
-        run_id = engine.store.ledger().append(record)
+        # The append lands after the sweep root closed, so it rides the
+        # trace as a parentless sibling -- the analyzer ignores it, the
+        # raw stream still shows what the bookkeeping cost.
+        span_ctx = (
+            {"trace": span_trace, "parent": None}
+            if recorder is not None and span_trace is not None
+            else None
+        )
+        with obs_spans.adopt(span_ctx):
+            with obs_spans.span("ledger.append", points=len(points)):
+                run_id = engine.store.ledger().append(record)
+        if recorder is not None:
+            recorder.flush()
         if run_id is not None:
             obs_trace.emit(
                 ENGINE_RUN_RECORD,

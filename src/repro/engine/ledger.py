@@ -71,6 +71,8 @@ def build_record(
     store_schema: int,
     run_id: str = "",
     interrupted: bool = False,
+    point_seconds: "dict[ExperimentKey, float] | None" = None,
+    spans: dict | None = None,
 ) -> dict:
     """One ledger record for a finished ``execute()`` batch.
 
@@ -78,17 +80,24 @@ def build_record(
     ``store`` (cache layers), ``simulated`` (full budget), or the
     resilience outcomes ``recovered`` / ``gap`` / ``timeout``.
     ``interrupted`` marks the partial record a graceful shutdown writes
-    before the process exits.
+    before the process exits.  ``point_seconds`` adds per-point
+    wall-clock seconds to the rows (cache hits have none), and
+    ``spans``, when the sweep span recorder was active, stores where
+    its trace went (trace id, sink path, top spans) -- neither joins
+    ``_COMPARED_METRICS``, so timing never reads as drift.
     """
     from repro.core.experiment import scale_factor
 
     digest = plan_digest(points)
+    seconds_by_key = point_seconds or {}
     rows = []
     for key in sorted(points, key=lambda k: k.digest):
         result = points[key]
+        seconds = seconds_by_key.get(key)
         rows.append(
             {
                 "digest": key.digest[:12],
+                "seconds": round(seconds, 3) if seconds is not None else None,
                 "label": key.label,
                 "workload": key.workload,
                 "outcome": outcomes.get(key, "simulated"),
@@ -140,6 +149,8 @@ def build_record(
     }
     if interrupted:
         record["interrupted"] = True
+    if spans:
+        record["spans"] = spans
     return record
 
 

@@ -20,13 +20,18 @@ Public surface:
   export of any captured or JSONL stream, for Perfetto;
 * :mod:`repro.observability.diagnose` -- stall-source ranking and the
   ``repro diagnose`` narrative report;
+* :mod:`repro.observability.spans` -- sweep-scope hierarchical span
+  tracing of the orchestration layer (plan, pricing, chunks, queue
+  wait, worker execution, absorption), with cross-process propagation,
+  a JSONL(.gz) sink (``REPRO_SPANS``/``--spans-out``), and the
+  critical-path analyzer behind ``repro spans``;
 * :mod:`repro.observability.telemetry` -- live sweep telemetry: worker
   heartbeats over a multiprocessing queue, the per-point progress
   display, and the Prometheus ``/metrics`` + ``/healthz`` endpoint
   (``sweep_telemetry()`` scope, zero overhead when off).
 """
 
-from repro.observability import attribution, events, telemetry, trace
+from repro.observability import attribution, events, spans, telemetry, trace
 from repro.observability.attribution import (
     AttributionAccumulator,
     LatencyHistogram,
@@ -46,6 +51,14 @@ from repro.observability.metrics import (
     snapshot_simulation,
 )
 from repro.observability.profile import PhaseProfiler, PhaseRecord
+from repro.observability.spans import (
+    SPANS_ENV,
+    SpanRecorder,
+    analyze,
+    collecting,
+    read_spans,
+    render_analysis,
+)
 from repro.observability.telemetry import (
     MetricsServer,
     ProgressDisplay,
@@ -77,6 +90,8 @@ __all__ = [
     "PhaseProfiler",
     "PhaseRecord",
     "ProgressDisplay",
+    "SPANS_ENV",
+    "SpanRecorder",
     "TelemetryBeacon",
     "TelemetryHub",
     "TraceEvent",
@@ -84,15 +99,20 @@ __all__ = [
     "Timer",
     "activate",
     "active",
+    "analyze",
     "attributing",
     "attribution",
     "chrome_trace_events",
+    "collecting",
     "deactivate",
     "events",
     "read_jsonl",
+    "read_spans",
+    "render_analysis",
     "render_prometheus",
     "snapshot_memory_system",
     "snapshot_simulation",
+    "spans",
     "sweep_telemetry",
     "telemetry",
     "trace",

@@ -218,6 +218,134 @@ def _instant(tid: int, ts: int, name: str, cat: str, fields: dict) -> dict:
     }
 
 
+# --------------------------------------------------------------------------
+# Orchestration spans (repro.observability.spans) -> per-worker tracks
+# --------------------------------------------------------------------------
+
+#: Orchestration spans render as a second Chrome process so a sweep's
+#: wall-clock tracks never collide with the simulated-cycle tracks.
+ORCHESTRATION_PID = 2
+
+
+def span_trace_events(spans: Iterable[dict]) -> list[dict]:
+    """The ``traceEvents`` array for an orchestration span stream.
+
+    One Chrome *thread* per originating process (coordinator first,
+    then each pool worker in order of first appearance), timestamps in
+    microseconds relative to the earliest span, ``chunk.wait`` spans
+    doubled as async begin/end pairs so Perfetto draws the submit->start
+    arrow the MSHR in-flight view uses for misses.
+    """
+    spans = [s for s in spans if isinstance(s, dict) and "span" in s]
+    out: list[dict] = [
+        {
+            "ph": "M",
+            "pid": ORCHESTRATION_PID,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": "repro sweep orchestration"},
+        }
+    ]
+    if not spans:
+        return out
+    base = min(float(s.get("t0") or 0.0) for s in spans)
+    tids: dict[str, int] = {}
+
+    def tid_for(proc: str) -> int:
+        tid = tids.get(proc)
+        if tid is None:
+            tid = 1 + len(tids)
+            tids[proc] = tid
+            out.append(
+                {
+                    "ph": "M",
+                    "pid": ORCHESTRATION_PID,
+                    "tid": tid,
+                    "name": "thread_name",
+                    "args": {"name": proc},
+                }
+            )
+        return tid
+
+    # Register the coordinator (the root span's process) as tid 1 so the
+    # track order is stable regardless of which span sorts first.
+    roots = [s for s in spans if s.get("parent") is None]
+    if roots:
+        tid_for(str(roots[0].get("proc")))
+
+    for span in sorted(spans, key=lambda s: float(s.get("t0") or 0.0)):
+        proc = str(span.get("proc"))
+        tid = tid_for(proc)
+        ts = int(round((float(span.get("t0") or 0.0) - base) * 1e6))
+        dur = int(round(float(span.get("dur") or 0.0) * 1e6))
+        name = str(span.get("name"))
+        args = {
+            "trace": span.get("trace"),
+            "span": span.get("span"),
+            **(span.get("attrs") or {}),
+        }
+        if dur <= 0:
+            out.append(
+                {
+                    "ph": "i",
+                    "pid": ORCHESTRATION_PID,
+                    "tid": tid,
+                    "ts": ts,
+                    "s": "t",
+                    "name": name,
+                    "cat": "orchestration",
+                    "args": args,
+                }
+            )
+            continue
+        out.append(
+            {
+                "ph": "X",
+                "pid": ORCHESTRATION_PID,
+                "tid": tid,
+                "ts": ts,
+                "dur": dur,
+                "name": name,
+                "cat": "orchestration",
+                "args": args,
+            }
+        )
+        if name == "chunk.wait":
+            # Async pair: queue-wait as an arrow from submit to start.
+            common = {
+                "pid": ORCHESTRATION_PID,
+                "tid": tid,
+                "cat": "queue",
+                "id": int((span.get("attrs") or {}).get("chunk", 0) or 0),
+                "name": "queued",
+            }
+            out.append({"ph": "b", "ts": ts, "args": args, **common})
+            out.append({"ph": "e", "ts": ts + dur, **common})
+    return out
+
+
+def write_chrome_spans(
+    spans: Iterable[dict],
+    destination: Union[str, Path, IO[str]],
+) -> int:
+    """Write orchestration spans as a Chrome trace; returns event count."""
+    payload_events = span_trace_events(spans)
+    document = {
+        "traceEvents": payload_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "source": "repro",
+            "time_unit": "1 trace us == 1 wall-clock us",
+        },
+    }
+    if hasattr(destination, "write"):
+        json.dump(document, destination)  # type: ignore[arg-type]
+    else:
+        with open(destination, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+    return len(payload_events)
+
+
 def write_chrome_trace(
     trace_events: Iterable[TraceEvent],
     destination: Union[str, Path, IO[str]],

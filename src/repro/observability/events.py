@@ -63,6 +63,10 @@ ENGINE_RESUME = "engine.resume"
 #: workers, reused, steals, fallback, utilization).
 ENGINE_DISPATCH = "engine.dispatch"
 
+#: An orchestration span closed by the sweep span recorder
+#: (fields: name, dur, span).
+ENGINE_SPAN = "engine.span"
+
 #: A design point overran its wall-clock deadline and became a gap
 #: (fields: label, workload, seconds).
 POINT_TIMEOUT = "point.timeout"
@@ -92,6 +96,7 @@ ALL_KINDS = (
     ENGINE_RUN_RECORD,
     ENGINE_RESUME,
     ENGINE_DISPATCH,
+    ENGINE_SPAN,
     POINT_TIMEOUT,
     TELEMETRY_HEARTBEAT,
 )

@@ -354,6 +354,8 @@ class TelemetryHub:
         self._failure_log: "FailureLog | None" = None
         #: Dispatch summary of the engine's latest parallel batch.
         self._dispatch: dict | None = None
+        #: Span-recorder summary of the latest executed sweep.
+        self._spans: dict | None = None
         # Legacy parallel channel state: the engine now forwards worker
         # heartbeats from its own pool channel, so the manager queue is
         # only built when a caller explicitly asks for worker_queue().
@@ -505,6 +507,16 @@ class TelemetryHub:
         with self._lock:
             self._dispatch = dispatch
 
+    def record_spans(self, summary: dict) -> None:
+        """The sweep span recorder's summary for the latest batch.
+
+        Threads the orchestration-span totals (see
+        :meth:`repro.observability.spans.SpanRecorder.summary`) into the
+        snapshot and the ``repro_span_*`` Prometheus series.
+        """
+        with self._lock:
+            self._spans = summary
+
     # -- heartbeat stream ------------------------------------------------
 
     def handle(self, message: dict) -> None:
@@ -599,6 +611,7 @@ class TelemetryHub:
                 "total": total,
                 "done": done,
                 "dispatch": self._dispatch,
+                "spans": self._spans,
                 "cached": self.totals["cached"],
                 "simulated": self.totals["simulated"],
                 "recovered": self.totals["recovered"],
@@ -823,6 +836,36 @@ def render_prometheus(snapshot: dict) -> str:
                     f'repro_worker_steals_total{{worker="{worker}"}} '
                     f'{stats["steals"]}'
                 )
+    spans = snapshot.get("spans")
+    if spans:
+        _metric(
+            lines,
+            "repro_span_recorded_total",
+            "Orchestration spans recorded by the latest sweep",
+            "counter",
+            spans.get("recorded", 0),
+        )
+        by_name = spans.get("by_name") or {}
+        if by_name:
+            lines.append(
+                "# HELP repro_span_seconds_total Wall-clock seconds "
+                "accumulated per orchestration span name"
+            )
+            lines.append("# TYPE repro_span_seconds_total counter")
+            for name, row in sorted(by_name.items()):
+                lines.append(
+                    f'repro_span_seconds_total{{name="{name}"}} '
+                    f'{row["seconds"]:g}'
+                )
+            lines.append(
+                "# HELP repro_span_count_total Orchestration spans "
+                "recorded per span name"
+            )
+            lines.append("# TYPE repro_span_count_total counter")
+            for name, row in sorted(by_name.items()):
+                lines.append(
+                    f'repro_span_count_total{{name="{name}"}} {row["count"]}'
+                )
     return "\n".join(lines) + "\n"
 
 
@@ -889,6 +932,34 @@ def render_progress_lines(snapshot: dict, width: int = 100) -> list[str]:
     return lines
 
 
+def render_final_summary(snapshot: dict) -> str:
+    """The one-line recap printed when a ``--progress`` display closes.
+
+    A sweep's live block disappears with the process; this line is the
+    durable answer to "how did that go" -- total wall clock, pool
+    utilization, and steals -- without needing ``repro runs show``.
+    """
+    parts = [
+        f"sweep finished: {snapshot['done']}/{snapshot['total']} points "
+        f"in {_human_seconds(snapshot['elapsed'])}"
+    ]
+    if snapshot.get("gaps"):
+        parts.append(f"{snapshot['gaps']} FAILED")
+    dispatch = snapshot.get("dispatch")
+    if dispatch:
+        parts.append(
+            f"{dispatch.get('workers', 0)} workers "
+            f"{float(dispatch.get('utilization', 0.0)):.0%} busy"
+        )
+        steals = dispatch.get("steals", 0)
+        if steals:
+            parts.append(f"{steals} steal(s)")
+    spans = snapshot.get("spans")
+    if spans and spans.get("recorded"):
+        parts.append(f"{spans['recorded']} spans")
+    return " · ".join(parts)
+
+
 class ProgressDisplay:
     """Renders hub snapshots to a stream on a background thread.
 
@@ -913,6 +984,7 @@ class ProgressDisplay:
         self._thread: threading.Thread | None = None
         self._last_block_lines = 0
         self._last_done = -1
+        self._closed = False
 
     def start(self) -> None:
         self._thread = threading.Thread(
@@ -955,8 +1027,15 @@ class ProgressDisplay:
         if self._thread is not None:
             self._thread.join(timeout=2.0)
             self._thread = None
+        if self._closed:
+            return  # the summary line prints exactly once
+        self._closed = True
         try:
             self.render(final=True)
+            self.stream.write(
+                render_final_summary(self.hub.snapshot()) + "\n"
+            )
+            self.stream.flush()
         except Exception:  # noqa: BLE001
             pass
 

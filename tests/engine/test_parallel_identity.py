@@ -89,6 +89,12 @@ def _execute(jobs: int, root: Path, plan_points, backend: str):
         for field, value in records[0].items()
         if field not in _NONDETERMINISTIC
     }
+    # Per-point wall clock is timing, not output: serial rows are
+    # parent-measured, parallel rows worker-reported.
+    record["points"] = [
+        {field: value for field, value in row.items() if field != "seconds"}
+        for row in record["points"]
+    ]
     return keys, results, record, store
 
 

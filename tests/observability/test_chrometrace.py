@@ -19,8 +19,11 @@ from repro.core.experiment import ExperimentSettings, _simulate
 from repro.core.organizations import KB, banked, duplicate
 from repro.observability import trace
 from repro.observability.chrometrace import (
+    ORCHESTRATION_PID,
     chrome_trace_events,
     read_jsonl,
+    span_trace_events,
+    write_chrome_spans,
     write_chrome_trace,
 )
 from repro.workloads.catalog import benchmark
@@ -132,3 +135,107 @@ class TestJsonlRoundTrip:
         assert chrome_trace_events(read_jsonl(path)) == chrome_trace_events(
             ring_events
         )
+
+
+class TestSpanTraceEvents:
+    """Orchestration spans -> per-worker Chrome tracks."""
+
+    def _spans(self):
+        return [
+            {
+                "trace": "t", "span": "r", "parent": None, "name": "sweep",
+                "t0": 100.0, "dur": 10.0, "proc": "coordinator",
+                "attrs": {"jobs": 2},
+            },
+            {
+                "trace": "t", "span": "c1", "parent": "r", "name": "chunk",
+                "t0": 100.5, "dur": 9.0, "proc": "coordinator",
+                "attrs": {"chunk": 0},
+            },
+            {
+                "trace": "t", "span": "w1", "parent": "c1", "name": "chunk.wait",
+                "t0": 100.5, "dur": 1.5, "proc": "coordinator",
+                "attrs": {"chunk": 0},
+            },
+            {
+                "trace": "t", "span": "p1", "parent": "c1", "name": "point",
+                "t0": 102.0, "dur": 4.0, "proc": "worker-1",
+                "attrs": {"digest": "abc"},
+            },
+            {
+                "trace": "t", "span": "s1", "parent": "r", "name": "chunk.steal",
+                "t0": 103.0, "dur": 0.0, "proc": "coordinator",
+                "attrs": {"chunk": 1},
+            },
+        ]
+
+    def test_one_track_per_proc_coordinator_first(self):
+        events = span_trace_events(self._spans())
+        process_meta = [
+            e for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"
+        ]
+        assert process_meta[0]["args"]["name"] == "repro sweep orchestration"
+        threads = {
+            e["args"]["name"]: e["tid"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert threads == {"coordinator": 1, "worker-1": 2}
+
+    def test_slices_are_relative_microseconds(self):
+        events = span_trace_events(self._spans())
+        slices = {e["args"]["span"]: e for e in events if e["ph"] == "X"}
+        assert slices["r"]["ts"] == 0
+        assert slices["r"]["dur"] == 10_000_000
+        assert slices["p1"]["ts"] == 2_000_000
+        assert slices["p1"]["dur"] == 4_000_000
+        assert slices["p1"]["pid"] == ORCHESTRATION_PID
+
+    def test_zero_duration_becomes_instant(self):
+        events = span_trace_events(self._spans())
+        instants = [e for e in events if e["ph"] == "i"]
+        assert len(instants) == 1
+        assert instants[0]["name"] == "chunk.steal"
+
+    def test_queue_wait_doubles_as_async_pair(self):
+        events = span_trace_events(self._spans())
+        begins = [e for e in events if e["ph"] == "b"]
+        ends = [e for e in events if e["ph"] == "e"]
+        assert len(begins) == len(ends) == 1
+        assert begins[0]["cat"] == ends[0]["cat"] == "queue"
+        assert begins[0]["id"] == ends[0]["id"] == 0
+        assert ends[0]["ts"] - begins[0]["ts"] == 1_500_000
+
+    def test_junk_entries_are_filtered(self):
+        events = span_trace_events([{"no": "span"}, "junk", None])
+        assert len(events) == 1  # just the process_name metadata
+
+    def test_write_chrome_spans_roundtrip(self, tmp_path):
+        destination = tmp_path / "spans.trace.json"
+        count = write_chrome_spans(self._spans(), destination)
+        document = json.loads(destination.read_text(encoding="utf-8"))
+        assert len(document["traceEvents"]) == count > 0
+        assert document["displayTimeUnit"] == "ms"
+        assert "wall-clock" in document["otherData"]["time_unit"]
+
+    def test_write_accepts_file_like(self):
+        buffer = io.StringIO()
+        count = write_chrome_spans(self._spans(), buffer)
+        assert len(json.loads(buffer.getvalue())["traceEvents"]) == count
+
+    def test_recorded_spans_export_cleanly(self, tmp_path):
+        """End to end: a real recorder's output loads as a trace."""
+        from repro.observability import spans as sp
+
+        recorder = sp.SpanRecorder()
+        with recorder.trace("t-e2e", "sweep", jobs=1):
+            with recorder.span("plan.lookup"):
+                pass
+            recorder.instant("checkpoint.mark")
+        buffer = io.StringIO()
+        count = write_chrome_spans(recorder.finished, buffer)
+        document = json.loads(buffer.getvalue())
+        assert len(document["traceEvents"]) == count
+        phases = {e["ph"] for e in document["traceEvents"]}
+        assert "X" in phases and "M" in phases

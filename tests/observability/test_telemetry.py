@@ -18,6 +18,7 @@ from repro.observability.telemetry import (
     TelemetryBeacon,
     TelemetryHub,
     point_beacon,
+    render_final_summary,
     render_progress_lines,
     render_prometheus,
     sweep_telemetry,
@@ -632,3 +633,90 @@ class TestWorkerQueue:
         hub = _hub()
         hub.close()
         hub.close()
+
+
+class TestSpansSurface:
+    """Sweep span summaries flow through snapshot, /metrics, and recap."""
+
+    def _spanned_hub(self) -> TelemetryHub:
+        hub = _hub()
+        hub.batch_started(2)
+        hub.point_finished("p1", "org / gcc", "simulated")
+        hub.point_finished("p2", "org / tomcatv", "simulated")
+        hub.record_spans(
+            {
+                "recorded": 9,
+                "by_name": {
+                    "point": {"count": 2, "seconds": 3.5},
+                    "sweep": {"count": 1, "seconds": 4.0},
+                },
+                "top": [{"name": "sweep", "count": 1, "seconds": 4.0}],
+            }
+        )
+        return hub
+
+    def test_snapshot_carries_spans(self):
+        snapshot = self._spanned_hub().snapshot()
+        assert snapshot["spans"]["recorded"] == 9
+        assert _hub().snapshot()["spans"] is None
+
+    def test_prometheus_span_series(self):
+        text = render_prometheus(self._spanned_hub().snapshot())
+        assert "repro_span_recorded_total 9" in text
+        assert 'repro_span_seconds_total{name="point"} 3.5' in text
+        assert 'repro_span_count_total{name="point"} 2' in text
+
+    def test_span_series_keep_exposition_discipline(self):
+        text = render_prometheus(self._spanned_hub().snapshot())
+        names = set()
+        for line in text.splitlines():
+            if line.startswith("# HELP "):
+                names.add(line.split()[2])
+            elif not line.startswith("#") and line.strip():
+                bare = line.split("{")[0].split()[0]
+                assert bare in names, f"sample {bare} without HELP/TYPE"
+
+    def test_no_spans_no_span_series(self):
+        hub = _hub()
+        hub.batch_started(1)
+        assert "repro_span" not in hub.prometheus()
+
+
+class TestFinalSummary:
+    def test_recap_line(self):
+        hub = _hub()
+        hub.batch_started(3)
+        hub.point_finished("p1", "a", "simulated")
+        hub.point_finished("p2", "b", "simulated")
+        hub.point_finished("p3", "c", "gap")
+        hub.record_dispatch(
+            {"workers": 2, "utilization": 0.75, "steals": 1, "chunks": 2}
+        )
+        hub.record_spans({"recorded": 12, "by_name": {}, "top": []})
+        line = render_final_summary(hub.snapshot())
+        assert line.startswith("sweep finished: 3/3 points in ")
+        assert "1 FAILED" in line
+        assert "2 workers 75% busy" in line
+        assert "1 steal(s)" in line
+        assert "12 spans" in line
+
+    def test_minimal_recap_without_extras(self):
+        hub = _hub()
+        hub.batch_started(1)
+        hub.point_finished("p1", "a", "simulated")
+        line = render_final_summary(hub.snapshot())
+        assert "FAILED" not in line
+        assert "workers" not in line
+        assert "spans" not in line
+
+    def test_progress_close_prints_the_recap_once(self):
+        hub = _hub()
+        hub.batch_started(1)
+        hub.point_finished("p1", "a", "simulated")
+        stream = io.StringIO()
+        display = ProgressDisplay(hub, stream, ansi=False)
+        display.start()
+        display.close()
+        display.close()
+        output = stream.getvalue()
+        assert output.count("sweep finished:") == 1
