@@ -15,6 +15,11 @@ emits ``BENCH_repro.json`` at the repo root:
 * **attribution** -- tracing plus ``REPRO_ATTRIBUTION=1``: the
   per-load critical-path accounting must stay within a few percent of
   tracing alone (the <5% acceptance gate);
+* **counters** -- the same run with interval counter sampling on
+  (``REPRO_COUNTER_INTERVAL``): the per-interval series snapshot must
+  stay within 5% of the plain headline run (the counters-off case is
+  the headline mode itself -- no sampler is ever installed, so off
+  costs nothing by construction);
 * **telemetry** -- ``--progress --serve-metrics 0``: live heartbeats,
   the progress display, and the /metrics endpoint all on, gated at
   <10% over the plain headline run (and the headline mode itself
@@ -36,8 +41,9 @@ emits ``BENCH_repro.json`` at the repo root:
 ``--check [BASELINE]`` re-measures and compares against the committed
 baseline (default: the repo-root ``BENCH_repro.json``), failing with
 exit 1 on a >15% wall-clock regression (``--tolerance``), attribution
-overhead above 5%, telemetry overhead above 10%, a fast-backend
-speedup below 3x, or a scaling failure -- the CI perf job's gates.
+overhead above 5%, counter-sampling overhead above 5%, telemetry
+overhead above 10%, a fast-backend speedup below 3x, or a scaling
+failure -- the CI perf job's gates.
 The scaling gate is **core-aware**: with >= 2 cores the ``--jobs 2``
 speedup must reach 1.5x; on a single core no speedup is physically
 possible, so the gate flips to bounding the parallel machinery's
@@ -73,14 +79,22 @@ REPO = Path(__file__).resolve().parents[1]
 #: ``jobs`` into the ``engine`` block (it never applied to the headline
 #: modes, which always run ``--jobs 1``) and added the ``backend``
 #: mode.  Schema 3 added the ``scaling`` mode (parallel speedup at
-#: ``--jobs {1,2,4}`` with the host core count).
-BENCH_SCHEMA = 3
+#: ``--jobs {1,2,4}`` with the host core count).  Schema 4 added the
+#: ``counters`` mode (interval counter sampling overhead).
+BENCH_SCHEMA = 4
 
 #: Relative wall-clock regression tolerated before --check fails.
 DEFAULT_TOLERANCE = 0.15
 
 #: Attribution may cost at most this much on top of tracing alone.
 ATTRIBUTION_GATE = 0.05
+
+#: Interval counter sampling may cost at most this much on top of the
+#: plain headline run.
+COUNTERS_GATE = 0.05
+
+#: Sampling interval (committed instructions) the counters mode uses.
+COUNTERS_INTERVAL = "5000"
 
 #: Live telemetry (heartbeats + progress + /metrics) may cost at most
 #: this much on top of the plain headline run.
@@ -125,6 +139,7 @@ def _env(cache_dir: Path, scale: float, extra: dict[str, str] | None = None):
     env.pop("REPRO_TRACE", None)
     env.pop("REPRO_ATTRIBUTION", None)
     env.pop("REPRO_BACKEND", None)
+    env.pop("REPRO_COUNTER_INTERVAL", None)
     if extra:
         env.update(extra)
     return env
@@ -196,6 +211,7 @@ def measure(jobs: int, scale: float, repeats: int) -> dict:
         headline: list[float] = []
         tracing: list[float] = []
         attribution: list[float] = []
+        counters: list[float] = []
         telemetry: list[float] = []
         spanned: list[float] = []
         fast: list[float] = []
@@ -227,6 +243,13 @@ def measure(jobs: int, scale: float, repeats: int) -> dict:
                         "REPRO_TRACE": str(trace_path),
                         "REPRO_ATTRIBUTION": "1",
                     },
+                )[0]
+            )
+            counters.append(
+                _run_headlines(
+                    base / "counters",
+                    scale,
+                    {"REPRO_COUNTER_INTERVAL": COUNTERS_INTERVAL},
                 )[0]
             )
             telemetry.append(
@@ -281,6 +304,12 @@ def measure(jobs: int, scale: float, repeats: int) -> dict:
     headline_stats = _mode_stats(headline)
     tracing_stats = _mode_stats(tracing)
     attribution_stats = _mode_stats(attribution)
+    counters_stats = _mode_stats(counters)
+    counters_stats["interval"] = int(COUNTERS_INTERVAL)
+    counters_stats["overhead_vs_headline"] = round(
+        counters_stats["mean_seconds"] / headline_stats["mean_seconds"] - 1.0,
+        3,
+    )
     telemetry_stats = _mode_stats(telemetry)
     spans_stats = _mode_stats(spanned)
     backend_stats = _mode_stats(fast)
@@ -334,6 +363,7 @@ def measure(jobs: int, scale: float, repeats: int) -> dict:
         "headline": headline_stats,
         "tracing": tracing_stats,
         "attribution": attribution_stats,
+        "counters": counters_stats,
         "telemetry": telemetry_stats,
         "spans": spans_stats,
         "backend": backend_stats,
@@ -356,6 +386,7 @@ def compare_payloads(
     baseline: dict,
     tolerance: float = DEFAULT_TOLERANCE,
     attribution_gate: float = ATTRIBUTION_GATE,
+    counters_gate: float = COUNTERS_GATE,
     telemetry_gate: float = TELEMETRY_GATE,
     spans_gate: float = SPANS_GATE,
     backend_gate: float = BACKEND_SPEEDUP_GATE,
@@ -398,6 +429,12 @@ def compare_payloads(
         failures.append(
             f"attribution overhead {overhead:.1%} vs tracing exceeds "
             f"the {attribution_gate:.0%} gate"
+        )
+    counters_overhead = fresh.get("counters", {}).get("overhead_vs_headline")
+    if counters_overhead is not None and counters_overhead > counters_gate:
+        failures.append(
+            f"counter-sampling overhead {counters_overhead:.1%} vs headline "
+            f"exceeds the {counters_gate:.0%} gate"
         )
     telemetry_overhead = fresh.get("telemetry", {}).get("overhead_vs_headline")
     if telemetry_overhead is not None and telemetry_overhead > telemetry_gate:
@@ -494,6 +531,7 @@ def main() -> int:
         print(
             f"perf check passed (tolerance {args.tolerance:.0%}, "
             f"attribution gate {ATTRIBUTION_GATE:.0%}, "
+            f"counters gate {COUNTERS_GATE:.0%}, "
             f"telemetry gate {TELEMETRY_GATE:.0%}, "
             f"spans gate {SPANS_GATE:.0%}, "
             f"backend gate {BACKEND_SPEEDUP_GATE:.1f}x, "

@@ -20,7 +20,12 @@ Usage::
     python -m repro trace --from-jsonl gcc.jsonl.gz --format chrome
     python -m repro metrics gcc
     python -m repro metrics gcc --format json
+    python -m repro counters gcc
+    python -m repro counters gcc --interval 500 --format csv
+    python -m repro counters gcc --format chrome
+    python -m repro compare gcc --a banked-2 --b dual-ported
     python -m repro diagnose tomcatv
+    python -m repro diagnose tomcatv --from-counters
     python -m repro figure4 --profile
     python -m repro runs list
     python -m repro runs show last
@@ -43,9 +48,18 @@ one simulation of the paper's recommended organization (``--format
 chrome`` writes Chrome trace-event JSON for Perfetto instead of JSONL;
 ``--from-jsonl`` converts an existing trace offline); ``metrics
 [benchmark]`` prints every named counter of that design point (served
-from the result store when warm); ``diagnose <benchmark>`` re-runs the
-Figure 4-7 design points with latency attribution and ranks each one's
-stall sources; ``--profile`` reports per-phase wall clock and
+from the result store when warm); ``counters <benchmark>`` samples the
+microarchitectural counter set every ``--interval`` committed
+instructions (or ``REPRO_COUNTER_INTERVAL``) and prints the per-phase
+time series with sparklines (``--format json|csv`` for the raw series;
+``--format chrome`` merges Perfetto counter tracks into the simulation
+trace export); ``compare <benchmark> --a <org> --b <org>`` runs two
+design points with sampling on, aligns their series on the instruction
+axis, ranks the divergent intervals, and prints a paper-style verdict;
+``diagnose <benchmark>`` re-runs the Figure 4-7 design points with
+latency attribution and ranks each one's stall sources
+(``--from-counters`` adds each point's worst sampled interval to the
+narrative); ``--profile`` reports per-phase wall clock and
 events/second for any experiment run.  Setting ``REPRO_TRACE=<path>``
 streams every event of any command to ``<path>`` as JSON lines
 (gzipped when the path ends in ``.gz``); ``--attribution`` adds exact
@@ -511,8 +525,200 @@ def _diagnose_command(args: argparse.Namespace) -> int:
     from repro.observability.diagnose import diagnose_benchmark, render_diagnosis
 
     benchmark = args.benchmarks[0]
-    diagnoses = diagnose_benchmark(benchmark, _settings(args))
+    settings = _settings(args)
+    counter_interval = None
+    if args.from_counters:
+        counter_interval = _counter_interval(args, settings)
+    diagnoses = diagnose_benchmark(
+        benchmark, settings, counter_interval=counter_interval
+    )
     print(render_diagnosis(diagnoses, benchmark))
+    return 0
+
+
+def _counter_interval(
+    args: argparse.Namespace, settings: ExperimentSettings
+) -> int:
+    """The sampling interval: ``--interval``, env, or ~20 rows/run."""
+    from repro.observability import counters as obs_counters
+
+    if args.interval is not None:
+        return args.interval
+    from_env = obs_counters.interval()
+    if from_env is not None:
+        return from_env
+    return max(1, settings.scaled().instructions // 20)
+
+
+def _counters_command(args: argparse.Namespace) -> int:
+    """``python -m repro counters <benchmark>``: the interval series.
+
+    Simulates directly (like ``diagnose``): sampling-enabled results
+    must not pollute the shared store, and a stored counter-less result
+    must not shadow a sampling run.
+    """
+    from repro.core.experiment import _simulate
+    from repro.observability import counters as obs_counters
+    from repro.observability import tracing
+    from repro.workloads.catalog import benchmark as benchmark_spec
+
+    organization = _recommended_organization()
+    benchmark = args.benchmarks[0]
+    settings = _settings(args)
+    every = _counter_interval(args, settings)
+    chrome = args.counters_format == "chrome"
+    with obs_counters.sampling(every):
+        if chrome:
+            # The Chrome export wants the event stream too, so the
+            # counter tracks land alongside the slice tracks.
+            with tracing(capacity=args.trace_limit) as tracer:
+                result = _simulate(
+                    organization, benchmark_spec(benchmark), settings.scaled()
+                )
+        else:
+            result = _simulate(
+                organization, benchmark_spec(benchmark), settings.scaled()
+            )
+    series = result.counters
+    if not series or not obs_counters.row_count(series):
+        print(
+            "no counter intervals sampled (measured window shorter "
+            "than one interval?); lower --interval",
+            file=sys.stderr,
+        )
+        return 3
+    if args.counters_format == "json":
+        _print_json(
+            {
+                "organization": organization.label,
+                "benchmark": benchmark,
+                "summary": {
+                    "ipc": result.ipc,
+                    "instructions": result.instructions,
+                    "cycles": result.cycles,
+                },
+                "counters": series,
+            }
+        )
+        return 0
+    if args.counters_format == "csv":
+        print(obs_counters.render_csv(series))
+        return 0
+    if chrome:
+        from repro.observability.chrometrace import write_chrome_trace
+
+        _warn_overflow(tracer)
+        out = args.trace_out or f"{benchmark}.counters.trace.json"
+        tracks = obs_counters.counter_track_events(
+            series, label=organization.label
+        )
+        count = write_chrome_trace(
+            tracer.events(), out, extra_events=tracks
+        )
+        print(
+            f"wrote {count} Chrome trace event(s) to {out}, including "
+            f"{len(tracks)} counter-track sample(s) "
+            "(open in Perfetto or chrome://tracing)"
+        )
+        return 0
+    print(
+        f"sampled {organization.label} on {benchmark}: {result.summary()}"
+    )
+    print()
+    print(obs_counters.render_table(series))
+    print()
+    print(obs_counters.render_sparklines(series))
+    return 0
+
+
+def _compare_command(args: argparse.Namespace) -> int:
+    """``python -m repro compare <benchmark> --a X --b Y``: A/B diagnosis."""
+    from repro.core.experiment import _simulate
+    from repro.observability import counters as obs_counters
+    from repro.observability.diagnose import compare_catalog
+    from repro.workloads.catalog import benchmark as benchmark_spec
+
+    catalog = compare_catalog()
+
+    def resolve(label: str) -> tuple[str, str, object]:
+        entry = catalog.get(label.lower())
+        if entry is None:
+            print(
+                f"unknown design point {label!r}; choose from: "
+                + ", ".join(sorted(catalog)),
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+        return (label.lower(), *entry)
+
+    label_a, figure_a, org_a = resolve(args.compare_a)
+    label_b, figure_b, org_b = resolve(args.compare_b)
+    benchmark = args.benchmarks[0]
+    settings = _settings(args)
+    spec = benchmark_spec(benchmark)
+    every = _counter_interval(args, settings)
+    with obs_counters.sampling(every):
+        result_a = _simulate(org_a, spec, settings.scaled())
+        result_b = _simulate(org_b, spec, settings.scaled())
+    ranked = obs_counters.rank_divergent(result_a.counters, result_b.counters)
+    # The verdict cites the figure the slower organization belongs to.
+    figure = figure_a if result_a.ipc <= result_b.ipc else figure_b
+    sentence = obs_counters.verdict(
+        label_a,
+        label_b,
+        result_a.counters,
+        result_b.counters,
+        figure=figure,
+    )
+    if args.compare_format == "json":
+        _print_json(
+            {
+                "benchmark": benchmark,
+                "interval": every,
+                "a": {"label": label_a, "ipc": result_a.ipc},
+                "b": {"label": label_b, "ipc": result_b.ipc},
+                "divergent_intervals": ranked,
+                "verdict": sentence,
+            }
+        )
+        return 0
+    print(
+        f"compared {label_a} (IPC {result_a.ipc:.3f}) vs {label_b} "
+        f"(IPC {result_b.ipc:.3f}) on {benchmark}, "
+        f"{every} instructions/interval"
+    )
+    print()
+    rows = []
+    for entry in ranked:
+        start, end = entry["instructions"]
+        rows.append(
+            [
+                f"{entry['index']}{'*' if entry['partial'] else ''}",
+                f"{start}..{end}",
+                f"{entry['ipc_a']:.3f}",
+                f"{entry['ipc_b']:.3f}",
+                f"{entry['gap']:+.3f}",
+                entry["pressure_label"],
+                f"{entry['pressure_value']:.1%}",
+            ]
+        )
+    print(
+        reporting.format_table(
+            [
+                "interval",
+                "instructions",
+                f"IPC {label_a}",
+                f"IPC {label_b}",
+                "gap",
+                "divergence driver",
+                "at",
+            ],
+            rows,
+            "Divergent intervals, widest IPC gap first (* = partial tail)",
+        )
+    )
+    print()
+    print(sentence)
     return 0
 
 
@@ -1001,7 +1207,8 @@ def _main(argv: list[str] | None = None) -> int:
         "experiment",
         help=(
             "which table/figure to regenerate (or 'all', 'cache', "
-            "'trace', 'metrics', 'diagnose', 'runs', 'spans')"
+            "'trace', 'metrics', 'counters', 'compare', 'diagnose', "
+            "'runs', 'spans')"
         ),
     )
     parser.add_argument(
@@ -1010,9 +1217,10 @@ def _main(argv: list[str] | None = None) -> int:
         default=None,
         help=(
             "subcommand argument: 'cache' takes 'info', 'clear', or "
-            "'verify'; 'trace', 'metrics', and 'diagnose' take a "
-            "benchmark name; 'runs' takes 'list', 'show', 'compare', "
-            "or 'resume'; 'spans' takes a run reference (default 'last')"
+            "'verify'; 'trace', 'metrics', 'counters', 'compare', and "
+            "'diagnose' take a benchmark name; 'runs' takes 'list', "
+            "'show', 'compare', or 'resume'; 'spans' takes a run "
+            "reference (default 'last')"
         ),
     )
     parser.add_argument(
@@ -1170,6 +1378,45 @@ def _main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--interval",
+        type=int,
+        default=None,
+        metavar="INSTRUCTIONS",
+        help=(
+            "('counters'/'compare'/'diagnose --from-counters') committed "
+            "instructions per sampled interval (default: "
+            "$REPRO_COUNTER_INTERVAL, else ~20 intervals per run)"
+        ),
+    )
+    parser.add_argument(
+        "--a",
+        dest="compare_a",
+        default="banked-2",
+        metavar="ORG",
+        help=(
+            "('compare' only) first design point label "
+            "(default banked-2; see 'repro compare' errors for choices)"
+        ),
+    )
+    parser.add_argument(
+        "--b",
+        dest="compare_b",
+        default="dual-ported",
+        metavar="ORG",
+        help=(
+            "('compare' only) second design point label "
+            "(default dual-ported)"
+        ),
+    )
+    parser.add_argument(
+        "--from-counters",
+        action="store_true",
+        help=(
+            "('diagnose' only) also sample interval counters and cite "
+            "each point's worst interval in the narrative"
+        ),
+    )
+    parser.add_argument(
         "--trace-limit",
         type=int,
         default=obs_trace.DEFAULT_CAPACITY,
@@ -1185,6 +1432,8 @@ def _main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.point_timeout is not None and args.point_timeout <= 0:
         parser.error(f"--point-timeout must be positive, got {args.point_timeout}")
+    if args.interval is not None and args.interval < 1:
+        parser.error(f"--interval must be >= 1, got {args.interval}")
 
     if args.backend is not None:
         # Scope, not a global set: tests drive main() in-process, and
@@ -1217,10 +1466,21 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
         if args.action not in ("info", "clear", "verify"):
             parser.error("'cache' takes an action: info, clear, or verify")
         return _cache_command(args.action, args.cache_dir)
-    if experiment in ("trace", "metrics", "diagnose"):
+    if experiment in ("trace", "metrics", "diagnose", "counters", "compare"):
         if experiment == "trace":
             args.trace_format = _resolve_format(
                 parser, args.fmt, verb="trace", allowed=("jsonl", "chrome")
+            )
+        elif experiment == "counters":
+            args.counters_format = _resolve_format(
+                parser,
+                args.fmt,
+                verb="counters",
+                allowed=("table", "json", "csv", "chrome"),
+            )
+        elif experiment == "compare":
+            args.compare_format = _resolve_format(
+                parser, args.fmt, verb="compare", allowed=("table", "json")
             )
         else:
             args.metrics_format = _resolve_format(
@@ -1237,7 +1497,7 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
             return _convert_jsonl(args)
         if args.action is not None:
             args.benchmarks = _validated_benchmarks(parser, [args.action])
-        elif experiment == "metrics":
+        elif experiment in ("metrics", "counters", "compare"):
             args.benchmarks = [REPRESENTATIVES[0]]
         else:
             parser.error(f"{experiment!r} takes a benchmark name")
@@ -1246,6 +1506,12 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
             # or pollute the shared result store), so the engine is
             # not involved at all.
             return _diagnose_command(args)
+        if experiment == "counters":
+            # Same store discipline as diagnose: sampling-enabled runs
+            # simulate directly, never through the shared result store.
+            return _counters_command(args)
+        if experiment == "compare":
+            return _compare_command(args)
         if experiment == "trace":
             if args.trace_limit < 0:
                 parser.error("--trace-limit cannot be negative")
@@ -1266,8 +1532,8 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
             configure_engine(jobs=previous[0], store=previous[1])
     if args.fmt is not None:
         parser.error(
-            "--format applies to the 'trace', 'metrics', 'runs', "
-            "and 'spans' verbs"
+            "--format applies to the 'trace', 'metrics', 'counters', "
+            "'compare', 'runs', and 'spans' verbs"
         )
     if args.action is not None:
         parser.error(f"unexpected extra argument {args.action!r}")
@@ -1278,7 +1544,17 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
             f"unknown experiment {args.experiment!r}; choose from: "
             + ", ".join(
                 EXPERIMENTS
-                + ("all", "cache", "trace", "metrics", "diagnose", "runs", "spans")
+                + (
+                    "all",
+                    "cache",
+                    "trace",
+                    "metrics",
+                    "counters",
+                    "compare",
+                    "diagnose",
+                    "runs",
+                    "spans",
+                )
             )
         )
     args.benchmarks = _validated_benchmarks(parser, args.benchmarks)

@@ -138,6 +138,7 @@ class OutOfOrderCore:
         arbiter = self.memory.arbiter
         arbiter.stats = type(arbiter.stats)()
         self.memory.mshrs.stats = type(self.memory.mshrs.stats)()
+        self.memory.mshrs.occupancy_peak = 0
         if self.memory.line_buffer is not None:
             self.memory.line_buffer.stats = type(self.memory.line_buffer.stats)()
         if getattr(self.memory, "victim_cache", None) is not None:

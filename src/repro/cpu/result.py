@@ -41,6 +41,12 @@ class SimulationResult:
     #: experiment cache deliberately ignores this field (entries are
     #: shared across backends) while the run ledger records it.
     backend: str = ""
+    #: interval-sampled counter series (see
+    #: :mod:`repro.observability.counters`): a columnar dict of
+    #: deterministic ints, present only when sampling was enabled for
+    #: the run.  Bit-identical across backends and worker boundaries,
+    #: like :attr:`metrics`.
+    counters: dict | None = None
 
     @property
     def ipc(self) -> float:

@@ -33,6 +33,8 @@ from datetime import datetime, timezone
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable
 
+from repro.observability import counters
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cpu.result import SimulationResult
     from repro.engine.key import ExperimentKey
@@ -109,6 +111,12 @@ def build_record(
                 # NOT in _COMPARED_METRICS -- backends are
                 # result-identical, so a backend change is not drift.
                 "backend": result.backend,
+                # Bounded digest of the interval counter series, or None
+                # when sampling was off.  The series itself stays in the
+                # store payload so ledger lines keep a fixed size no
+                # matter how fine the sampling interval was.  Not in
+                # _COMPARED_METRICS: sampling on/off is not drift.
+                "counters": counters.series_summary(result.counters),
             }
         )
     tally = {

@@ -19,6 +19,13 @@ ring overflowed during the run, ``trace.dropped_events``.  All are
 plain JSON scalars in the existing flat metrics dict, so the
 converters below need no shape change; the version bump exists to
 retire v2 entries whose metrics predate those keys' semantics.
+
+Schema v4: ``SimulationResult.counters`` may carry the interval-sampled
+counter series (:mod:`repro.observability.counters`) -- a columnar dict
+of an ``interval``, a ``columns`` name list, and parallel per-column
+int lists -- or ``None`` when sampling was off.  It serializes as-is
+(already plain JSON types) with a tolerant read, and lives only in the
+store payload; the run ledger records a bounded digest instead.
 """
 
 from __future__ import annotations
@@ -252,6 +259,7 @@ def result_to_dict(result: SimulationResult) -> dict:
         "metrics": dict(result.metrics),
         "failed": result.failed,
         "backend": result.backend,
+        "counters": result.counters,
     }
 
 
@@ -270,4 +278,6 @@ def result_from_dict(data: dict) -> SimulationResult:
         # of which backend ran (tolerant read, no schema bump -- the
         # measurements themselves are backend-independent by contract).
         backend=data.get("backend", ""),
+        # Tolerant read: entries written without sampling carry None.
+        counters=data.get("counters"),
     )

@@ -34,7 +34,10 @@ from repro.engine.serialize import SerializationError, result_from_dict, result_
 #: v3: ``metrics`` may carry ``attribution.*`` (per-load critical-path
 #: components, latency histogram buckets, float percentiles) and
 #: ``trace.dropped_events``; v2 entries predate those semantics.
-SCHEMA_VERSION = 3
+#: v4: results gain a ``counters`` field -- the interval-sampled
+#: counter series (or None when sampling was off); v3 entries would
+#: silently read back as counter-less, so they are retired instead.
+SCHEMA_VERSION = 4
 
 #: Environment override for the store location used by the CLI.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"

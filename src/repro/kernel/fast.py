@@ -360,6 +360,13 @@ def run_loop(
     trace_commit = tracer is not None and tracer.wants(obs.CPU_COMMIT)
     trace_fetch = tracer is not None and tracer.wants(obs.CPU_FETCH)
     trace_flush = tracer is not None and tracer.wants(obs.CPU_FLUSH)
+    sampler = memory.counters
+    if sampler is not None and measuring:
+        # No warmup: the measured region starts at cycle 0.  Sampling
+        # happens at committed-instruction boundaries, so the series is
+        # bit-identical to the reference loop's; idle-cycle jumps below
+        # land inside the enclosing interval's cycle delta for free.
+        sampler.begin(cycle, committed, pipeline)
 
     while committed < target and not (trace_done and not window):
         if deadline is not None:
@@ -421,6 +428,10 @@ def run_loop(
                 measure_start_committed = committed
                 core._reset_stats()
                 pipeline = PipelineStats()
+                if sampler is not None:
+                    sampler.begin(cycle, committed, pipeline)
+            if sampler is not None and committed == sampler.next_at:
+                sampler.take(cycle, committed, pipeline)
             if committed >= target:
                 break
         if n_commit:
@@ -673,6 +684,11 @@ def run_loop(
     # after the last periodic check (or any at all on short runs).
     memory.audit(cycle)
 
+    counters_series = None
+    if sampler is not None:
+        sampler.finish(cycle, committed, pipeline)
+        counters_series = sampler.series()
+
     result = SimulationResult(
         instructions=committed - measure_start_committed,
         cycles=max(1, cycle - measure_start_cycle),
@@ -681,6 +697,7 @@ def run_loop(
         branches=core.predictor.stats,
         memory=memory.stats,
         backend=FastBackend.name,
+        counters=counters_series,
     )
     result.metrics = snapshot_simulation(result, memory)
     return result

@@ -122,6 +122,10 @@ def run_loop(
     tracer = obs_trace._ACTIVE
     beacon = obs_telemetry._BEACON
     deadline = rb_deadline._DEADLINE
+    sampler = core.memory.counters
+    if sampler is not None and measuring:
+        # No warmup: the measured region starts at cycle 0.
+        sampler.begin(cycle, committed, pipeline)
 
     while committed < target and not (trace_done and not window):
         # Wall-clock budget first: even a loop the cycle-domain
@@ -182,6 +186,10 @@ def run_loop(
                 measure_start_committed = committed
                 core._reset_stats()
                 pipeline = PipelineStats()
+                if sampler is not None:
+                    sampler.begin(cycle, committed, pipeline)
+            if sampler is not None and committed == sampler.next_at:
+                sampler.take(cycle, committed, pipeline)
             if committed >= target:
                 break
         if n_commit:
@@ -298,6 +306,11 @@ def run_loop(
     # after the last periodic check (or any at all on short runs).
     core.memory.audit(cycle)
 
+    counters_series = None
+    if sampler is not None:
+        sampler.finish(cycle, committed, pipeline)
+        counters_series = sampler.series()
+
     result = SimulationResult(
         instructions=committed - measure_start_committed,
         cycles=max(1, cycle - measure_start_cycle),
@@ -306,6 +319,7 @@ def run_loop(
         branches=core.predictor.stats,
         memory=core.memory.stats,
         backend=ReferenceBackend.name,
+        counters=counters_series,
     )
     result.metrics = snapshot_simulation(result, core.memory)
     return result

@@ -30,8 +30,9 @@ from repro.memory.ports import make_arbiter
 from repro.memory.sram import SetAssociativeCache
 from repro.memory.stats import MemoryStats
 from repro.memory.victim import VictimCache
-from repro.observability import attribution, events, trace
+from repro.observability import attribution, counters, events, trace
 from repro.observability.attribution import AttributionAccumulator
+from repro.observability.counters import CounterSampler
 from repro.robustness.errors import SimulationInvariantError
 from repro.robustness.invariants import audit_memory
 
@@ -131,6 +132,13 @@ class MemorySystem:
         #: keeps the load path identical to the unattributed one.
         self.attribution: AttributionAccumulator | None = (
             AttributionAccumulator() if attribution.enabled() else None
+        )
+        #: Interval counter sampler; ``None`` (the default) keeps the
+        #: kernel commit loops' per-commit cost at one ``is None`` test.
+        self.counters: CounterSampler | None = (
+            CounterSampler(self, counters.interval())
+            if counters.enabled()
+            else None
         )
 
     @property

@@ -40,6 +40,9 @@ class MshrFile:
         self.stats = MshrStats()
         # line -> cycle at which its fill completes and the register frees
         self._pending: dict[int, int] = {}
+        #: High-water pending-fill count; read-and-reset by the interval
+        #: counter sampler at each boundary (and by ``_reset_stats``).
+        self.occupancy_peak = 0
 
     def outstanding(self, cycle: int) -> int:
         """Number of registers still busy at ``cycle``."""
@@ -91,6 +94,8 @@ class MshrFile:
         one event even when the alloc event has fallen off the ring.
         """
         self._pending[line] = fill_cycle
+        if len(self._pending) > self.occupancy_peak:
+            self.occupancy_peak = len(self._pending)
         tracer = trace._ACTIVE
         if tracer is not None:
             fields = {"line": line, "ready": fill_cycle}

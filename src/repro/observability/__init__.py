@@ -16,6 +16,11 @@ Public surface:
   cycle accounting (exact-sum latency decomposition, fixed-bucket
   histograms with p50/p95/p99), off unless ``attributing()`` or
   ``REPRO_ATTRIBUTION=1``;
+* :mod:`repro.observability.counters` -- interval-sampled
+  microarchitectural counter series (the software analog of PMU
+  sampling): one columnar row of integer deltas every
+  ``REPRO_COUNTER_INTERVAL`` committed instructions, bit-identical
+  across kernel backends, off unless ``sampling()`` or the env var;
 * :mod:`repro.observability.chrometrace` -- Chrome trace-event JSON
   export of any captured or JSONL stream, for Perfetto;
 * :mod:`repro.observability.diagnose` -- stall-source ranking and the
@@ -31,12 +36,20 @@ Public surface:
   (``sweep_telemetry()`` scope, zero overhead when off).
 """
 
-from repro.observability import attribution, events, spans, telemetry, trace
+from repro.observability import (
+    attribution,
+    counters,
+    events,
+    spans,
+    telemetry,
+    trace,
+)
 from repro.observability.attribution import (
     AttributionAccumulator,
     LatencyHistogram,
     attributing,
 )
+from repro.observability.counters import CounterSampler, sampling
 from repro.observability.chrometrace import (
     chrome_trace_events,
     read_jsonl,
@@ -82,6 +95,7 @@ __all__ = [
     "ALL_KINDS",
     "AttributionAccumulator",
     "Counter",
+    "CounterSampler",
     "DEFAULT_CAPACITY",
     "EventChannel",
     "LatencyHistogram",
@@ -104,12 +118,14 @@ __all__ = [
     "attribution",
     "chrome_trace_events",
     "collecting",
+    "counters",
     "deactivate",
     "events",
     "read_jsonl",
     "read_spans",
     "render_analysis",
     "render_prometheus",
+    "sampling",
     "snapshot_memory_system",
     "snapshot_simulation",
     "spans",

@@ -349,14 +349,18 @@ def write_chrome_spans(
 def write_chrome_trace(
     trace_events: Iterable[TraceEvent],
     destination: Union[str, Path, IO[str]],
+    *,
+    extra_events: Iterable[dict] = (),
 ) -> int:
     """Write the full Chrome trace JSON object; returns the event count.
 
     The JSON-object form (``{"traceEvents": [...]}``) is used rather
     than the bare array so metadata fields are legal and the file is
-    self-describing.
+    self-describing.  ``extra_events`` are pre-built Chrome events
+    appended verbatim -- the counters layer merges its Perfetto counter
+    tracks (``"ph": "C"``) into the simulation export this way.
     """
-    payload_events = chrome_trace_events(trace_events)
+    payload_events = chrome_trace_events(trace_events) + list(extra_events)
     document = {
         "traceEvents": payload_events,
         "displayTimeUnit": "ns",

@@ -28,7 +28,7 @@ from repro.core.organizations import (
     ideal_ports,
 )
 from repro.core.reporting import format_table
-from repro.observability import attribution
+from repro.observability import attribution, counters
 from repro.workloads.catalog import benchmark as benchmark_spec
 
 #: Human labels for the narrative lines.
@@ -64,6 +64,22 @@ def _design_points() -> tuple[tuple[str, str, CacheOrganization], ...]:
     )
 
 
+def compare_catalog() -> "dict[str, tuple[str, CacheOrganization]]":
+    """label -> (figure, organization) accepted by ``repro compare``.
+
+    The diagnosis design points plus the classic Figure 5 matchup pair:
+    ``banked-2`` and ``dual-ported`` (the latter an alias of the ideal
+    two-ported point, named the way the paper's comparison reads).
+    """
+    catalog = {
+        label: (figure, organization)
+        for label, figure, organization in _design_points()
+    }
+    catalog["banked-2"] = ("Fig. 5", banked(32 * KB, banks=2))
+    catalog["dual-ported"] = ("Fig. 4", ideal_ports(32 * KB, ports=2))
+    return catalog
+
+
 @dataclass(frozen=True)
 class PointDiagnosis:
     """Attribution summary of one design point on one benchmark."""
@@ -79,6 +95,9 @@ class PointDiagnosis:
     p99: float
     components: dict  #: component -> critical-path cycles
     outcomes: dict  #: outcome -> access count
+    #: worst sampled interval (``--from-counters``): cycle range, IPC,
+    #: and dominant pressure; ``None`` when sampling was off
+    worst_interval: dict | None = None
 
     def stall_ranking(self) -> list[tuple[str, int]]:
         """Non-base components by cycles, heaviest first."""
@@ -98,17 +117,53 @@ class PointDiagnosis:
         return name, cycles / self.load_cycles
 
 
+def _worst_interval(series: dict | None) -> dict | None:
+    """The lowest-IPC sampled interval, with cycle range and blame."""
+    if not series:
+        return None
+    rates = counters.derived_rates(series)
+    if not rates["ipc"]:
+        return None
+    cols = counters.columns_of(series)
+    index = min(range(len(rates["ipc"])), key=lambda i: (rates["ipc"][i], i))
+    cycle_start = sum(cols["cycles"][:index])
+    pressure_key, pressure_label, value = counters.dominant_pressure(
+        rates, index
+    )
+    return {
+        "index": index,
+        "cycle_start": cycle_start,
+        "cycle_end": cycle_start + cols["cycles"][index],
+        "ipc": rates["ipc"][index],
+        "partial": bool(cols["partial"][index]),
+        "pressure": pressure_key,
+        "pressure_label": pressure_label,
+        "pressure_value": value,
+    }
+
+
 def diagnose_design_point(
     label: str,
     figure: str,
     organization: CacheOrganization,
     benchmark: str,
     settings: "experiment.ExperimentSettings",
+    counter_interval: int | None = None,
 ) -> PointDiagnosis:
-    """One attributed simulation, summarized."""
+    """One attributed simulation, summarized.
+
+    ``counter_interval`` additionally samples interval counters during
+    the same run (``--from-counters``), so the narrative can cite the
+    worst phase instead of only whole-run aggregates.
+    """
     spec = benchmark_spec(benchmark)
-    with attribution.attributing():
-        result = experiment._simulate(organization, spec, settings.scaled())
+    scaled = settings.scaled()
+    if counter_interval is not None:
+        with attribution.attributing(), counters.sampling(counter_interval):
+            result = experiment._simulate(organization, spec, scaled)
+    else:
+        with attribution.attributing():
+            result = experiment._simulate(organization, spec, scaled)
     metrics = result.metrics
     prefix = "attribution.component."
     components = {
@@ -134,6 +189,7 @@ def diagnose_design_point(
         p99=float(metrics.get("attribution.latency.p99", 0.0)),
         components=components,
         outcomes=outcomes,
+        worst_interval=_worst_interval(result.counters),
     )
 
 
@@ -141,6 +197,7 @@ def diagnose_benchmark(
     benchmark: str,
     settings: "experiment.ExperimentSettings | None" = None,
     points: "tuple[tuple[str, str, CacheOrganization], ...] | None" = None,
+    counter_interval: int | None = None,
 ) -> list[PointDiagnosis]:
     """Diagnose every design point (Figures 4-7) on one benchmark."""
     if settings is None:
@@ -148,7 +205,14 @@ def diagnose_benchmark(
     if points is None:
         points = _design_points()
     return [
-        diagnose_design_point(label, figure, organization, benchmark, settings)
+        diagnose_design_point(
+            label,
+            figure,
+            organization,
+            benchmark,
+            settings,
+            counter_interval=counter_interval,
+        )
         for label, figure, organization in points
     ]
 
@@ -157,15 +221,25 @@ def narrative_line(diagnosis: PointDiagnosis) -> str:
     """One paper-style sentence naming the dominant stall source."""
     dominant = diagnosis.dominant_stall()
     if dominant is None:
-        return (
+        line = (
             f"{diagnosis.label}: no stall cycles beyond the base "
             f"access time -- cf. {diagnosis.figure}"
         )
-    name, share = dominant
-    return (
-        f"{diagnosis.label}: {share:.0%} of load cycles lost to "
-        f"{COMPONENT_LABELS.get(name, name)} -- cf. {diagnosis.figure}"
-    )
+    else:
+        name, share = dominant
+        line = (
+            f"{diagnosis.label}: {share:.0%} of load cycles lost to "
+            f"{COMPONENT_LABELS.get(name, name)} -- cf. {diagnosis.figure}"
+        )
+    worst = diagnosis.worst_interval
+    if worst is not None:
+        line += (
+            f"; worst interval {worst['index']} (cycles "
+            f"{worst['cycle_start']}-{worst['cycle_end']}) ran at "
+            f"{worst['ipc']:.2f} IPC under {worst['pressure_label']} "
+            f"of {worst['pressure_value']:.0%}"
+        )
+    return line
 
 
 def render_diagnosis(diagnoses: list[PointDiagnosis], benchmark: str) -> str:

@@ -35,6 +35,7 @@ the tracer keeps.
 from __future__ import annotations
 
 import json
+import re
 import threading
 import time
 from contextlib import contextmanager
@@ -175,6 +176,15 @@ class TelemetryBeacon:
                 "instructions": self.instructions,
             }
         )
+
+    def counters(self, index: int, row: dict) -> None:
+        """Interval-boundary hook: latest counter row for this point.
+
+        Cold path by construction -- the sampler calls it once per
+        interval, never per commit -- so no rate limiting is needed;
+        the hub keeps only the newest row per point.
+        """
+        self._emit({"type": "counters", "index": index, "row": row})
 
     def end(self, status: str, error_type: str | None = None) -> None:
         message: dict = {"type": "end", "status": status}
@@ -356,6 +366,10 @@ class TelemetryHub:
         self._dispatch: dict | None = None
         #: Span-recorder summary of the latest executed sweep.
         self._spans: dict | None = None
+        #: Latest interval-counter row per point (interval samplers
+        #: emit one message per boundary; only the newest row matters
+        #: for live gauges).
+        self._counters: dict[str, dict] = {}
         # Legacy parallel channel state: the engine now forwards worker
         # heartbeats from its own pool channel, so the manager queue is
         # only built when a caller explicitly asks for worker_queue().
@@ -557,6 +571,14 @@ class TelemetryHub:
             elif kind == "end":
                 if message.get("status") != "ok":
                     state.error_type = message.get("error_type")
+            elif kind == "counters":
+                row = message.get("row")
+                if isinstance(row, dict):
+                    self._counters[point] = {
+                        "label": label,
+                        "index": message.get("index", 0),
+                        "row": row,
+                    }
         obs_trace.emit(
             TELEMETRY_HEARTBEAT,
             message.get("cycle", 0),
@@ -622,6 +644,10 @@ class TelemetryHub:
                 "eta": eta,
                 "in_flight": in_flight,
                 "workers": workers,
+                "counters": {
+                    point: dict(entry)
+                    for point, entry in self._counters.items()
+                },
                 "stalled": [p["label"] for p in in_flight if p["status"] == "stalled"],
                 "store_hits": self._store.hits if self._store is not None else 0,
                 "store_misses": self._store.misses if self._store is not None else 0,
@@ -660,6 +686,24 @@ def clear_hub() -> None:
 # ---------------------------------------------------------------------------
 
 
+#: Prometheus 0.0.4 metric-name charset (first char, then the rest).
+_METRIC_NAME = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+
+
+def metric_name(*parts: str) -> str:
+    """Join name parts with ``_`` into one validated Prometheus name.
+
+    Every dynamically built metric name (sweep tallies, the per-point
+    ``repro_counter_*`` gauges) goes through here, so a typo'd or
+    illegal part fails loudly at render time instead of producing
+    exposition text scrapers silently drop.
+    """
+    name = "_".join(parts)
+    if not _METRIC_NAME.match(name):
+        raise ValueError(f"invalid Prometheus metric name: {name!r}")
+    return name
+
+
 def _metric(
     lines: list[str], name: str, help_text: str, kind: str, value
 ) -> None:
@@ -695,7 +739,7 @@ def render_prometheus(snapshot: dict) -> str:
     ):
         _metric(
             lines,
-            f"repro_sweep_points_{field}",
+            metric_name("repro_sweep_points", field),
             help_text,
             "gauge",
             snapshot[field],
@@ -866,6 +910,32 @@ def render_prometheus(snapshot: dict) -> str:
                 lines.append(
                     f'repro_span_count_total{{name="{name}"}} {row["count"]}'
                 )
+    counter_rows = snapshot.get("counters") or {}
+    if counter_rows:
+        # Latest interval row per in-flight point, one labeled gauge per
+        # sampled column (all raw per-interval deltas; rates are left to
+        # the scraper so the exposition stays integer-exact).
+        columns: dict[str, list[tuple[str, int]]] = {}
+        index_rows: list[tuple[str, int]] = []
+        for point, entry in sorted(counter_rows.items()):
+            index_rows.append((entry["label"], entry.get("index", 0)))
+            for column, value in entry["row"].items():
+                columns.setdefault(column, []).append((entry["label"], value))
+        name = metric_name("repro_counter", "interval_index")
+        lines.append(
+            f"# HELP {name} Index of each point's latest sampled interval"
+        )
+        lines.append(f"# TYPE {name} gauge")
+        for label, value in index_rows:
+            lines.append(f'{name}{{point="{label}"}} {value}')
+        for column, rows in sorted(columns.items()):
+            name = metric_name("repro_counter", column)
+            lines.append(
+                f"# HELP {name} Latest interval's {column} per design point"
+            )
+            lines.append(f"# TYPE {name} gauge")
+            for label, value in rows:
+                lines.append(f'{name}{{point="{label}"}} {value}')
     return "\n".join(lines) + "\n"
 
 

@@ -1,9 +1,13 @@
-"""CLI coverage for the observability verbs: trace, metrics, diagnose.
+"""CLI coverage for the observability verbs: trace, metrics, diagnose,
+counters, compare.
 
 Exercises exit codes, ``--format`` validation (one-line parser error,
 case-insensitive values), gzip trace output, the loud dropped-events
 warning, ``REPRO_TRACE`` env pickup, offline ``--from-jsonl``
-conversion, and ``metrics --attribution``.
+conversion, ``metrics --attribution``, the interval-counter verbs
+(table/json/csv/chrome, the A/B compare report, ``diagnose
+--from-counters``), and the store-discipline rule that sampling runs
+never write the shared result store.
 """
 
 from __future__ import annotations
@@ -33,6 +37,7 @@ def _fresh_state(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "store"))
     monkeypatch.delenv("REPRO_TRACE", raising=False)
     monkeypatch.delenv("REPRO_ATTRIBUTION", raising=False)
+    monkeypatch.delenv("REPRO_COUNTER_INTERVAL", raising=False)
     experiment.clear_cache()
     yield
     experiment.clear_cache()
@@ -180,3 +185,161 @@ class TestReproTraceEnv:
         monkeypatch.setenv("REPRO_TRACE", str(path))
         assert main(["metrics", "gcc", *FAST_FLAGS]) == 0
         assert json.loads(path.read_text(encoding="utf-8").splitlines()[0])
+
+
+class TestCountersVerb:
+    def test_table_default_with_sparklines(self, capsys):
+        assert main(
+            ["counters", "gcc", "--interval", "300", *FAST_FLAGS]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Interval counters (300 instructions/interval" in out
+        assert "sampled" in out
+        assert "bank_conflict_rate" in out  # the sparkline block
+
+    def test_json_carries_the_full_series(self, capsys):
+        assert main(
+            [
+                "counters",
+                "gcc",
+                "--interval",
+                "300",
+                "--format",
+                "json",
+                *FAST_FLAGS,
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        series = payload["counters"]
+        assert series["interval"] == 300
+        assert series["columns"][0] == "instructions"
+        assert sum(series["data"][0]) == 1500
+
+    def test_csv_has_header_and_rows(self, capsys):
+        assert main(
+            [
+                "counters",
+                "gcc",
+                "--interval",
+                "300",
+                "--format",
+                "csv",
+                *FAST_FLAGS,
+            ]
+        ) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0].startswith("index,instructions,cycles,partial")
+        assert len(lines) == 1 + 5  # 1500 instructions / 300 per row
+
+    def test_chrome_merges_counter_tracks(self, tmp_path, capsys):
+        assert main(
+            [
+                "counters",
+                "gcc",
+                "--interval",
+                "300",
+                "--format",
+                "chrome",
+                *FAST_FLAGS,
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "counter-track sample(s)" in out
+        document = json.loads(
+            (tmp_path / "gcc.counters.trace.json").read_text(
+                encoding="utf-8"
+            )
+        )
+        counter_events = [
+            e for e in document["traceEvents"] if e.get("ph") == "C"
+        ]
+        assert counter_events
+        assert any(": ipc" in e["name"] for e in counter_events)
+
+    def test_counters_do_not_pollute_the_store(self, tmp_path, capsys):
+        assert main(
+            ["counters", "gcc", "--interval", "300", *FAST_FLAGS]
+        ) == 0
+        assert not list((tmp_path / "store").glob("v*/??/*.json"))
+
+    def test_bad_interval_is_a_parser_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["counters", "gcc", "--interval", "0", *FAST_FLAGS])
+        assert excinfo.value.code == 2
+
+    def test_unknown_format_lists_choices(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["counters", "gcc", "--format", "BOGUS", *FAST_FLAGS])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err.strip().splitlines()[-1]
+        assert "unknown counters format 'BOGUS'" in err
+
+    def test_env_interval_is_the_default(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_COUNTER_INTERVAL", "500")
+        assert main(["counters", "gcc", *FAST_FLAGS]) == 0
+        out = capsys.readouterr().out
+        assert "(500 instructions/interval" in out
+
+
+class TestCompareVerb:
+    def test_default_pair_prints_ranked_table_and_verdict(self, capsys):
+        assert main(
+            ["compare", "gcc", "--interval", "300", *FAST_FLAGS]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "compared banked-2" in out
+        assert "vs dual-ported" in out
+        assert "Divergent intervals, widest IPC gap first" in out
+        assert "-- cf. Fig." in out
+
+    def test_json_payload_shape(self, capsys):
+        assert main(
+            [
+                "compare",
+                "gcc",
+                "--a",
+                "banked-2",
+                "--b",
+                "dual-ported",
+                "--interval",
+                "300",
+                "--format",
+                "json",
+                *FAST_FLAGS,
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["a"]["label"] == "banked-2"
+        assert payload["b"]["label"] == "dual-ported"
+        assert payload["divergent_intervals"]
+        entry = payload["divergent_intervals"][0]
+        assert {"index", "gap", "pressure", "ipc_a", "ipc_b"} <= set(entry)
+        assert "verdict" in payload
+
+    def test_unknown_label_exits_2_with_choices(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["compare", "gcc", "--a", "nonsense", *FAST_FLAGS])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown design point 'nonsense'" in err
+        assert "banked-2" in err and "dual-ported" in err
+
+    def test_compare_does_not_pollute_the_store(self, tmp_path, capsys):
+        assert main(
+            ["compare", "gcc", "--interval", "300", *FAST_FLAGS]
+        ) == 0
+        assert not list((tmp_path / "store").glob("v*/??/*.json"))
+
+
+class TestDiagnoseFromCounters:
+    def test_narratives_cite_the_worst_interval(self, capsys):
+        assert main(
+            ["diagnose", "gcc", "--from-counters", *FAST_FLAGS]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "worst interval" in out
+        assert "IPC under" in out
+
+    def test_plain_diagnose_is_unchanged(self, capsys):
+        assert main(["diagnose", "gcc", *FAST_FLAGS]) == 0
+        assert "worst interval" not in capsys.readouterr().out

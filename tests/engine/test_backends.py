@@ -98,6 +98,61 @@ class TestPointParity:
             results[name] = payload
         assert results["reference"] == results["fast"]
 
+    @pytest.mark.parametrize(
+        "org",
+        [
+            organizations.ideal_ports(ports=2),
+            organizations.banked(banks=2),
+            organizations.duplicate(16384, 1, True),
+            organizations.dram_cache(line_buffer=True),
+        ],
+        ids=("ports", "banked", "duplicate+lb", "dram+lb"),
+    )
+    @pytest.mark.parametrize("every", (128, 1_000, 5_000))
+    def test_counter_series_identical(self, org, every):
+        """Interval counter series are bit-identical across backends.
+
+        Intervals chosen to exercise a non-multiple tail (128), the
+        exact-window case (1_000), and one longer than the whole
+        measured region (5_000, a single partial row).
+        """
+        from repro.observability import counters
+
+        spec = benchmark("su2cor")
+        series = {}
+        for name in kernel.BACKEND_NAMES:
+            tracecache.clear()
+            with counters.sampling(every), kernel.use_backend(name):
+                result = _simulate(org, spec, SETTINGS)
+            assert result.counters is not None
+            assert result.counters["interval"] == every
+            series[name] = result.counters
+        assert series["reference"] == series["fast"]
+        # The sampled intervals must also tile the measured window
+        # exactly: deltas sum back to the whole-run aggregates.
+        cols = counters.columns_of(series["reference"])
+        assert sum(cols["instructions"]) == SETTINGS.instructions
+        assert sum(cols["partial"]) == (
+            1 if SETTINGS.instructions % every else 0
+        )
+
+    def test_counter_series_identical_through_asdict(self):
+        """The counters field rides full-result parity like any other."""
+        from repro.observability import counters
+
+        spec = benchmark("gcc")
+        org = organizations.banked(banks=4)
+        results = {}
+        for name in kernel.BACKEND_NAMES:
+            tracecache.clear()
+            with counters.sampling(300), kernel.use_backend(name):
+                result = _simulate(org, spec, SETTINGS)
+            payload = dataclasses.asdict(result)
+            payload.pop("backend")
+            results[name] = payload
+        assert results["reference"] == results["fast"]
+        assert results["reference"]["counters"] is not None
+
     def test_core_run_backend_argument(self):
         spec = benchmark("gcc")
         from repro.cpu.config import ProcessorConfig

